@@ -1,0 +1,194 @@
+package pushmulticast
+
+// One benchmark per reproduced table/figure. Each benchmark regenerates its
+// experiment at tiny scale per iteration and reports the figure's headline
+// quantity as a custom metric, so `go test -bench=. -benchmem` doubles as a
+// smoke regeneration of the whole evaluation. Quick-scale (paper-shaped)
+// numbers come from `go run ./cmd/experiments`.
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchOpts(wls ...string) ExpOptions {
+	return ExpOptions{Scale: ScaleTiny, Cores: 16, Workloads: wls}
+}
+
+// BenchmarkRunCachebwOrdPush measures raw simulator throughput (simulated
+// cycles per wall second) on the headline workload.
+func BenchmarkRunCachebwOrdPush(b *testing.B) {
+	cfg := ScaledConfig(Default16()).WithScheme(OrdPush())
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, "cachebw", ScaleTiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simcycles/op")
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig2(benchOpts("cachebw", "mv", "swaptions"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Rows[0].L2MPKI, "cachebw-L2MPKI")
+	}
+}
+
+func BenchmarkFig3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig3(benchOpts("cachebw", "pathfinder"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*f.Rows[0].ReadShared, "cachebw-readshared-%")
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig4(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(f.AllMedian), "median-gap-cycles")
+	}
+}
+
+func benchFig11(b *testing.B, cores int) {
+	o := benchOpts("cachebw", "mlp", "bfs")
+	o.Cores = cores
+	for i := 0; i < b.N; i++ {
+		f, err := Fig11(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Geomean["OrdPush"], "ordpush-geomean-x")
+		b.ReportMetric(f.Max["OrdPush"], "ordpush-max-x")
+	}
+}
+
+func BenchmarkFig11_16Core(b *testing.B) { benchFig11(b, 16) }
+
+func BenchmarkFig11_64Core(b *testing.B) { benchFig11(b, 64) }
+
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig12(benchOpts("cachebw", "backprop"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Rows {
+			if r.Scheme == "OrdPush" && r.Workload == "cachebw" {
+				b.ReportMetric(100*(r.Percent[4]+r.Percent[5]), "cachebw-useful-%")
+			}
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig13(benchOpts("cachebw", "multilevel"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*f.AvgSavingOrdPush, "ordpush-saving-%")
+	}
+}
+
+func BenchmarkFig14(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig14(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(f.Grids[1].Total)/float64(f.Grids[0].Total), "ordpush-linkload-x")
+	}
+}
+
+func BenchmarkFig15(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig15(benchOpts("cachebw"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Rows {
+			if r.Scheme == "OrdPush" {
+				b.ReportMetric(r.Injected, "l2-inj-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig16(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig16(benchOpts("cachebw"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Rows {
+			if r.Scheme == "OrdPush" {
+				b.ReportMetric(r.Injected, "llc-inj-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig17(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		fa, err := Fig17a(benchOpts())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := Fig17b(benchOpts()); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(fa.Rows[0].Speedup, "conv3d-tpc16-x")
+	}
+}
+
+func BenchmarkFig18(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig18(benchOpts("cachebw"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range f.Rows {
+			if r.Scheme == "OrdPush" && r.LinkBits == 512 {
+				b.ReportMetric(r.Speedup, "cachebw-512bit-x")
+			}
+		}
+	}
+}
+
+func BenchmarkFig19(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		f, err := Fig19(benchOpts("cachebw"))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Rows[0].Speedup, fmt.Sprintf("%s-x", "smallcache"))
+	}
+}
+
+func benchFig20(b *testing.B, cores int) {
+	o := benchOpts("cachebw", "bfs")
+	o.Cores = cores
+	for i := 0; i < b.N; i++ {
+		f, err := Fig20(o)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(f.Geomean["Push+Multicast+Filter+Knob"], "full-geomean-x")
+		b.ReportMetric(f.Geomean["Push"], "push-only-geomean-x")
+	}
+}
+
+func BenchmarkFig20_16Core(b *testing.B) { benchFig20(b, 16) }
+
+func BenchmarkFig20_64Core(b *testing.B) { benchFig20(b, 64) }

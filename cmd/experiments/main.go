@@ -1,0 +1,109 @@
+// Command experiments regenerates the paper's evaluation tables and figures.
+//
+// Usage:
+//
+//	experiments                     # all figures, quick scale, 16 cores
+//	experiments -fig 11,20          # a subset
+//	experiments -fig 11 -cores 64   # the 64-core variants
+//	experiments -scale full         # unscaled Table I machine (slow)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pushmulticast"
+)
+
+func main() {
+	var (
+		figs  = flag.String("fig", "all", "comma-separated figure list: 2,3,4,11,12,13,14,15,16,17,18,19,20,t1,t2,interplay,recent or 'all'")
+		cores = flag.Int("cores", 16, "core count: 16 or 64")
+		scale = flag.String("scale", "quick", "input scale: tiny|quick|full")
+		par   = flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
+	)
+	flag.Parse()
+
+	var sc pushmulticast.Scale
+	switch strings.ToLower(*scale) {
+	case "tiny":
+		sc = pushmulticast.ScaleTiny
+	case "quick":
+		sc = pushmulticast.ScaleQuick
+	case "full":
+		sc = pushmulticast.ScaleFull
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	o := pushmulticast.ExpOptions{Scale: sc, Cores: *cores, Parallelism: *par}
+
+	want := map[string]bool{}
+	all := *figs == "all"
+	for _, f := range strings.Split(*figs, ",") {
+		want[strings.TrimSpace(f)] = true
+	}
+	sel := func(name string) bool { return all || want[name] }
+
+	type exp struct {
+		name string
+		run  func() (fmt.Stringer, error)
+	}
+	experiments := []exp{
+		{"t1", func() (fmt.Stringer, error) { return str(pushmulticast.TableI(o)), nil }},
+		{"t2", func() (fmt.Stringer, error) { return str(pushmulticast.TableII()), nil }},
+		{"2", func() (fmt.Stringer, error) { return pushmulticast.Fig2(o) }},
+		{"3", func() (fmt.Stringer, error) { return pushmulticast.Fig3(o) }},
+		{"4", func() (fmt.Stringer, error) { return pushmulticast.Fig4(o) }},
+		{"11", func() (fmt.Stringer, error) { return pushmulticast.Fig11(o) }},
+		{"12", func() (fmt.Stringer, error) { return pushmulticast.Fig12(o) }},
+		{"13", func() (fmt.Stringer, error) { return pushmulticast.Fig13(o) }},
+		{"14", func() (fmt.Stringer, error) { return pushmulticast.Fig14(o) }},
+		{"15", func() (fmt.Stringer, error) { return pushmulticast.Fig15(o) }},
+		{"16", func() (fmt.Stringer, error) { return pushmulticast.Fig16(o) }},
+		{"17", func() (fmt.Stringer, error) { return both(pushmulticast.Fig17a(o))(pushmulticast.Fig17b(o)) }},
+		{"18", func() (fmt.Stringer, error) { return pushmulticast.Fig18(o) }},
+		{"19", func() (fmt.Stringer, error) { return pushmulticast.Fig19(o) }},
+		{"20", func() (fmt.Stringer, error) { return pushmulticast.Fig20(o) }},
+		{"interplay", func() (fmt.Stringer, error) { return pushmulticast.ExtInterplay(o) }},
+		{"recent", func() (fmt.Stringer, error) { return pushmulticast.ExtRecentPushTable(o) }},
+		{"future", func() (fmt.Stringer, error) { return pushmulticast.ExtFutureDirections(o) }},
+	}
+	ran := 0
+	for _, e := range experiments {
+		if !sel(e.name) {
+			continue
+		}
+		out, err := e.run()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: fig %s: %v\n", e.name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out.String())
+		ran++
+	}
+	if ran == 0 {
+		fmt.Fprintln(os.Stderr, "experiments: nothing selected")
+		os.Exit(1)
+	}
+}
+
+// str adapts a plain string to fmt.Stringer.
+type str string
+
+func (s str) String() string { return string(s) }
+
+// both concatenates two experiment results, propagating the first error.
+func both(a fmt.Stringer, errA error) func(fmt.Stringer, error) (fmt.Stringer, error) {
+	return func(b fmt.Stringer, errB error) (fmt.Stringer, error) {
+		if errA != nil {
+			return nil, errA
+		}
+		if errB != nil {
+			return nil, errB
+		}
+		return str(a.String() + "\n" + b.String()), nil
+	}
+}

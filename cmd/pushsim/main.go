@@ -1,0 +1,204 @@
+// Command pushsim runs one simulation and prints its results: execution
+// time, MPKI, traffic breakdown, and push statistics.
+//
+// Usage:
+//
+//	pushsim -workload cachebw -scheme OrdPush -cores 16 -scale quick
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pushmulticast"
+	"pushmulticast/internal/stats"
+)
+
+func main() {
+	var (
+		wlName   = flag.String("workload", "cachebw", "workload name (see -list)")
+		scheme   = flag.String("scheme", "OrdPush", "scheme: Baseline|NoPrefetch|Coalesce|MSP|PushAck|OrdPush|Push|Push+Multicast|Push+Multicast+Filter")
+		cores    = flag.Int("cores", 16, "core count: 16 or 64")
+		scale    = flag.String("scale", "quick", "input scale: tiny|quick|full")
+		linkBits = flag.Int("link", 128, "link width in bits: 64|128|256|512")
+		list     = flag.Bool("list", false, "list workloads and exit")
+		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range pushmulticast.Workloads() {
+			fmt.Printf("%-16s %-14s %s\n", w.Name, "["+w.Class+"]", w.Description)
+		}
+		return
+	}
+
+	cfg, err := buildConfig(*cores, *scheme, *scale, *linkBits)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushsim:", err)
+		os.Exit(1)
+	}
+	sc, err := parseScale(*scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushsim:", err)
+		os.Exit(1)
+	}
+	res, err := pushmulticast.Run(cfg, *wlName, sc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushsim:", err)
+		os.Exit(1)
+	}
+	if *jsonOut {
+		if err := reportJSON(res); err != nil {
+			fmt.Fprintln(os.Stderr, "pushsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	report(res)
+}
+
+// jsonResult is the machine-readable result schema.
+type jsonResult struct {
+	Workload     string            `json:"workload"`
+	Scheme       string            `json:"scheme"`
+	Cycles       uint64            `json:"cycles"`
+	Instructions uint64            `json:"instructions"`
+	IPC          float64           `json:"ipc"`
+	L1MPKI       float64           `json:"l1_mpki"`
+	L2MPKI       float64           `json:"l2_mpki"`
+	NoCFlits     uint64            `json:"noc_flits"`
+	FlitsByClass map[string]uint64 `json:"flits_by_class"`
+	Pushes       uint64            `json:"pushes_triggered"`
+	PushAvgDests float64           `json:"push_avg_dests"`
+	PushOutcomes map[string]uint64 `json:"push_outcomes"`
+	FilteredReqs uint64            `json:"filtered_requests"`
+	Coalesced    uint64            `json:"coalesced_requests"`
+	MemReads     uint64            `json:"mem_reads"`
+	MemWrites    uint64            `json:"mem_writes"`
+}
+
+func reportJSON(res pushmulticast.Results) error {
+	st := res.Stats
+	out := jsonResult{
+		Workload:     res.Workload,
+		Scheme:       res.Scheme,
+		Cycles:       res.Cycles,
+		Instructions: st.Core.Instructions,
+		IPC:          float64(st.Core.Instructions) / float64(res.Cycles),
+		L1MPKI:       res.L1MPKI(),
+		L2MPKI:       res.L2MPKI(),
+		NoCFlits:     st.Net.TotalFlits(),
+		FlitsByClass: map[string]uint64{},
+		Pushes:       st.Cache.PushesTriggered,
+		PushOutcomes: map[string]uint64{},
+		FilteredReqs: st.Net.FilteredRequests,
+		Coalesced:    st.Cache.CoalescedRequests,
+		MemReads:     st.Cache.MemReads,
+		MemWrites:    st.Cache.MemWrites,
+	}
+	if st.Cache.PushesTriggered > 0 {
+		out.PushAvgDests = float64(st.Cache.PushDestinations) / float64(st.Cache.PushesTriggered)
+	}
+	for c := stats.Class(0); c < stats.NumClasses; c++ {
+		if v := st.Net.TotalFlitsByClass[c]; v > 0 {
+			out.FlitsByClass[c.String()] = v
+		}
+	}
+	for o := stats.PushOutcome(0); o < stats.NumPushOutcomes; o++ {
+		if v := st.Cache.PushOutcomes[o]; v > 0 {
+			out.PushOutcomes[o.String()] = v
+		}
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+func buildConfig(cores int, scheme, scale string, linkBits int) (pushmulticast.Config, error) {
+	var cfg pushmulticast.Config
+	switch cores {
+	case 16:
+		cfg = pushmulticast.Default16()
+	case 64:
+		cfg = pushmulticast.Default64()
+	default:
+		return cfg, fmt.Errorf("unsupported core count %d (use 16 or 64)", cores)
+	}
+	sch, err := schemeByName(scheme)
+	if err != nil {
+		return cfg, err
+	}
+	cfg = cfg.WithScheme(sch)
+	cfg.NoC.LinkWidthBits = linkBits
+	if scale != "full" {
+		cfg = pushmulticast.ScaledConfig(cfg)
+	}
+	return cfg, nil
+}
+
+func schemeByName(name string) (pushmulticast.Scheme, error) {
+	all := []pushmulticast.Scheme{
+		pushmulticast.Baseline(), pushmulticast.NoPrefetch(), pushmulticast.Coalesce(),
+		pushmulticast.MSP(), pushmulticast.PushAck(), pushmulticast.OrdPush(),
+		pushmulticast.AblationPush(), pushmulticast.AblationPushMulticast(),
+		pushmulticast.AblationPushMulticastFilter(),
+		pushmulticast.PushPrefetch(), pushmulticast.PredictivePush(), pushmulticast.DeepPush(),
+	}
+	for _, s := range all {
+		if strings.EqualFold(s.Name, name) ||
+			(strings.EqualFold(name, "baseline") && s.Name == "L1Bingo-L2Stride") {
+			return s, nil
+		}
+	}
+	return pushmulticast.Scheme{}, fmt.Errorf("unknown scheme %q", name)
+}
+
+func parseScale(s string) (pushmulticast.Scale, error) {
+	switch strings.ToLower(s) {
+	case "tiny":
+		return pushmulticast.ScaleTiny, nil
+	case "quick":
+		return pushmulticast.ScaleQuick, nil
+	case "full":
+		return pushmulticast.ScaleFull, nil
+	}
+	return 0, fmt.Errorf("unknown scale %q", s)
+}
+
+func report(res pushmulticast.Results) {
+	st := res.Stats
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("scheme          %s\n", res.Scheme)
+	fmt.Printf("cycles          %d\n", res.Cycles)
+	fmt.Printf("instructions    %d\n", st.Core.Instructions)
+	fmt.Printf("IPC             %.3f\n", float64(st.Core.Instructions)/float64(res.Cycles))
+	fmt.Printf("L1 MPKI         %.2f\n", res.L1MPKI())
+	fmt.Printf("L2 MPKI         %.2f\n", res.L2MPKI())
+	fmt.Printf("NoC flits       %d\n", st.Net.TotalFlits())
+	fmt.Printf("  by class:\n")
+	for c := stats.Class(0); c < stats.NumClasses; c++ {
+		if v := st.Net.TotalFlitsByClass[c]; v > 0 {
+			fmt.Printf("    %-16s %d\n", c, v)
+		}
+	}
+	if st.Cache.PushesTriggered > 0 {
+		fmt.Printf("pushes          %d (avg %.1f dests)\n", st.Cache.PushesTriggered,
+			float64(st.Cache.PushDestinations)/float64(st.Cache.PushesTriggered))
+		fmt.Printf("  outcomes:\n")
+		for o := stats.PushOutcome(0); o < stats.NumPushOutcomes; o++ {
+			if v := st.Cache.PushOutcomes[o]; v > 0 {
+				fmt.Printf("    %-16s %d\n", o, v)
+			}
+		}
+	}
+	if st.Net.FilteredRequests > 0 {
+		fmt.Printf("filtered reqs   %d\n", st.Net.FilteredRequests)
+	}
+	if st.Cache.CoalescedRequests > 0 {
+		fmt.Printf("coalesced reqs  %d\n", st.Cache.CoalescedRequests)
+	}
+}

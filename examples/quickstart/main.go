@@ -1,0 +1,48 @@
+// Quickstart: run one workload under the reactive baseline and under Push
+// Multicast (OrdPush), and compare execution time, NoC traffic, and push
+// effectiveness.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"pushmulticast"
+)
+
+func main() {
+	const workload = "cachebw"
+	scale := pushmulticast.ScaleTiny
+
+	baseCfg := pushmulticast.ScaledConfig(pushmulticast.Default16()).
+		WithScheme(pushmulticast.Baseline())
+	base, err := pushmulticast.Run(baseCfg, workload, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	pushCfg := pushmulticast.ScaledConfig(pushmulticast.Default16()).
+		WithScheme(pushmulticast.OrdPush())
+	push, err := pushmulticast.Run(pushCfg, workload, scale)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("workload: %s on a 16-core 4x4 mesh\n\n", workload)
+	fmt.Printf("%-24s %12s %12s\n", "", "baseline", "OrdPush")
+	fmt.Printf("%-24s %12d %12d\n", "cycles", base.Cycles, push.Cycles)
+	fmt.Printf("%-24s %12d %12d\n", "NoC flits", base.TotalNoCFlits(), push.TotalNoCFlits())
+	fmt.Printf("%-24s %12.1f %12.1f\n", "L2 MPKI", base.L2MPKI(), push.L2MPKI())
+	fmt.Printf("\nspeedup            %.2fx\n", float64(base.Cycles)/float64(push.Cycles))
+	fmt.Printf("traffic saving     %.0f%%\n",
+		100*(1-float64(push.TotalNoCFlits())/float64(base.TotalNoCFlits())))
+
+	c := push.Stats.Cache
+	fmt.Printf("\npush multicasts    %d (avg %.1f destinations)\n",
+		c.PushesTriggered, float64(c.PushDestinations)/float64(c.PushesTriggered))
+	fmt.Printf("push usefulness    %.0f%% (miss-to-hit + early-response)\n",
+		100*float64(c.UsefulPushes())/float64(c.TotalPushes()))
+	fmt.Printf("filtered requests  %d pruned in-network\n", push.Stats.Net.FilteredRequests)
+}

@@ -1,0 +1,3 @@
+module pushmulticast
+
+go 1.22

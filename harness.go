@@ -1,0 +1,161 @@
+package pushmulticast
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"pushmulticast/internal/workload"
+)
+
+// ExpOptions controls the experiment harness.
+type ExpOptions struct {
+	// Scale selects workload input sizing. ScaleQuick (the default) pairs
+	// scaled-down caches with scaled-down inputs so the paper's pressure
+	// ratios are preserved at a fraction of the runtime; ScaleFull uses
+	// the unscaled Table I machine.
+	Scale Scale
+	// Cores is 16 (default) or 64.
+	Cores int
+	// Workloads restricts the workload set (nil = figure default).
+	Workloads []string
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (o ExpOptions) withDefaults() ExpOptions {
+	if o.Cores == 0 {
+		o.Cores = 16
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	return o
+}
+
+// baseConfig returns the machine for the options: full caches at ScaleFull,
+// quick-scaled otherwise.
+func (o ExpOptions) baseConfig() Config {
+	var cfg Config
+	if o.Cores == 64 {
+		cfg = Default64()
+	} else {
+		cfg = Default16()
+	}
+	if o.Scale != ScaleFull {
+		cfg = ScaledConfig(cfg)
+	}
+	return cfg
+}
+
+// pickWorkloads resolves the workload set.
+func (o ExpOptions) pickWorkloads(def []Workload) ([]Workload, error) {
+	if len(o.Workloads) == 0 {
+		return def, nil
+	}
+	var out []Workload
+	for _, name := range o.Workloads {
+		wl, err := workload.ByName(name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, wl)
+	}
+	return out, nil
+}
+
+// runKey identifies a simulation in the matrix.
+type runKey struct {
+	scheme   string
+	workload string
+}
+
+// matrix runs every (scheme, workload) pair concurrently, with cfgFor
+// producing the per-scheme configuration, and returns results keyed by
+// scheme then workload.
+func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Workload) (map[runKey]Results, error) {
+	type job struct {
+		sch Scheme
+		wl  Workload
+	}
+	var jobs []job
+	for _, sch := range schemes {
+		for _, wl := range wls {
+			jobs = append(jobs, job{sch, wl})
+		}
+	}
+	results := make(map[runKey]Results, len(jobs))
+	var mu sync.Mutex
+	var firstErr error
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			mu.Lock()
+			stop := firstErr != nil
+			mu.Unlock()
+			if stop {
+				return
+			}
+			res, err := RunWorkload(cfgFor(j.sch), j.wl, o.Scale)
+			mu.Lock()
+			defer mu.Unlock()
+			if err != nil {
+				if firstErr == nil {
+					firstErr = fmt.Errorf("%s/%s: %w", j.sch.Name, j.wl.Name, err)
+				}
+				return
+			}
+			results[runKey{j.sch.Name, j.wl.Name}] = res
+		}(j)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return results, nil
+}
+
+// speedup returns baseline-cycles / scheme-cycles.
+func speedup(base, scheme Results) float64 {
+	if scheme.Cycles == 0 {
+		return 0
+	}
+	return float64(base.Cycles) / float64(scheme.Cycles)
+}
+
+// geomean returns the geometric mean of positive values.
+func geomean(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range vals {
+		if v <= 0 {
+			return 0
+		}
+		sum += math.Log(v)
+	}
+	return math.Exp(sum / float64(len(vals)))
+}
+
+// quantile returns the q-quantile (0..1) of sorted samples.
+func quantile(sorted []uint64, q float64) uint64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := int(q * float64(len(sorted)-1))
+	return sorted[idx]
+}
+
+func sortU64(v []uint64) []uint64 {
+	out := append([]uint64(nil), v...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,214 @@
+// Package cache implements the simulated cache hierarchy: private L1 and L2
+// caches, the shared sliced LLC with its embedded directory, the MSI
+// coherence controllers with the paper's PushAck and OrdPush extensions, the
+// LLC push-trigger machinery, and the dynamic pause/resume knobs.
+package cache
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
+)
+
+// State is a per-line coherence state. Private-cache lines use the I/S/M
+// stable states plus transients; LLC lines use the L-prefixed states.
+type State uint8
+
+// Private cache line states.
+const (
+	// StateI: invalid / way free.
+	StateI State = iota
+	// StateS: shared, read-only, clean with respect to the LLC.
+	StateS
+	// StateM: modified, exclusive ownership.
+	StateM
+	// StateISD: GetS outstanding, waiting for data.
+	StateISD
+	// StateISDI: invalidated while ISD; arriving data is used once by the
+	// waiting loads and then discarded.
+	StateISDI
+	// StateIMD: GetM outstanding from I, waiting for exclusive data.
+	StateIMD
+	// StateSMD: GetM outstanding from S (upgrade), S data still readable.
+	StateSMD
+
+	// LLC line states.
+
+	// StateLV: valid at LLC, no private owner (sharers may exist).
+	StateLV
+	// StateLM: owned modified by one private cache; LLC data stale.
+	StateLM
+	// StateLP: shared-push outstanding (PushAck protocol's semi-blocking P
+	// state): reads are served, writes stall until all PushAcks arrive.
+	StateLP
+	// StateLSInv: invalidation episode running for a pending write.
+	StateLSInv
+	// StateLMInv: recall episode running (owner asked to invalidate and
+	// return data).
+	StateLMInv
+	// StateLFetch: memory fetch outstanding.
+	StateLFetch
+)
+
+var stateNames = map[State]string{
+	StateI: "I", StateS: "S", StateM: "M",
+	StateISD: "IS_D", StateISDI: "IS_D_I", StateIMD: "IM_D", StateSMD: "SM_D",
+	StateLV: "LV", StateLM: "LM", StateLP: "LP",
+	StateLSInv: "LS_Inv", StateLMInv: "LM_Inv", StateLFetch: "LFetch",
+}
+
+// String names the state.
+func (s State) String() string {
+	if n, ok := stateNames[s]; ok {
+		return n
+	}
+	return fmt.Sprintf("State(%d)", uint8(s))
+}
+
+// Transient reports whether the state is a blocking transient; pushes may
+// not evict transient lines (deadlock avoidance, §III-B).
+func (s State) Transient() bool {
+	switch s {
+	case StateISD, StateISDI, StateIMD, StateSMD,
+		StateLSInv, StateLMInv, StateLFetch, StateLP:
+		return true
+	}
+	return false
+}
+
+// Line is one cache line's tag, state, and metadata.
+type Line struct {
+	// Tag is the full line address (64-byte aligned); valid when State != I.
+	Tag uint64
+	// State is the coherence state.
+	State State
+	// Version is the line's write serial number (the simulated data value).
+	Version uint64
+	// Dirty, at the LLC, marks data newer than memory.
+	Dirty bool
+	// Pushed/Accessed implement the pause-knob usefulness tracking: Pushed
+	// is set when a push installs the line, Accessed on its first use.
+	Pushed, Accessed bool
+	// LastUse drives LRU replacement.
+	LastUse sim.Cycle
+
+	// LLC directory fields.
+
+	// Sharers is the directory's sharer bit vector. Silent S-state
+	// evictions make it a conservative superset of true holders, which is
+	// exactly the property push speculation exploits.
+	Sharers noc.DestSet
+	// Owner is the M-state owner when State == StateLM.
+	Owner noc.NodeID
+	// Epoch tags invalidation episodes so stale acknowledgments are
+	// discarded.
+	Epoch uint32
+}
+
+// Array is a set-associative cache structure.
+type Array struct {
+	sets     [][]Line
+	setMask  uint64
+	setShift uint
+	ways     int
+}
+
+// NewArray builds an array with sizeBytes capacity, the given associativity,
+// and 64-byte lines. The set count must come out a power of two.
+func NewArray(sizeBytes, ways, lineSize int) *Array {
+	return NewInterleavedArray(sizeBytes, ways, lineSize, 1)
+}
+
+// NewInterleavedArray builds an array for one slice of an address-
+// interleaved cache: the log2(interleave) address bits that select the
+// slice are skipped when computing the set index, so a slice uses all of
+// its sets rather than the 1/interleave subset its stripe of addresses
+// would otherwise map to.
+func NewInterleavedArray(sizeBytes, ways, lineSize, interleave int) *Array {
+	lines := sizeBytes / lineSize
+	sets := lines / ways
+	if sets == 0 || sets&(sets-1) != 0 {
+		panic(fmt.Sprintf("cache: set count %d not a power of two (size=%d ways=%d)", sets, sizeBytes, ways))
+	}
+	if interleave <= 0 || interleave&(interleave-1) != 0 {
+		panic(fmt.Sprintf("cache: interleave %d not a power of two", interleave))
+	}
+	a := &Array{
+		sets:     make([][]Line, sets),
+		setMask:  uint64(sets - 1),
+		setShift: uint(bits.TrailingZeros(uint(lineSize)) + bits.TrailingZeros(uint(interleave))),
+		ways:     ways,
+	}
+	backing := make([]Line, sets*ways)
+	for i := range a.sets {
+		a.sets[i], backing = backing[:ways:ways], backing[ways:]
+	}
+	return a
+}
+
+// Sets returns the number of sets.
+func (a *Array) Sets() int { return len(a.sets) }
+
+// Ways returns the associativity.
+func (a *Array) Ways() int { return a.ways }
+
+// set returns the set index for a line address.
+func (a *Array) set(lineAddr uint64) int {
+	return int((lineAddr >> a.setShift) & a.setMask)
+}
+
+// Lookup returns the line holding lineAddr, or nil.
+func (a *Array) Lookup(lineAddr uint64) *Line {
+	s := a.sets[a.set(lineAddr)]
+	for i := range s {
+		if s[i].State != StateI && s[i].Tag == lineAddr {
+			return &s[i]
+		}
+	}
+	return nil
+}
+
+// Victim returns the replacement candidate for lineAddr under the policy:
+// a free way first, then the least-recently-used line for which allowed
+// returns true. It returns nil when no way qualifies.
+func (a *Array) Victim(lineAddr uint64, allowed func(*Line) bool) *Line {
+	s := a.sets[a.set(lineAddr)]
+	var best *Line
+	for i := range s {
+		l := &s[i]
+		if l.State == StateI {
+			return l
+		}
+		if !allowed(l) {
+			continue
+		}
+		if best == nil || l.LastUse < best.LastUse {
+			best = l
+		}
+	}
+	return best
+}
+
+// SetBlocked reports whether every way of lineAddr's set fails the allowed
+// predicate (the push deadlock-drop condition).
+func (a *Array) SetBlocked(lineAddr uint64, allowed func(*Line) bool) bool {
+	return a.Victim(lineAddr, allowed) == nil
+}
+
+// ForEach visits every non-invalid line.
+func (a *Array) ForEach(f func(*Line)) {
+	for i := range a.sets {
+		for j := range a.sets[i] {
+			if a.sets[i][j].State != StateI {
+				f(&a.sets[i][j])
+			}
+		}
+	}
+}
+
+// Install claims the given line struct for lineAddr, resetting metadata.
+func (a *Array) Install(l *Line, lineAddr uint64, st State, now sim.Cycle) {
+	*l = Line{Tag: lineAddr, State: st, LastUse: now}
+}

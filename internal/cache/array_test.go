@@ -1,0 +1,140 @@
+package cache
+
+import (
+	"testing"
+
+	"pushmulticast/internal/sim"
+	"testing/quick"
+)
+
+func TestArrayGeometry(t *testing.T) {
+	a := NewArray(256<<10, 16, 64)
+	if a.Sets() != 256 || a.Ways() != 16 {
+		t.Fatalf("geometry = %d sets x %d ways, want 256x16", a.Sets(), a.Ways())
+	}
+}
+
+func TestArrayBadGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two set count")
+		}
+	}()
+	NewArray(3*64*4, 4, 64) // 3 sets
+}
+
+func TestArrayLookupInstall(t *testing.T) {
+	a := NewArray(4096, 4, 64) // 16 sets x 4 ways
+	if a.Lookup(0x1000) != nil {
+		t.Fatal("lookup on empty array should miss")
+	}
+	v := a.Victim(0x1000, func(*Line) bool { return true })
+	if v == nil {
+		t.Fatal("empty set must offer a victim")
+	}
+	a.Install(v, 0x1000, StateS, 5)
+	got := a.Lookup(0x1000)
+	if got == nil || got.State != StateS || got.Tag != 0x1000 || got.LastUse != 5 {
+		t.Fatalf("installed line wrong: %+v", got)
+	}
+}
+
+func TestArrayLRUVictim(t *testing.T) {
+	a := NewArray(4*64, 4, 64) // 1 set x 4 ways
+	for i := 0; i < 4; i++ {
+		v := a.Victim(uint64(i*64), func(*Line) bool { return true })
+		a.Install(v, uint64(i*64), StateS, sim.Cycle(10+5*i))
+	}
+	v := a.Victim(0x4000, func(*Line) bool { return true })
+	if v.Tag != 0 {
+		t.Fatalf("LRU victim should be line 0 (oldest), got %#x", v.Tag)
+	}
+}
+
+func TestArrayVictimRespectsPredicate(t *testing.T) {
+	a := NewArray(2*64, 2, 64) // 1 set x 2 ways
+	for i := 0; i < 2; i++ {
+		v := a.Victim(uint64(i*64), func(*Line) bool { return true })
+		a.Install(v, uint64(i*64), StateISD, 0)
+	}
+	if v := a.Victim(0x4000, func(l *Line) bool { return !l.State.Transient() }); v != nil {
+		t.Fatalf("all ways transient yet victim %+v offered", v)
+	}
+	if !a.SetBlocked(0x4000, func(l *Line) bool { return !l.State.Transient() }) {
+		t.Fatal("SetBlocked must report a fully transient set")
+	}
+}
+
+func TestInterleavedArraySpreadsSets(t *testing.T) {
+	// A 16-way slice of a 16-slice cache: addresses striped by 16 lines
+	// must cover all sets, not just set 0.
+	a := NewInterleavedArray(64<<10, 16, 64, 16)
+	seen := map[int]bool{}
+	for i := 0; i < 1024; i++ {
+		addr := uint64(i) * 16 * 64 // slice-0 stripe
+		seen[a.set(addr)] = true
+	}
+	if len(seen) != a.Sets() {
+		t.Fatalf("stripe covers %d/%d sets", len(seen), a.Sets())
+	}
+}
+
+// Property: for any address sequence, Lookup never returns a line with a
+// different tag, and Install/Lookup round-trips.
+func TestArrayLookupConsistency(t *testing.T) {
+	a := NewArray(64*64, 4, 64)
+	f := func(addrs []uint16) bool {
+		for _, raw := range addrs {
+			addr := uint64(raw) * 64
+			if l := a.Lookup(addr); l != nil {
+				if l.Tag != addr {
+					return false
+				}
+				continue
+			}
+			v := a.Victim(addr, func(*Line) bool { return true })
+			if v == nil {
+				return false
+			}
+			a.Install(v, addr, StateS, 0)
+			if got := a.Lookup(addr); got == nil || got.Tag != addr {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStateStringsAndTransience(t *testing.T) {
+	stable := []State{StateI, StateS, StateM, StateLV, StateLM}
+	for _, s := range stable {
+		if s.Transient() {
+			t.Errorf("%v should be stable", s)
+		}
+	}
+	transient := []State{StateISD, StateISDI, StateIMD, StateSMD, StateLSInv, StateLMInv, StateLFetch, StateLP}
+	for _, s := range transient {
+		if !s.Transient() {
+			t.Errorf("%v should be transient", s)
+		}
+		if s.String() == "" {
+			t.Errorf("%v has no name", s)
+		}
+	}
+}
+
+func TestArrayForEach(t *testing.T) {
+	a := NewArray(8*64, 2, 64)
+	for i := 0; i < 3; i++ {
+		v := a.Victim(uint64(i*64), func(*Line) bool { return true })
+		a.Install(v, uint64(i*64), StateS, 0)
+	}
+	n := 0
+	a.ForEach(func(*Line) { n++ })
+	if n != 3 {
+		t.Fatalf("ForEach visited %d lines, want 3", n)
+	}
+}

@@ -1,0 +1,86 @@
+package cache
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// DumpState writes the L2's in-flight state (transient lines, MSHRs,
+// writeback entries) for deadlock diagnosis.
+func (c *L2) DumpState(w io.Writer) {
+	if len(c.mshr) == 0 && len(c.wb) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "L2[%d]:\n", c.id)
+	for _, a := range sortedKeysM(c.mshr) {
+		m := c.mshr[a]
+		st := State(255)
+		if l := c.arr.Lookup(a); l != nil {
+			st = l.State
+		}
+		fmt.Fprintf(w, "  mshr %#x state=%v loads=%d stores=%d prefetch=%v\n",
+			a, st, m.loads, m.stores, m.prefetch)
+	}
+	for _, a := range sortedKeysW(c.wb) {
+		fmt.Fprintf(w, "  wb %#x invalidated=%v\n", a, c.wb[a].invalidated)
+	}
+	if len(c.out.pkts) > 0 {
+		fmt.Fprintf(w, "  outbox %d pkts\n", len(c.out.pkts))
+	}
+	if len(c.inq.items) > 0 {
+		fmt.Fprintf(w, "  inq %d msgs, head %v\n", len(c.inq.items), c.inq.items[0].pkt.Payload)
+	}
+}
+
+// DumpState writes the LLC slice's in-flight state (episodes, fetches,
+// stalled packets).
+func (s *LLC) DumpState(w io.Writer) {
+	if len(s.ep) == 0 && len(s.fetches) == 0 && len(s.stalled) == 0 &&
+		s.inq.empty() && len(s.out.pkts) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "LLC[%d]:\n", s.id)
+	for _, a := range sortedKeysE(s.ep) {
+		ep := s.ep[a]
+		st := State(255)
+		if l := s.arr.Lookup(a); l != nil {
+			st = l.State
+		}
+		fmt.Fprintf(w, "  episode %#x kind=%d state=%v epoch=%d pending=%b writer=%d evict=%v\n",
+			a, ep.kind, st, ep.epoch, ep.pendingAcks, ep.writer, ep.evictAfter)
+	}
+	for _, a := range sortedKeysF(s.fetches) {
+		fmt.Fprintf(w, "  fetch %#x requesters=%d\n", a, len(s.fetches[a].requesters))
+	}
+	for _, a := range sortKeys(s.stalled) {
+		fmt.Fprintf(w, "  stalled %#x: %d pkts", a, len(s.stalled[a]))
+		if l := s.arr.Lookup(a); l != nil {
+			fmt.Fprintf(w, " (line state=%v)", l.State)
+		} else {
+			fmt.Fprintf(w, " (line absent)")
+		}
+		fmt.Fprintln(w)
+	}
+	if len(s.inq.items) > 0 {
+		fmt.Fprintf(w, "  inq %d msgs, head %v ready=%d\n", len(s.inq.items),
+			s.inq.items[0].pkt.Payload, s.inq.items[0].readyAt)
+	}
+	if len(s.out.pkts) > 0 {
+		fmt.Fprintf(w, "  outbox %d pkts, head %v\n", len(s.out.pkts), s.out.pkts[0].Payload)
+	}
+}
+
+func sortedKeysM(m map[uint64]*l2MSHR) []uint64  { return sortKeys(m) }
+func sortedKeysW(m map[uint64]*wbEntry) []uint64 { return sortKeys(m) }
+func sortedKeysE(m map[uint64]*episode) []uint64 { return sortKeys(m) }
+func sortedKeysF(m map[uint64]*fetch) []uint64   { return sortKeys(m) }
+
+func sortKeys[V any](m map[uint64]V) []uint64 {
+	keys := make([]uint64, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}

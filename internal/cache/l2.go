@@ -1,0 +1,614 @@
+package cache
+
+import (
+	"fmt"
+
+	"pushmulticast/internal/coherence"
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// Requestor is the core-side completion interface: the L2 calls it when a
+// load or store issued through Load/Store finishes.
+type Requestor interface {
+	LoadDone(lineAddr uint64, now sim.Cycle)
+	StoreDone(lineAddr uint64, now sim.Cycle)
+}
+
+// l2MSHR tracks one outstanding L2 miss (or upgrade).
+type l2MSHR struct {
+	addr   uint64
+	loads  int // demand loads waiting
+	stores int // stores waiting
+	// prefetchL1 requests an L1 fill on completion (Bingo prefetches).
+	prefetchL1 bool
+	// prefetch marks an MSHR with no demand waiters at allocation time.
+	prefetch bool
+	// recallPending records a recall invalidation that overtook the DataM
+	// this MSHR is waiting for: once the data arrives and the waiting
+	// stores perform, the line is returned to the directory (InvAckData
+	// with recallEpoch) and invalidated instead of being kept in M.
+	recallPending bool
+	recallEpoch   uint32
+}
+
+// wbEntry is a writeback-buffer slot: a PutM left the cache and the way was
+// reused; the entry pins the address until the directory's WBAck closes the
+// episode.
+type wbEntry struct {
+	invalidated bool
+}
+
+// doneEvt is a scheduled core completion for an L2 hit.
+type doneEvt struct {
+	addr  uint64
+	at    sim.Cycle
+	store bool
+}
+
+// L2 is a private, unified, coherent L2 cache controller. It is the
+// coherence point of a tile: the L1 is its strictly-inclusive child and the
+// LLC directory its parent. It implements the MSI private-cache FSM plus
+// the paper's push handling rules (guaranteed acceptance for outstanding
+// same-line misses, deadlock/redundancy/coherence drops otherwise) and the
+// push pause knob.
+type L2 struct {
+	id   noc.NodeID
+	cfg  *config.System
+	eng  *sim.Engine
+	st   *stats.All
+	arr  *Array
+	l1   *L1
+	core Requestor
+
+	mshr map[uint64]*l2MSHR
+	wb   map[uint64]*wbEntry
+	inq  delayQueue
+	out  outbox
+	pend []doneEvt
+	knob pauseKnob
+
+	// OnMiss, when set, is invoked on every demand L2 miss (the stride
+	// prefetcher's training hook).
+	OnMiss func(lineAddr uint64, now sim.Cycle)
+}
+
+// NewL2 builds the tile's private cache stack (L1 + L2) and attaches it to
+// the network.
+func NewL2(id noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine, st *stats.All, core Requestor) *L2 {
+	c := &L2{
+		id:   id,
+		cfg:  cfg,
+		eng:  eng,
+		st:   st,
+		arr:  NewArray(cfg.L2Size, cfg.L2Ways, cfg.LineSize),
+		l1:   NewL1(cfg.L1Size, cfg.L1Ways, cfg.LineSize),
+		core: core,
+		mshr: make(map[uint64]*l2MSHR),
+		wb:   make(map[uint64]*wbEntry),
+		inq:  delayQueue{latency: sim.Cycle(cfg.L2Latency)},
+		out:  outbox{ni: net.NI(id), unit: stats.UnitL2},
+		knob: pauseKnob{
+			tpcThreshold: uint32(cfg.TPCThreshold),
+			ratioShift:   cfg.KnobRatioShift,
+			enabled:      cfg.Scheme.Knob,
+		},
+	}
+	net.Attach(id, stats.UnitL2, c)
+	eng.Register(c)
+	return c
+}
+
+// ID returns the tile id.
+func (c *L2) ID() noc.NodeID { return c.id }
+
+// L1 returns the tile's L1 cache (prefetcher and test access).
+func (c *L2) L1() *L1 { return c.l1 }
+
+// Receive implements noc.Endpoint.
+func (c *L2) Receive(pkt *noc.Packet, now sim.Cycle) { c.inq.push(pkt, now) }
+
+// Tick fires matured core completions, processes incoming protocol messages,
+// and drains the outbox.
+func (c *L2) Tick(now sim.Cycle) {
+	if len(c.pend) > 0 {
+		kept := c.pend[:0]
+		for _, d := range c.pend {
+			if d.at > now {
+				kept = append(kept, d)
+				continue
+			}
+			c.eng.Progress()
+			if d.store {
+				c.core.StoreDone(d.addr, now)
+			} else {
+				c.core.LoadDone(d.addr, now)
+			}
+		}
+		c.pend = kept
+	}
+	for i := 0; i < 2 && !c.out.congested(); i++ {
+		pkt := c.inq.pop(now)
+		if pkt == nil {
+			break
+		}
+		c.eng.Progress()
+		c.handle(pkt.Payload.(*coherence.Msg), now)
+	}
+	c.out.drain(now)
+}
+
+// Load issues a demand load. done=true means it completed immediately (L1
+// hit); accepted=false means a resource stall and the core must retry.
+func (c *L2) Load(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
+	c.st.Cache.L1Accesses++
+	if _, ok := c.l1.Lookup(lineAddr, now); ok {
+		return true, true
+	}
+	c.st.Cache.L1Misses++
+	c.st.Cache.L2Accesses++
+	if line := c.arr.Lookup(lineAddr); line != nil {
+		switch line.State {
+		case StateS, StateM:
+			line.LastUse = now
+			c.touchPushed(line)
+			c.l1.Fill(lineAddr, line.Version, now)
+			c.pend = append(c.pend, doneEvt{lineAddr, now + sim.Cycle(c.cfg.L2Latency), false})
+			return false, true
+		case StateISD, StateISDI, StateIMD, StateSMD:
+			m := c.mshr[lineAddr]
+			if m == nil {
+				panic(fmt.Sprintf("L2 %d: transient line %#x without MSHR", c.id, lineAddr))
+			}
+			m.loads++
+			m.prefetch = false
+			return false, true
+		}
+	}
+	if _, busy := c.wb[lineAddr]; busy {
+		return false, false
+	}
+	if !c.allocMiss(lineAddr, now, 1, 0, false) {
+		return false, false
+	}
+	return false, true
+}
+
+// Store issues a store. Stores write through to the L1 and perform at the
+// L2 once ownership is held.
+func (c *L2) Store(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
+	c.st.Cache.L2Accesses++
+	if line := c.arr.Lookup(lineAddr); line != nil {
+		switch line.State {
+		case StateM:
+			line.LastUse = now
+			c.touchPushed(line)
+			line.Version++
+			c.l1.Update(lineAddr, line.Version)
+			c.pend = append(c.pend, doneEvt{lineAddr, now + sim.Cycle(c.cfg.L2Latency), true})
+			return false, true
+		case StateS:
+			// Upgrade: keep the S data readable while GetM is outstanding.
+			if len(c.mshr) >= c.cfg.L2MSHRs {
+				return false, false
+			}
+			line.State = StateSMD
+			m := &l2MSHR{addr: lineAddr, stores: 1}
+			c.mshr[lineAddr] = m
+			c.sendGetM(lineAddr)
+			return false, true
+		case StateISD, StateISDI, StateIMD, StateSMD:
+			m := c.mshr[lineAddr]
+			m.stores++
+			m.prefetch = false
+			return false, true
+		}
+	}
+	if _, busy := c.wb[lineAddr]; busy {
+		return false, false
+	}
+	if !c.allocMiss(lineAddr, now, 0, 1, false) {
+		return false, false
+	}
+	return false, true
+}
+
+// Prefetch issues a prefetch read; it is dropped silently under resource
+// pressure or when the line is already present or in flight. fillL1 marks
+// L1-targeted (Bingo) prefetches.
+func (c *L2) Prefetch(lineAddr uint64, fillL1 bool, now sim.Cycle) {
+	c.st.Cache.L2Accesses++
+	if line := c.arr.Lookup(lineAddr); line != nil {
+		if fillL1 && (line.State == StateS || line.State == StateM) && !c.l1.Present(lineAddr) {
+			c.l1.Fill(lineAddr, line.Version, now)
+		}
+		return
+	}
+	if _, busy := c.wb[lineAddr]; busy {
+		return
+	}
+	c.allocMiss(lineAddr, now, 0, 0, fillL1)
+}
+
+// allocMiss allocates an MSHR and a victim way, issues the appropriate
+// request, and returns false on a resource stall.
+func (c *L2) allocMiss(lineAddr uint64, now sim.Cycle, loads, stores int, prefetchL1 bool) bool {
+	if len(c.mshr) >= c.cfg.L2MSHRs {
+		return false
+	}
+	victim := c.arr.Victim(lineAddr, func(l *Line) bool { return !l.State.Transient() })
+	if victim == nil {
+		return false
+	}
+	c.evict(victim, now)
+	c.st.Cache.L2Misses++
+	m := &l2MSHR{addr: lineAddr, loads: loads, stores: stores,
+		prefetchL1: prefetchL1, prefetch: loads == 0 && stores == 0}
+	c.mshr[lineAddr] = m
+	if stores > 0 && loads == 0 {
+		c.arr.Install(victim, lineAddr, StateIMD, now)
+		c.sendGetM(lineAddr)
+	} else {
+		c.arr.Install(victim, lineAddr, StateISD, now)
+		// Fill-queue snoop: if a push (or data response) for this line is
+		// already waiting in the input queue, the miss rides it instead of
+		// issuing a redundant request — standard response-queue checking,
+		// and the last gap a same-line request could otherwise slip
+		// through to re-trigger a multicast.
+		if !c.incomingDataPending(lineAddr) {
+			c.sendGetS(lineAddr, m.prefetch)
+		}
+		if !m.prefetch && c.OnMiss != nil {
+			c.OnMiss(lineAddr, now)
+		}
+	}
+	return true
+}
+
+// incomingDataPending reports whether a shared-data fill for the line is
+// already sitting in the controller's input queue.
+func (c *L2) incomingDataPending(lineAddr uint64) bool {
+	for _, d := range c.inq.items {
+		m, ok := d.pkt.Payload.(*coherence.Msg)
+		if !ok {
+			continue
+		}
+		if m.Addr == lineAddr && (m.Type == coherence.PushData || m.Type == coherence.DataS) {
+			return true
+		}
+	}
+	return false
+}
+
+// evict removes a stable line from the array (and the L1), issuing a PutM
+// writeback for modified data.
+func (c *L2) evict(l *Line, now sim.Cycle) {
+	if l.State == StateI {
+		return
+	}
+	if l.State.Transient() {
+		panic(fmt.Sprintf("L2 %d: evicting transient line %#x in %v", c.id, l.Tag, l.State))
+	}
+	c.classifyEvict(l)
+	c.l1.Invalidate(l.Tag)
+	c.st.Cache.L2Evictions++
+	if l.State == StateM {
+		c.wb[l.Tag] = &wbEntry{}
+		c.send(&coherence.Msg{Type: coherence.PutM, Addr: l.Tag, Requester: c.id, Version: l.Version},
+			noc.OneDest(c.home(l.Tag)), stats.UnitLLC)
+	}
+	l.State = StateI
+}
+
+// classifyEvict records the Unused outcome for pushed-but-never-accessed
+// lines leaving the cache.
+func (c *L2) classifyEvict(l *Line) {
+	if l.Pushed && !l.Accessed {
+		c.st.Cache.PushOutcomes[stats.PushUnused]++
+	}
+}
+
+// touchPushed records the first access to a pushed line: the push turned a
+// future miss into a hit.
+func (c *L2) touchPushed(l *Line) {
+	if l.Pushed && !l.Accessed {
+		l.Accessed = true
+		c.knob.onUseful()
+		c.st.Cache.PushOutcomes[stats.PushMissToHit]++
+	}
+}
+
+func (c *L2) home(lineAddr uint64) noc.NodeID { return c.cfg.HomeSlice(lineAddr) }
+
+func (c *L2) send(m *coherence.Msg, dests noc.DestSet, dstUnit stats.Unit) {
+	c.out.send(m.Packet(c.cfg.NoC, stats.UnitL2, dstUnit, dests))
+}
+
+func (c *L2) sendGetS(lineAddr uint64, prefetch bool) {
+	needPush := c.knob.needPush()
+	if !needPush {
+		c.st.Cache.PausedPushRequests++
+	}
+	c.send(&coherence.Msg{Type: coherence.GetS, Addr: lineAddr, Requester: c.id,
+		NeedPush: needPush, Prefetch: prefetch}, noc.OneDest(c.home(lineAddr)), stats.UnitLLC)
+}
+
+func (c *L2) sendGetM(lineAddr uint64) {
+	c.send(&coherence.Msg{Type: coherence.GetM, Addr: lineAddr, Requester: c.id},
+		noc.OneDest(c.home(lineAddr)), stats.UnitLLC)
+}
+
+// handle dispatches one incoming protocol message.
+func (c *L2) handle(m *coherence.Msg, now sim.Cycle) {
+	switch m.Type {
+	case coherence.DataS:
+		c.handleDataS(m, now)
+	case coherence.DataM:
+		c.handleDataM(m, now)
+	case coherence.Inv:
+		c.handleInv(m, now)
+	case coherence.PushData:
+		c.handlePush(m, now)
+	case coherence.WBAck:
+		delete(c.wb, m.Addr)
+	default:
+		panic(fmt.Sprintf("L2 %d: unexpected message %v", c.id, m))
+	}
+}
+
+// completeLoads fires all waiting loads of an MSHR.
+func (c *L2) completeLoads(m *l2MSHR, now sim.Cycle) {
+	for i := 0; i < m.loads; i++ {
+		c.core.LoadDone(m.addr, now)
+	}
+	m.loads = 0
+}
+
+// finishFill finalizes a shared fill: retire the MSHR or start the pending
+// write upgrade.
+func (c *L2) finishFill(line *Line, m *l2MSHR, now sim.Cycle) {
+	if m.stores > 0 {
+		line.State = StateSMD
+		m.loads = 0
+		c.sendGetM(m.addr)
+		return
+	}
+	delete(c.mshr, m.addr)
+}
+
+func (c *L2) handleDataS(m *coherence.Msg, now sim.Cycle) {
+	if m.Reset {
+		c.knob.reset()
+	}
+	ms := c.mshr[m.Addr]
+	if ms == nil {
+		return // duplicate response; a push already served this miss
+	}
+	line := c.arr.Lookup(m.Addr)
+	if line == nil {
+		panic(fmt.Sprintf("L2 %d: DataS for %#x with MSHR but no reserved way", c.id, m.Addr))
+	}
+	switch line.State {
+	case StateISD:
+		line.State = StateS
+		line.Version = m.Version
+		line.LastUse = now
+		if ms.loads > 0 || ms.prefetchL1 {
+			c.l1.Fill(m.Addr, m.Version, now)
+		}
+		c.completeLoads(ms, now)
+		c.finishFill(line, ms, now)
+	case StateISDI:
+		// Use-once: satisfy the waiting loads with the received value, then
+		// discard (the line was invalidated while the fetch was in flight).
+		for i := 0; i < ms.loads; i++ {
+			c.core.LoadDone(m.Addr, now)
+		}
+		ms.loads = 0
+		if ms.stores > 0 {
+			line.State = StateIMD
+			c.sendGetM(m.Addr)
+		} else {
+			line.State = StateI
+			delete(c.mshr, m.Addr)
+		}
+	default:
+		panic(fmt.Sprintf("L2 %d: DataS for %#x in %v", c.id, m.Addr, line.State))
+	}
+}
+
+func (c *L2) handleDataM(m *coherence.Msg, now sim.Cycle) {
+	if m.Reset {
+		c.knob.reset()
+	}
+	ms := c.mshr[m.Addr]
+	line := c.arr.Lookup(m.Addr)
+	if ms == nil || line == nil {
+		panic(fmt.Sprintf("L2 %d: DataM for %#x without transaction", c.id, m.Addr))
+	}
+	switch line.State {
+	case StateIMD, StateSMD:
+		line.State = StateM
+		line.Version = m.Version
+		line.LastUse = now
+		for i := 0; i < ms.stores; i++ {
+			line.Version++
+			c.core.StoreDone(m.Addr, now)
+		}
+		ms.stores = 0
+		if ms.loads > 0 {
+			c.l1.Fill(m.Addr, line.Version, now)
+		} else {
+			c.l1.Update(m.Addr, line.Version)
+		}
+		c.completeLoads(ms, now)
+		if ms.recallPending {
+			// A recall overtook this DataM: return the written data to the
+			// directory and invalidate (use-once ownership).
+			c.l1.Invalidate(m.Addr)
+			v := line.Version
+			line.State = StateI
+			c.send(&coherence.Msg{Type: coherence.InvAckData, Addr: m.Addr, Requester: c.id,
+				Version: v, Epoch: ms.recallEpoch}, noc.OneDest(c.home(m.Addr)), stats.UnitLLC)
+		}
+		delete(c.mshr, m.Addr)
+	default:
+		panic(fmt.Sprintf("L2 %d: DataM for %#x in %v", c.id, m.Addr, line.State))
+	}
+}
+
+// deferRecall records a recall invalidation that arrived before the DataM
+// the MSHR is waiting for.
+func (c *L2) deferRecall(m *coherence.Msg) {
+	ms := c.mshr[m.Addr]
+	if ms == nil {
+		panic(fmt.Sprintf("L2 %d: recall deferral for %#x without MSHR", c.id, m.Addr))
+	}
+	ms.recallPending = true
+	ms.recallEpoch = m.Epoch
+}
+
+func (c *L2) handleInv(m *coherence.Msg, now sim.Cycle) {
+	ack := func(t coherence.MsgType, version uint64) {
+		c.send(&coherence.Msg{Type: t, Addr: m.Addr, Requester: c.id,
+			Version: version, Epoch: m.Epoch}, noc.OneDest(c.home(m.Addr)), stats.UnitLLC)
+	}
+	line := c.arr.Lookup(m.Addr)
+	if line == nil {
+		// Silently evicted earlier, or the writeback raced with the
+		// invalidation: the PutM already carries the data.
+		if e, ok := c.wb[m.Addr]; ok {
+			e.invalidated = true
+		}
+		ack(coherence.InvAck, 0)
+		return
+	}
+	switch line.State {
+	case StateS:
+		c.classifyEvict(line)
+		c.l1.Invalidate(m.Addr)
+		line.State = StateI
+		ack(coherence.InvAck, 0)
+	case StateM:
+		c.l1.Invalidate(m.Addr)
+		v := line.Version
+		line.State = StateI
+		ack(coherence.InvAckData, v)
+	case StateSMD:
+		if m.Recall {
+			// The directory granted us ownership and now wants the line
+			// back; the DataM is still in flight. Defer: use the data
+			// once it arrives, then return it (handleDataM).
+			c.deferRecall(m)
+			return
+		}
+		// Another writer won; our upgrade becomes a full write miss.
+		c.l1.Invalidate(m.Addr)
+		line.State = StateIMD
+		ack(coherence.InvAck, 0)
+	case StateIMD:
+		if m.Recall {
+			c.deferRecall(m)
+			return
+		}
+		// Not a sharer; acknowledge defensively.
+		ack(coherence.InvAck, 0)
+	case StateISD:
+		line.State = StateISDI
+		ack(coherence.InvAck, 0)
+	default:
+		// ISDI: not a sharer; acknowledge defensively.
+		ack(coherence.InvAck, 0)
+	}
+}
+
+func (c *L2) handlePush(m *coherence.Msg, now sim.Cycle) {
+	if c.cfg.Scheme.Protocol == config.ProtoPushAck {
+		c.send(&coherence.Msg{Type: coherence.PushAck, Addr: m.Addr, Requester: c.id},
+			noc.OneDest(c.home(m.Addr)), stats.UnitLLC)
+	}
+	demand := m.Requester == c.id
+	if !demand {
+		// Only speculative copies train the pause knob and the Fig 12
+		// breakdown; the copy embedded for the demand requester is its
+		// ordinary response.
+		c.knob.onPush()
+	}
+	outcome, resolved := c.acceptPush(m, now, !demand)
+	if demand {
+		return
+	}
+	if resolved {
+		c.st.Cache.PushOutcomes[outcome]++
+	}
+	// Installed pushes are classified later: Miss-to-Hit on first access
+	// (touchPushed) or Unused at eviction (classifyEvict).
+}
+
+// acceptPush applies the §III-B push handling rules. It returns the Fig 12
+// outcome category when it is already known (drops and Early-Resp);
+// resolved=false means the line was installed speculatively and will be
+// classified on first access or eviction.
+func (c *L2) acceptPush(m *coherence.Msg, now sim.Cycle, speculative bool) (stats.PushOutcome, bool) {
+	if _, busy := c.wb[m.Addr]; busy {
+		return stats.PushCoherenceDrop, true
+	}
+	line := c.arr.Lookup(m.Addr)
+	if line != nil {
+		switch line.State {
+		case StateS, StateM:
+			return stats.PushRedundancyDrop, true
+		case StateIMD, StateSMD:
+			// Conflicting write upgrade in flight.
+			return stats.PushCoherenceDrop, true
+		case StateISD, StateISDI:
+			// Guaranteed acceptance: the push serves the outstanding read
+			// miss (Early-Resp). In ISDI the push was serialized after the
+			// invalidating write, so installing shared state is safe.
+			ms := c.mshr[m.Addr]
+			line.State = StateS
+			line.Version = m.Version
+			line.LastUse = now
+			line.Pushed = speculative
+			line.Accessed = true
+			if speculative {
+				c.knob.onUseful()
+			}
+			if ms.loads > 0 || ms.prefetchL1 {
+				c.l1.Fill(m.Addr, m.Version, now)
+			}
+			c.completeLoads(ms, now)
+			c.finishFill(line, ms, now)
+			return stats.PushEarlyResp, true
+		}
+	}
+	// Line absent: speculative install if the set has a clean, stable
+	// victim. A push never displaces modified data — forcing a writeback
+	// for speculative state would let mispredicted pushes trash a core's
+	// store working set (the pollution Fig 12 is about).
+	victim := c.arr.Victim(m.Addr, func(l *Line) bool { return l.State == StateS })
+	if victim == nil {
+		return stats.PushDeadlockDrop, true
+	}
+	c.evict(victim, now)
+	c.arr.Install(victim, m.Addr, StateS, now)
+	victim.Version = m.Version
+	victim.Pushed = speculative
+	if c.cfg.Scheme.PushFillL1 {
+		// §VI multi-level extension: propagate the push one level up.
+		c.l1.Fill(m.Addr, m.Version, now)
+	}
+	return 0, false
+}
+
+// ForEachLine exposes the L2 array to coherence checkers and tests.
+func (c *L2) ForEachLine(f func(*Line)) { c.arr.ForEach(f) }
+
+// OutstandingTransactions reports whether any MSHR or writeback entry is
+// open (quiescence checks).
+func (c *L2) OutstandingTransactions() bool { return len(c.mshr) != 0 || len(c.wb) != 0 }
+
+// Knob exposes pause-knob state for tests: (TPC, UPC, needPush).
+func (c *L2) Knob() (uint32, uint32, bool) { return c.knob.tpc, c.knob.upc, c.knob.needPush() }

@@ -1,0 +1,55 @@
+package cache
+
+import (
+	"testing"
+
+	"pushmulticast/internal/noc"
+)
+
+func TestPredictorRemembersMultiSharerLines(t *testing.T) {
+	p := newSharerPredictor(4)
+	p.remember(0x40, noc.OneDest(1)) // single sharer: not stored
+	if p.Len() != 0 {
+		t.Fatal("single-sharer line stored")
+	}
+	set := noc.OneDest(1).Add(5).Add(9)
+	p.remember(0x80, set)
+	got, ok := p.predict(0x80)
+	if !ok || got != set {
+		t.Fatalf("predict = %b,%v", got, ok)
+	}
+	// One-shot consumption.
+	if _, ok := p.predict(0x80); ok {
+		t.Fatal("prediction not consumed")
+	}
+}
+
+func TestPredictorFIFOCapacity(t *testing.T) {
+	p := newSharerPredictor(2)
+	two := noc.OneDest(0).Add(1)
+	p.remember(0x40, two)
+	p.remember(0x80, two)
+	p.remember(0xc0, two) // evicts 0x40
+	if _, ok := p.predict(0x40); ok {
+		t.Fatal("oldest entry not evicted")
+	}
+	if _, ok := p.predict(0x80); !ok {
+		t.Fatal("second entry lost")
+	}
+	if _, ok := p.predict(0xc0); !ok {
+		t.Fatal("newest entry lost")
+	}
+}
+
+func TestPredictorUpdateInPlace(t *testing.T) {
+	p := newSharerPredictor(2)
+	p.remember(0x40, noc.OneDest(0).Add(1))
+	p.remember(0x40, noc.OneDest(2).Add(3))
+	got, _ := p.predict(0x40)
+	if got != noc.OneDest(2).Add(3) {
+		t.Fatalf("entry not updated: %b", got)
+	}
+	if p.Len() != 0 {
+		t.Fatal("duplicate entries created")
+	}
+}

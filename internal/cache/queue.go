@@ -1,0 +1,107 @@
+package cache
+
+import (
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// delayQueue models a controller's input pipeline: packets become visible to
+// the controller a fixed latency after network delivery, in FIFO order.
+type delayQueue struct {
+	items   []delayed
+	latency sim.Cycle
+}
+
+type delayed struct {
+	pkt     *noc.Packet
+	readyAt sim.Cycle
+}
+
+func (q *delayQueue) push(pkt *noc.Packet, now sim.Cycle) {
+	q.items = append(q.items, delayed{pkt, now + q.latency})
+}
+
+// pushFront re-enqueues a packet at the head for immediate reprocessing
+// (stall-and-wait wakeups).
+func (q *delayQueue) pushFront(pkt *noc.Packet, at sim.Cycle) {
+	q.items = append([]delayed{{pkt, at}}, q.items...)
+}
+
+// pop returns the head packet if it has matured, else nil.
+func (q *delayQueue) pop(now sim.Cycle) *noc.Packet {
+	if len(q.items) == 0 || q.items[0].readyAt > now {
+		return nil
+	}
+	p := q.items[0].pkt
+	q.items = q.items[1:]
+	return p
+}
+
+// peek returns the head packet if matured without removing it.
+func (q *delayQueue) peek(now sim.Cycle) *noc.Packet {
+	if len(q.items) == 0 || q.items[0].readyAt > now {
+		return nil
+	}
+	return q.items[0].pkt
+}
+
+func (q *delayQueue) empty() bool { return len(q.items) == 0 }
+
+// removeIf deletes queued packets matching the predicate and returns them
+// (LLC request coalescing scans its input queue for same-line reads).
+func (q *delayQueue) removeIf(match func(*noc.Packet) bool) []*noc.Packet {
+	var out []*noc.Packet
+	kept := q.items[:0]
+	for _, d := range q.items {
+		if match(d.pkt) {
+			out = append(out, d.pkt)
+		} else {
+			kept = append(kept, d)
+		}
+	}
+	q.items = kept
+	return out
+}
+
+// outbox buffers outgoing packets until the NI accepts them, so controllers
+// never block mid-transition on injection backpressure.
+type outbox struct {
+	ni   *noc.NI
+	unit stats.Unit
+	pkts []*noc.Packet
+}
+
+func (o *outbox) send(pkt *noc.Packet) { o.pkts = append(o.pkts, pkt) }
+
+// drain injects as many buffered packets as the NI accepts this cycle,
+// preserving order per virtual network. An invalidation is additionally
+// held behind any same-line push still waiting in the outbox: OrdPush's
+// in-network ordering only protects packets that have entered the NoC, so
+// the ordering must also be enforced here, before injection.
+func (o *outbox) drain(now sim.Cycle) {
+	kept := o.pkts[:0]
+	blocked := [noc.NumVNets]bool{}
+	heldPush := make(map[uint64]bool)
+	for _, p := range o.pkts {
+		if p.IsInv && heldPush[p.Addr] {
+			blocked[p.VNet] = true
+			kept = append(kept, p)
+			continue
+		}
+		if blocked[p.VNet] || !o.ni.CanInject(o.unit, p.VNet) {
+			blocked[p.VNet] = true
+			if p.IsPush {
+				heldPush[p.Addr] = true
+			}
+			kept = append(kept, p)
+			continue
+		}
+		o.ni.Inject(p, now)
+	}
+	o.pkts = kept
+}
+
+// congested reports whether the outbox is backing up; controllers pause
+// processing new work when it is.
+func (o *outbox) congested() bool { return len(o.pkts) >= 8 }

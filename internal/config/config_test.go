@@ -1,0 +1,166 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"pushmulticast/internal/noc"
+)
+
+func TestDefaultsValidate(t *testing.T) {
+	for _, cfg := range []System{Default16(), Default64()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("default config invalid: %v", err)
+		}
+	}
+}
+
+func TestSchemePresets(t *testing.T) {
+	cases := []struct {
+		s                             Scheme
+		push, multicast, filter, knob bool
+		proto                         Protocol
+	}{
+		{Baseline(), false, false, false, false, ProtoNone},
+		{NoPrefetch(), false, false, false, false, ProtoNone},
+		{Coalesce(), false, false, false, false, ProtoNone},
+		{MSP(), true, false, false, false, ProtoPushAck},
+		{PushAck(), true, true, true, true, ProtoPushAck},
+		{OrdPush(), true, true, true, true, ProtoOrdPush},
+		{AblationPush(), true, false, false, false, ProtoOrdPush},
+		{AblationPushMulticast(), true, true, false, false, ProtoOrdPush},
+		{AblationPushMulticastFilter(), true, true, true, false, ProtoOrdPush},
+		{AblationFull(), true, true, true, true, ProtoOrdPush},
+	}
+	for _, c := range cases {
+		if c.s.Push != c.push || c.s.Multicast != c.multicast ||
+			c.s.Filter != c.filter || c.s.Knob != c.knob || c.s.Protocol != c.proto {
+			t.Errorf("%s: feature flags wrong: %+v", c.s.Name, c.s)
+		}
+	}
+	if !Baseline().L1Bingo || !Baseline().L2Stride {
+		t.Error("baseline must enable both prefetchers")
+	}
+	if OrdPush().L1Bingo || PushAck().L2Stride {
+		t.Error("push schemes run without hardware prefetching")
+	}
+}
+
+func TestWithSchemeKnobSettings(t *testing.T) {
+	// Table I: PushAck 16-core TPC=64/TW=500; 64-core TPC=8/TW=1500;
+	// OrdPush TPC=16 with TW=500/1500.
+	c16 := Default16().WithScheme(PushAck())
+	if c16.TPCThreshold != 64 || c16.TimeWindow != 500 {
+		t.Errorf("PushAck 16-core knobs = %d/%d", c16.TPCThreshold, c16.TimeWindow)
+	}
+	c64 := Default64().WithScheme(PushAck())
+	if c64.TPCThreshold != 8 || c64.TimeWindow != 1500 {
+		t.Errorf("PushAck 64-core knobs = %d/%d", c64.TPCThreshold, c64.TimeWindow)
+	}
+	o16 := Default16().WithScheme(OrdPush())
+	if o16.TPCThreshold != 16 || o16.TimeWindow != 500 {
+		t.Errorf("OrdPush 16-core knobs = %d/%d", o16.TPCThreshold, o16.TimeWindow)
+	}
+	o64 := Default64().WithScheme(OrdPush())
+	if o64.TPCThreshold != 16 || o64.TimeWindow != 1500 {
+		t.Errorf("OrdPush 64-core knobs = %d/%d", o64.TPCThreshold, o64.TimeWindow)
+	}
+}
+
+func TestWithSchemeNoCFlags(t *testing.T) {
+	cfg := Default16().WithScheme(OrdPush())
+	if !cfg.NoC.FilterEnabled || !cfg.NoC.OrdPushInvStall {
+		t.Error("OrdPush must enable the filter and inv stalling")
+	}
+	cfg = Default16().WithScheme(PushAck())
+	if !cfg.NoC.FilterEnabled || cfg.NoC.OrdPushInvStall {
+		t.Error("PushAck filters but does not stall invalidations")
+	}
+	cfg = Default16().WithScheme(AblationPushMulticast())
+	if cfg.NoC.FilterEnabled || !cfg.NoC.OrdPushInvStall {
+		t.Error("filter-less OrdPush ablation still needs inv stalling")
+	}
+	cfg = Default16().WithScheme(Baseline())
+	if cfg.NoC.FilterEnabled || cfg.NoC.OrdPushInvStall {
+		t.Error("baseline must not enable push NoC features")
+	}
+}
+
+func TestValidateRejectsBadConfigs(t *testing.T) {
+	bad := Default16()
+	bad.Scheme = Scheme{Name: "x", Push: true, Protocol: ProtoNone}
+	if err := bad.Validate(); err == nil || !strings.Contains(err.Error(), "push protocol") {
+		t.Errorf("push without protocol accepted: %v", err)
+	}
+	bad = Default16()
+	bad.LineSize = 32
+	if bad.Validate() == nil {
+		t.Error("non-64B line accepted")
+	}
+	bad = Default16()
+	bad.NoC.Width = 8
+	if bad.Validate() == nil {
+		t.Error("mesh mismatch accepted")
+	}
+}
+
+func TestScaledPreservesGeometry(t *testing.T) {
+	cfg := Default16().Scaled(16)
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("scaled config invalid: %v", err)
+	}
+	if cfg.L2Size != 16<<10 || cfg.LLCSliceSize != 64<<10 {
+		t.Errorf("scaled sizes wrong: L2=%d LLC=%d", cfg.L2Size, cfg.LLCSliceSize)
+	}
+	if Default16().Scaled(1).L2Size != Default16().L2Size {
+		t.Error("factor 1 must be identity")
+	}
+}
+
+func TestMemControllersAtCorners(t *testing.T) {
+	cfg := Default16()
+	mcs := cfg.MemControllers()
+	if len(mcs) != 4 {
+		t.Fatalf("%d controllers, want 4", len(mcs))
+	}
+	want := map[noc.NodeID]bool{0: true, 3: true, 12: true, 15: true}
+	for _, mc := range mcs {
+		if !want[mc] {
+			t.Errorf("controller at %d is not a corner", mc)
+		}
+	}
+}
+
+func TestNearestMemController(t *testing.T) {
+	cfg := Default16()
+	if mc := cfg.NearestMemController(0); mc != 0 {
+		t.Errorf("nearest to corner 0 = %d", mc)
+	}
+	// Tile 5 = (1,1): distance 2 to corner 0, 3+ to others.
+	if mc := cfg.NearestMemController(5); mc != 0 {
+		t.Errorf("nearest to tile 5 = %d, want 0", mc)
+	}
+	// Tile 10 = (2,2): distance to (3,3)=15 is 2.
+	if mc := cfg.NearestMemController(10); mc != 15 {
+		t.Errorf("nearest to tile 10 = %d, want 15", mc)
+	}
+}
+
+func TestHomeSliceCoversAllTiles(t *testing.T) {
+	cfg := Default64()
+	seen := map[noc.NodeID]bool{}
+	for i := 0; i < 64; i++ {
+		seen[cfg.HomeSlice(uint64(i)*64)] = true
+	}
+	if len(seen) != 64 {
+		t.Errorf("64 consecutive lines cover %d slices", len(seen))
+	}
+}
+
+func TestProtocolStrings(t *testing.T) {
+	for _, p := range []Protocol{ProtoNone, ProtoPushAck, ProtoOrdPush} {
+		if p.String() == "Unknown" {
+			t.Errorf("protocol %d unnamed", p)
+		}
+	}
+}

@@ -1,0 +1,15 @@
+package core
+
+import "io"
+
+// DebugDump writes all in-flight protocol state (every L2's MSHRs and
+// writeback buffer, every LLC slice's episodes, fetches, and stall lists)
+// for diagnosing deadlocks.
+func (s *System) DebugDump(w io.Writer) {
+	for _, l2 := range s.L2s {
+		l2.DumpState(w)
+	}
+	for _, llc := range s.LLCs {
+		llc.DumpState(w)
+	}
+}

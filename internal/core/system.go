@@ -1,0 +1,275 @@
+// Package core assembles the full simulated machine — cores, private cache
+// stacks, LLC slices with directories, memory controllers, and the mesh NoC
+// — for one (configuration, workload) pair, runs it to completion, and
+// harvests results. It also hosts the global coherence invariant checker
+// used throughout the test suite.
+package core
+
+import (
+	"errors"
+	"fmt"
+
+	"pushmulticast/internal/cache"
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/cpu"
+	"pushmulticast/internal/memctrl"
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/prefetch"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+	"pushmulticast/internal/workload"
+)
+
+// System is one fully wired simulated machine.
+type System struct {
+	Cfg   config.System
+	Eng   *sim.Engine
+	Net   *noc.Network
+	St    *stats.All
+	Cores []*cpu.Core
+	L2s   []*cache.L2
+	LLCs  []*cache.LLC
+	Mems  map[noc.NodeID]*memctrl.Ctrl
+}
+
+// Build wires a system running the given workload at the given scale.
+// Passing a zero-value Workload builds the machine without cores (protocol
+// tests drive the L2s directly).
+func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	st := stats.New()
+	eng := sim.NewEngine(200_000, 500_000_000)
+	net, err := noc.New(cfg.NoC, eng, st)
+	if err != nil {
+		return nil, err
+	}
+	s := &System{Cfg: cfg, Eng: eng, Net: net, St: st, Mems: make(map[noc.NodeID]*memctrl.Ctrl)}
+
+	tiles := cfg.Tiles()
+	barrier := cpu.NewBarrier(tiles)
+	for i := 0; i < tiles; i++ {
+		id := noc.NodeID(i)
+		var c *cpu.Core
+		l2 := cache.NewL2(id, &s.Cfg, net, eng, st, deferredRequestor{&c})
+		s.L2s = append(s.L2s, l2)
+		if wl.Build != nil {
+			stream := wl.Build(i, tiles, sc)
+			c = cpu.New(id, &s.Cfg, eng, st, l2, stream, barrier)
+			if cfg.Scheme.L1Bingo {
+				c.L1Prefetcher = prefetch.NewBingo(l2, cfg.BingoRegionBytes, cfg.BingoPHTEntries, cfg.LineSize)
+			}
+			s.Cores = append(s.Cores, c)
+		}
+		if cfg.Scheme.L2Stride {
+			prefetch.NewStride(l2, cfg.StrideStreams, cfg.StrideDegree)
+		}
+		s.LLCs = append(s.LLCs, cache.NewLLC(id, &s.Cfg, net, eng, st))
+	}
+	for _, mc := range cfg.MemControllers() {
+		s.Mems[mc] = memctrl.New(mc, &s.Cfg, net, eng, st)
+	}
+	return s, nil
+}
+
+// deferredRequestor lets the L2 be constructed before its core (the two
+// reference each other).
+type deferredRequestor struct{ c **cpu.Core }
+
+func (d deferredRequestor) LoadDone(addr uint64, now sim.Cycle) {
+	if *d.c != nil {
+		(*d.c).LoadDone(addr, now)
+	}
+}
+
+func (d deferredRequestor) StoreDone(addr uint64, now sim.Cycle) {
+	if *d.c != nil {
+		(*d.c).StoreDone(addr, now)
+	}
+}
+
+// Results summarizes one run.
+type Results struct {
+	// Scheme and Workload identify the run.
+	Scheme   string
+	Workload string
+	// Cycles is the parallel-phase execution time: the cycle at which every
+	// core finished.
+	Cycles uint64
+	// Stats is the full counter bundle.
+	Stats *stats.All
+}
+
+// L2MPKI returns the paper's L2 miss-per-kilo-instruction metric (demand +
+// prefetch misses).
+func (r Results) L2MPKI() float64 { return r.Stats.MPKI(r.Stats.Cache.L2Misses) }
+
+// L1MPKI returns L1 data misses per kilo-instruction.
+func (r Results) L1MPKI() float64 { return r.Stats.MPKI(r.Stats.Cache.L1Misses) }
+
+// TotalNoCFlits returns total link-level flit traversals.
+func (r Results) TotalNoCFlits() uint64 { return r.Stats.Net.TotalFlits() }
+
+// ErrCoherence wraps coherence invariant violations.
+var ErrCoherence = errors.New("coherence violation")
+
+// Run executes the workload to completion and returns results. checkEvery,
+// when nonzero, runs the coherence invariant checker every that many cycles
+// (tests); violations abort the run.
+func (s *System) Run(checkEvery uint64) (Results, error) {
+	var checkErr error
+	finished := func() bool {
+		if checkEvery != 0 && uint64(s.Eng.Now())%checkEvery == 0 {
+			if err := s.CheckCoherence(); err != nil {
+				checkErr = err
+				return true
+			}
+		}
+		for _, c := range s.Cores {
+			if !c.Finished() {
+				return false
+			}
+		}
+		return true
+	}
+	end, err := s.Eng.Run(finished)
+	if checkErr != nil {
+		return Results{}, checkErr
+	}
+	if err != nil {
+		return Results{}, fmt.Errorf("%s/%s: %w", s.Cfg.Scheme.Name, "run", err)
+	}
+	s.St.Core.Cycles = uint64(end)
+	for _, c := range s.Cores {
+		s.St.Core.Instructions += c.Instructions()
+		s.St.Core.StallCycles += c.StallCycles()
+	}
+	res := Results{Scheme: s.Cfg.Scheme.Name, Cycles: uint64(end), Stats: s.St}
+	return res, nil
+}
+
+// Drain runs the machine until the network and all controllers quiesce
+// (post-run cleanliness checks in tests).
+func (s *System) Drain(limit sim.Cycle) error {
+	start := s.Eng.Now()
+	for !s.Quiescent() {
+		if s.Eng.Now()-start > limit {
+			return fmt.Errorf("system failed to drain within %d cycles", limit)
+		}
+		s.Eng.Step()
+	}
+	return nil
+}
+
+// Quiescent reports whether no transaction is in flight anywhere.
+func (s *System) Quiescent() bool {
+	if !s.Net.Quiescent() {
+		return false
+	}
+	for _, l2 := range s.L2s {
+		if l2.OutstandingTransactions() {
+			return false
+		}
+	}
+	for _, llc := range s.LLCs {
+		if llc.OutstandingTransactions() {
+			return false
+		}
+	}
+	for _, m := range s.Mems {
+		if !m.Idle() {
+			return false
+		}
+	}
+	return true
+}
+
+// CheckCoherence validates the Single-Writer-Multiple-Reader invariant and
+// the data-value invariant over a global snapshot:
+//
+//   - at most one private cache holds a line in M;
+//   - no private S copy coexists with an M copy;
+//   - every stable private S copy (including the readable S data backing an
+//     SM_D upgrade) matches the directory's current version whenever the
+//     directory has no owner — the property a stale push would break;
+//   - an M copy's version is never behind the directory's.
+func (s *System) CheckCoherence() error {
+	type copyInfo struct {
+		tile    noc.NodeID
+		state   cache.State
+		version uint64
+	}
+	copies := make(map[uint64][]copyInfo)
+	for _, l2 := range s.L2s {
+		id := l2.ID()
+		l2.ForEachLine(func(l *cache.Line) {
+			switch l.State {
+			case cache.StateS, cache.StateM, cache.StateSMD:
+				copies[l.Tag] = append(copies[l.Tag], copyInfo{id, l.State, l.Version})
+			}
+		})
+	}
+	type dirInfo struct {
+		state   cache.State
+		version uint64
+		owner   noc.NodeID
+	}
+	dirs := make(map[uint64]dirInfo)
+	for _, llc := range s.LLCs {
+		llc.ForEachLine(func(l *cache.Line) {
+			dirs[l.Tag] = dirInfo{l.State, l.Version, l.Owner}
+		})
+	}
+	for addr, cs := range copies {
+		owners := 0
+		readers := 0
+		for _, c := range cs {
+			if c.state == cache.StateM {
+				owners++
+			} else {
+				readers++
+			}
+		}
+		if owners > 1 {
+			return fmt.Errorf("%w: line %#x has %d M owners", ErrCoherence, addr, owners)
+		}
+		if owners == 1 && readers > 0 {
+			return fmt.Errorf("%w: line %#x has an M owner and %d S copies", ErrCoherence, addr, readers)
+		}
+		d, ok := dirs[addr]
+		if !ok {
+			return fmt.Errorf("%w: line %#x cached privately but absent from the LLC", ErrCoherence, addr)
+		}
+		if owners == 1 {
+			for _, c := range cs {
+				if c.state == cache.StateM && c.version < d.version {
+					return fmt.Errorf("%w: line %#x M copy at tile %d behind directory (%d < %d)",
+						ErrCoherence, addr, c.tile, c.version, d.version)
+				}
+			}
+			continue
+		}
+		// No owner among the copies: S data must be current unless the
+		// directory granted ownership elsewhere (then stale S copies would
+		// be an SWMR violation outright). One legal exception: the new
+		// owner's own line sits in SM_D (its S data still readable) in the
+		// window between the ownership grant and the DataM delivery.
+		if d.state == cache.StateLM || d.state == cache.StateLMInv {
+			for _, c := range cs {
+				if c.state == cache.StateSMD && c.tile == d.owner {
+					continue
+				}
+				return fmt.Errorf("%w: line %#x has S copy at tile %d (%v) while directory in %v",
+					ErrCoherence, addr, c.tile, c.state, d.state)
+			}
+		}
+		for _, c := range cs {
+			if c.version != d.version {
+				return fmt.Errorf("%w: line %#x stale S copy at tile %d (version %d, directory %d)",
+					ErrCoherence, addr, c.tile, c.version, d.version)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,210 @@
+// Package cpu approximates an aggressive out-of-order core with a simple
+// bounded-window model: instructions retire at a fixed width, loads and
+// stores issue without blocking until the outstanding-miss window or store
+// buffer fills, and barriers synchronize all cores. The model reproduces
+// the property every result in the paper depends on: throughput is limited
+// by memory-level parallelism and by cache/NoC bandwidth, while short hit
+// latencies are hidden.
+package cpu
+
+import (
+	"pushmulticast/internal/cache"
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+	"pushmulticast/internal/workload"
+)
+
+// Barrier synchronizes all cores; a generation counter releases waiters.
+type Barrier struct {
+	n       int
+	arrived int
+	gen     uint64
+}
+
+// NewBarrier returns a barrier for n cores.
+func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
+
+// arrive registers one arrival; the last arrival advances the generation.
+func (b *Barrier) arrive() uint64 {
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+	}
+	return gen
+}
+
+// Prefetcher observes the core's demand accesses (the Bingo L1 prefetcher
+// hook).
+type Prefetcher interface {
+	OnAccess(lineAddr uint64, now sim.Cycle)
+}
+
+// Core executes one workload stream against its private cache stack.
+type Core struct {
+	id      noc.NodeID
+	cfg     *config.System
+	eng     *sim.Engine
+	st      *stats.All
+	l2      *cache.L2
+	stream  workload.Stream
+	barrier *Barrier
+
+	cur     workload.Op
+	haveOp  bool
+	ended   bool
+	waiting bool // parked at a barrier
+	myGen   uint64
+
+	outLoads  int
+	outStores int
+
+	insts  uint64
+	stalls uint64
+
+	// L1Prefetcher, when set, observes demand loads.
+	L1Prefetcher Prefetcher
+}
+
+// New builds a core and registers it with the engine.
+func New(id noc.NodeID, cfg *config.System, eng *sim.Engine, st *stats.All,
+	l2 *cache.L2, stream workload.Stream, barrier *Barrier) *Core {
+	c := &Core{id: id, cfg: cfg, eng: eng, st: st, l2: l2, stream: stream, barrier: barrier}
+	eng.Register(c)
+	return c
+}
+
+// Finished reports whether the core retired its whole stream and drained
+// all outstanding memory operations.
+func (c *Core) Finished() bool {
+	return c.ended && c.outLoads == 0 && c.outStores == 0
+}
+
+// Instructions returns the retired instruction count.
+func (c *Core) Instructions() uint64 { return c.insts }
+
+// StallCycles returns cycles with zero retirement before completion.
+func (c *Core) StallCycles() uint64 { return c.stalls }
+
+// LoadDone implements cache.Requestor.
+func (c *Core) LoadDone(lineAddr uint64, now sim.Cycle) {
+	if c.outLoads <= 0 {
+		panic("cpu: LoadDone without outstanding load")
+	}
+	c.outLoads--
+}
+
+// StoreDone implements cache.Requestor.
+func (c *Core) StoreDone(lineAddr uint64, now sim.Cycle) {
+	if c.outStores <= 0 {
+		panic("cpu: StoreDone without outstanding store")
+	}
+	c.outStores--
+}
+
+// Tick retires up to CoreWidth instructions, issuing memory operations
+// non-blocking until a structural resource fills.
+func (c *Core) Tick(now sim.Cycle) {
+	if c.ended {
+		return
+	}
+	if c.waiting {
+		if c.barrier.gen == c.myGen {
+			c.stalls++
+			return
+		}
+		c.waiting = false
+		c.haveOp = false // consume the barrier op
+	}
+	budget := c.cfg.CoreWidth
+	issued := 0
+	for budget > 0 {
+		if !c.haveOp {
+			c.cur = c.stream.Next()
+			c.haveOp = true
+		}
+		switch c.cur.Kind {
+		case workload.OpWork:
+			n := c.cur.N
+			if n > budget {
+				c.cur.N -= budget
+				c.insts += uint64(budget)
+				issued += budget
+				budget = 0
+				break
+			}
+			c.insts += uint64(n)
+			issued += n
+			budget -= n
+			c.haveOp = false
+		case workload.OpLoad:
+			if c.outLoads >= c.cfg.CoreWindow {
+				budget = 0
+				break
+			}
+			line := c.lineOf(c.cur.Addr)
+			if c.L1Prefetcher != nil {
+				c.L1Prefetcher.OnAccess(line, now)
+			}
+			done, accepted := c.l2.Load(line, now)
+			if !accepted {
+				budget = 0
+				break
+			}
+			if !done {
+				c.outLoads++
+			}
+			c.insts++
+			c.st.Core.Loads++
+			issued++
+			budget--
+			c.haveOp = false
+		case workload.OpStore:
+			if c.outStores >= c.cfg.StoreBuffer {
+				budget = 0
+				break
+			}
+			line := c.lineOf(c.cur.Addr)
+			done, accepted := c.l2.Store(line, now)
+			if !accepted {
+				budget = 0
+				break
+			}
+			if !done {
+				c.outStores++
+			}
+			c.insts++
+			c.st.Core.Stores++
+			issued++
+			budget--
+			c.haveOp = false
+		case workload.OpBarrier:
+			if c.outLoads > 0 || c.outStores > 0 {
+				budget = 0
+				break
+			}
+			c.myGen = c.barrier.arrive()
+			c.waiting = true
+			budget = 0
+		case workload.OpEnd:
+			if c.outLoads > 0 || c.outStores > 0 {
+				budget = 0
+				break
+			}
+			c.ended = true
+			budget = 0
+		}
+	}
+	if issued > 0 {
+		c.eng.Progress()
+	} else if !c.ended {
+		c.stalls++
+	}
+}
+
+func (c *Core) lineOf(addr uint64) uint64 {
+	return addr &^ uint64(c.cfg.LineSize-1)
+}

@@ -1,0 +1,120 @@
+// Package memctrl models the off-chip memory controllers: four controllers
+// at the mesh corners sharing the DDR3-1600 bandwidth from Table I. Each
+// controller serializes line transfers at a fixed occupancy per line and
+// adds a fixed access latency, approximating a bandwidth-limited DRAM
+// channel without modeling banks or row buffers (the paper's bottleneck is
+// the NoC and LLC, not DRAM microarchitecture).
+package memctrl
+
+import (
+	"fmt"
+
+	"pushmulticast/internal/coherence"
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// pendingResp is a read response waiting out the access latency.
+type pendingResp struct {
+	at  sim.Cycle
+	msg *coherence.Msg
+	to  noc.NodeID
+}
+
+// Ctrl is one memory controller endpoint.
+type Ctrl struct {
+	node noc.NodeID
+	cfg  *config.System
+	eng  *sim.Engine
+	st   *stats.All
+	ni   *noc.NI
+
+	inq       []*noc.Packet
+	busyUntil sim.Cycle
+	resps     []pendingResp
+	outbox    []*noc.Packet
+	// versions holds the memory image: the last written version per line
+	// (zero for never-written lines).
+	versions map[uint64]uint64
+}
+
+// New builds a controller at the given tile and attaches it to the network.
+func New(node noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine, st *stats.All) *Ctrl {
+	c := &Ctrl{
+		node:     node,
+		cfg:      cfg,
+		eng:      eng,
+		st:       st,
+		ni:       net.NI(node),
+		versions: make(map[uint64]uint64),
+	}
+	net.Attach(node, stats.UnitMem, c)
+	eng.Register(c)
+	return c
+}
+
+// Receive implements noc.Endpoint.
+func (c *Ctrl) Receive(pkt *noc.Packet, now sim.Cycle) {
+	c.inq = append(c.inq, pkt)
+}
+
+// Tick serves at most one new transaction per bandwidth slot and releases
+// matured read responses.
+func (c *Ctrl) Tick(now sim.Cycle) {
+	// Release matured responses.
+	kept := c.resps[:0]
+	for _, r := range c.resps {
+		if r.at > now {
+			kept = append(kept, r)
+			continue
+		}
+		c.outbox = append(c.outbox, r.msg.Packet(c.cfg.NoC, stats.UnitMem, stats.UnitLLC, noc.OneDest(r.to)))
+	}
+	c.resps = kept
+
+	// Start the next transaction when the channel frees up.
+	if len(c.inq) > 0 && now >= c.busyUntil {
+		pkt := c.inq[0]
+		c.inq = c.inq[1:]
+		c.eng.Progress()
+		c.busyUntil = now + sim.Cycle(c.cfg.MemCyclesPerLine)
+		m := pkt.Payload.(*coherence.Msg)
+		switch m.Type {
+		case coherence.MemRead:
+			c.st.Cache.MemReads++
+			c.resps = append(c.resps, pendingResp{
+				at: now + sim.Cycle(c.cfg.MemLatency),
+				msg: &coherence.Msg{Type: coherence.MemData, Addr: m.Addr,
+					Requester: m.Requester, Version: c.versions[m.Addr]},
+				to: pkt.Src,
+			})
+		case coherence.MemWrite:
+			c.st.Cache.MemWrites++
+			c.versions[m.Addr] = m.Version
+		default:
+			panic(fmt.Sprintf("memctrl %d: unexpected message %v", c.node, m))
+		}
+	}
+
+	// Drain outgoing responses.
+	keptOut := c.outbox[:0]
+	for _, p := range c.outbox {
+		if !c.ni.CanInject(stats.UnitMem, p.VNet) {
+			keptOut = append(keptOut, p)
+			continue
+		}
+		c.ni.Inject(p, now)
+		c.eng.Progress()
+	}
+	c.outbox = keptOut
+}
+
+// Version exposes the memory image for checkers.
+func (c *Ctrl) Version(lineAddr uint64) uint64 { return c.versions[lineAddr] }
+
+// Idle reports whether the controller has no queued or in-flight work.
+func (c *Ctrl) Idle() bool {
+	return len(c.inq) == 0 && len(c.resps) == 0 && len(c.outbox) == 0
+}

@@ -1,0 +1,97 @@
+package noc
+
+import "pushmulticast/internal/sim"
+
+// filterEntry is one slot of the coherent in-network filter. It mirrors a
+// snoop-filter entry: the line address is the tag and the destination bit
+// vector is the content (§III-C). An entry is registered when a push head
+// flit computes its output ports and is de-registered lazily after the push
+// tail has traversed the output link, so a request already in flight on that
+// link is still caught on arrival.
+type filterEntry struct {
+	valid bool
+	addr  uint64
+	dests DestSet
+	// gen guards lazy clears: a scheduled clear only applies if the entry
+	// has not been re-registered since.
+	gen uint32
+	// clearAt, when clearPending, is the cycle at which the entry dies.
+	clearPending bool
+	clearAt      sim.Cycle
+}
+
+func (e *filterEntry) live(now sim.Cycle) bool {
+	return e.valid && (!e.clearPending || now < e.clearAt)
+}
+
+// filterBank holds a router's filters. Following Fig 7b, each output port
+// has a designated filter per input port, with one entry per input data
+// virtual channel of that port: entries[outPort][inPort][dataVC].
+type filterBank struct {
+	entries [][][]filterEntry
+}
+
+func newFilterBank(dataVCs int) *filterBank {
+	fb := &filterBank{entries: make([][][]filterEntry, NumPorts)}
+	for o := 0; o < NumPorts; o++ {
+		fb.entries[o] = make([][]filterEntry, NumPorts)
+		for i := 0; i < NumPorts; i++ {
+			fb.entries[o][i] = make([]filterEntry, dataVCs)
+		}
+	}
+	return fb
+}
+
+// register installs a push's address and per-output destination subset in the
+// output port's filter slot for (inPort, dataVC). Filter Registration in
+// Fig 7b.
+func (fb *filterBank) register(outPort, inPort, dataVC int, addr uint64, dests DestSet) {
+	e := &fb.entries[outPort][inPort][dataVC]
+	e.valid = true
+	e.addr = addr
+	e.dests = dests
+	e.gen++
+	e.clearPending = false
+}
+
+// scheduleClear lazily de-registers the slot at the given cycle (Filter
+// De-registration; lazy to cover the link delay).
+func (fb *filterBank) scheduleClear(outPort, inPort, dataVC int, at sim.Cycle) {
+	e := &fb.entries[outPort][inPort][dataVC]
+	if !e.valid {
+		return
+	}
+	e.clearPending = true
+	e.clearAt = at
+}
+
+// lookup implements Filter Lookup: an arriving read request at input port
+// inPort checks whether a live push covering (addr, requester) is registered
+// at that port, meaning the push travels the reverse direction and already
+// carries the requester's response.
+func (fb *filterBank) lookup(inPort int, addr uint64, requester NodeID, now sim.Cycle) bool {
+	for i := 0; i < NumPorts; i++ {
+		for v := range fb.entries[inPort][i] {
+			e := &fb.entries[inPort][i][v]
+			if e.live(now) && e.addr == addr && e.dests.Has(requester) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// hasAddr reports whether any live entry for addr is registered at the given
+// output port; OrdPush stalls an invalidation at switch allocation while this
+// holds, enforcing push-before-invalidation delivery order (§III-F).
+func (fb *filterBank) hasAddr(outPort int, addr uint64, now sim.Cycle) bool {
+	for i := 0; i < NumPorts; i++ {
+		for v := range fb.entries[outPort][i] {
+			e := &fb.entries[outPort][i][v]
+			if e.live(now) && e.addr == addr {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,86 @@
+package noc
+
+import "testing"
+
+func TestFilterRegisterLookup(t *testing.T) {
+	fb := newFilterBank(4)
+	fb.register(PortNorth, PortSouth, 2, 0xbeef00, OneDest(3).Add(7))
+	// A request entering via the North input (reverse path) from a covered
+	// requester hits.
+	if !fb.lookup(PortNorth, 0xbeef00, 3, 10) {
+		t.Fatal("covered requester not matched")
+	}
+	if !fb.lookup(PortNorth, 0xbeef00, 7, 10) {
+		t.Fatal("second covered requester not matched")
+	}
+	// Different address, different requester, different port: no match.
+	if fb.lookup(PortNorth, 0xdead00, 3, 10) {
+		t.Fatal("wrong address matched")
+	}
+	if fb.lookup(PortNorth, 0xbeef00, 5, 10) {
+		t.Fatal("uncovered requester matched")
+	}
+	if fb.lookup(PortEast, 0xbeef00, 3, 10) {
+		t.Fatal("wrong port matched")
+	}
+}
+
+func TestFilterLazyDeregistration(t *testing.T) {
+	fb := newFilterBank(4)
+	fb.register(PortNorth, PortSouth, 0, 0xbeef00, OneDest(3))
+	fb.scheduleClear(PortNorth, PortSouth, 0, 20)
+	if !fb.lookup(PortNorth, 0xbeef00, 3, 19) {
+		t.Fatal("entry dead before its lazy-clear time")
+	}
+	if fb.lookup(PortNorth, 0xbeef00, 3, 20) {
+		t.Fatal("entry alive at its clear time")
+	}
+}
+
+func TestFilterReRegistrationCancelsClear(t *testing.T) {
+	fb := newFilterBank(4)
+	fb.register(PortNorth, PortSouth, 0, 0xbeef00, OneDest(3))
+	fb.scheduleClear(PortNorth, PortSouth, 0, 20)
+	// A new push reuses the slot before the clear matures.
+	fb.register(PortNorth, PortSouth, 0, 0xaaaa00, OneDest(5))
+	if fb.lookup(PortNorth, 0xbeef00, 3, 25) {
+		t.Fatal("stale address still matching after overwrite")
+	}
+	if !fb.lookup(PortNorth, 0xaaaa00, 5, 25) {
+		t.Fatal("re-registered entry killed by the stale clear")
+	}
+}
+
+func TestFilterHasAddrForInvStall(t *testing.T) {
+	fb := newFilterBank(4)
+	fb.register(PortEast, PortLocal, 1, 0xbeef00, OneDest(3))
+	if !fb.hasAddr(PortEast, 0xbeef00, 5) {
+		t.Fatal("OrdPush stall check missed a registered push")
+	}
+	if fb.hasAddr(PortWest, 0xbeef00, 5) {
+		t.Fatal("wrong output port matched")
+	}
+	if fb.hasAddr(PortEast, 0x1234, 5) {
+		t.Fatal("wrong address matched")
+	}
+	fb.scheduleClear(PortEast, PortLocal, 1, 8)
+	if fb.hasAddr(PortEast, 0xbeef00, 9) {
+		t.Fatal("cleared entry still stalling invalidations")
+	}
+}
+
+func TestFilterEntriesPerDataVC(t *testing.T) {
+	fb := newFilterBank(2)
+	fb.register(PortNorth, PortSouth, 0, 0xaaaa00, OneDest(1))
+	fb.register(PortNorth, PortSouth, 1, 0xbbbb00, OneDest(2))
+	if !fb.lookup(PortNorth, 0xaaaa00, 1, 0) || !fb.lookup(PortNorth, 0xbbbb00, 2, 0) {
+		t.Fatal("per-VC entries interfering")
+	}
+	fb.scheduleClear(PortNorth, PortSouth, 0, 1)
+	if fb.lookup(PortNorth, 0xaaaa00, 1, 5) {
+		t.Fatal("VC0 entry survived clear")
+	}
+	if !fb.lookup(PortNorth, 0xbbbb00, 2, 5) {
+		t.Fatal("VC1 entry wrongly cleared")
+	}
+}

@@ -1,0 +1,289 @@
+package noc
+
+import (
+	"fmt"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// Endpoint is anything attached to a tile's network interface (an L2
+// controller, an LLC slice, a memory controller). Receive must always accept
+// the packet; endpoints queue internally and apply protocol-level flow
+// control themselves.
+type Endpoint interface {
+	Receive(pkt *Packet, now sim.Cycle)
+}
+
+// delivered is an ejected packet waiting out its link delay to the endpoint.
+type delivered struct {
+	pkt     *Packet
+	readyAt sim.Cycle
+}
+
+// niStream is an in-progress packet injection from the NI into the local
+// router's input port.
+type niStream struct {
+	pkt  *Packet
+	vc   *inputVC
+	sent int
+}
+
+// NI is a tile's network interface. It multiplexes the co-located endpoints
+// (L2 slice, LLC slice, and possibly a memory controller) onto the single
+// local injection link, one flit per cycle, round-robin across per-unit
+// per-vnet FIFO queues; and it demultiplexes ejected packets to endpoints by
+// destination unit.
+type NI struct {
+	node      NodeID
+	net       *Network
+	queues    [stats.NumUnits][NumVNets][]*Packet
+	endpoints [stats.NumUnits]Endpoint
+	stream    *niStream
+	delivery  []delivered
+	rr        int
+}
+
+// CanInject reports whether the unit's vnet queue has room for another
+// packet; controllers must check before calling Inject.
+func (ni *NI) CanInject(unit stats.Unit, vnet int) bool {
+	return len(ni.queues[unit][vnet]) < ni.net.cfg.InjQueueDepth
+}
+
+// Inject enqueues a packet for injection. It panics if the queue is full;
+// callers gate on CanInject.
+func (ni *NI) Inject(pkt *Packet, now sim.Cycle) {
+	if !ni.CanInject(pkt.SrcUnit, pkt.VNet) {
+		panic(fmt.Sprintf("noc: injection queue overflow at node %d unit %v vnet %d", ni.node, pkt.SrcUnit, pkt.VNet))
+	}
+	if pkt.Dests.Empty() {
+		panic("noc: injecting packet with empty destination set")
+	}
+	if pkt.Filterable && pkt.Size != 1 {
+		panic("noc: filterable requests must be single-flit")
+	}
+	pkt.ID = ni.net.nextPktID
+	ni.net.nextPktID++
+	pkt.InjectedAt = now
+	pkt.Src = ni.node
+	ni.queues[pkt.SrcUnit][pkt.VNet] = append(ni.queues[pkt.SrcUnit][pkt.VNet], pkt)
+}
+
+// Tick delivers matured ejections, continues the current injection stream,
+// and starts a new one when the link is idle.
+func (ni *NI) Tick(now sim.Cycle) {
+	ni.deliver(now)
+	if ni.stream == nil {
+		ni.pick(now)
+	}
+	ni.pump(now)
+}
+
+func (ni *NI) deliver(now sim.Cycle) {
+	kept := ni.delivery[:0]
+	for _, d := range ni.delivery {
+		if d.readyAt > now {
+			kept = append(kept, d)
+			continue
+		}
+		ep := ni.endpoints[d.pkt.DstUnit]
+		if ep == nil {
+			panic(fmt.Sprintf("noc: no endpoint for unit %v at node %d", d.pkt.DstUnit, ni.node))
+		}
+		st := &ni.net.st.Net
+		st.EjectedPackets[d.pkt.DstUnit][d.pkt.Class]++
+		st.PacketLatencySum += uint64(now - d.pkt.InjectedAt)
+		st.PacketCount++
+		ni.net.eng.Progress()
+		ep.Receive(d.pkt, now)
+	}
+	ni.delivery = kept
+}
+
+// pick selects the next packet to inject, round-robin over (unit, vnet)
+// queues, subject to a free local-router VC. Under OrdPush, an invalidation
+// at the head of a control queue is held while a same-line push from the
+// same tile is still queued or streaming, preserving push-before-
+// invalidation order from the very first link.
+func (ni *NI) pick(now sim.Cycle) {
+	lanes := int(stats.NumUnits) * NumVNets
+	for k := 0; k < lanes; k++ {
+		lane := (ni.rr + k) % lanes
+		unit := stats.Unit(lane / NumVNets)
+		vnet := lane % NumVNets
+		q := ni.queues[unit][vnet]
+		if len(q) == 0 {
+			continue
+		}
+		pkt := q[0]
+		if pkt.IsInv && ni.net.cfg.OrdPushInvStall && ni.pushPending(pkt.Addr) {
+			ni.net.st.Net.StalledInvCycles++
+			continue
+		}
+		r := ni.net.routers[ni.node]
+		vc := r.freeVC(PortLocal, vnet)
+		if vc == nil {
+			continue
+		}
+		vc.reserved = true
+		r.claim(vc)
+		ni.queues[unit][vnet] = q[1:]
+		ni.stream = &niStream{pkt: pkt, vc: vc}
+		ni.net.st.Net.InjectedPackets[pkt.SrcUnit][pkt.Class]++
+		ni.rr = (lane + 1) % lanes
+		return
+	}
+}
+
+// PushCovering reports whether a push packet that embeds a response for
+// (addr, requester) is still queued or streaming at this NI. The home node's
+// local-port filter logically extends over the injection queue: a read
+// request reaching the home while such a push has not yet left the tile is
+// prunable exactly like an in-router hit.
+func (ni *NI) PushCovering(addr uint64, requester NodeID) bool {
+	if s := ni.stream; s != nil && s.pkt.IsPush && s.pkt.Addr == addr && s.pkt.Dests.Has(requester) {
+		return true
+	}
+	for u := stats.Unit(0); u < stats.NumUnits; u++ {
+		for _, p := range ni.queues[u][VNetData] {
+			if p.IsPush && p.Addr == addr && p.Dests.Has(requester) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pushPending reports whether a push for addr is still queued or streaming at
+// this NI.
+func (ni *NI) pushPending(addr uint64) bool {
+	if ni.stream != nil && ni.stream.pkt.IsPush && ni.stream.pkt.Addr == addr {
+		return true
+	}
+	for u := stats.Unit(0); u < stats.NumUnits; u++ {
+		for _, p := range ni.queues[u][VNetData] {
+			if p.IsPush && p.Addr == addr {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// pump streams one flit of the current injection per cycle.
+func (ni *NI) pump(now sim.Cycle) {
+	s := ni.stream
+	if s == nil {
+		return
+	}
+	s.sent++
+	ni.net.st.Net.InjectedFlits[s.pkt.SrcUnit][s.pkt.Class]++
+	ni.net.eng.Progress()
+	if s.sent == 1 {
+		s.vc.pkt = s.pkt
+		s.vc.headAt = now + 1
+		s.vc.reserved = false
+	}
+	if s.sent == s.pkt.Size {
+		ni.stream = nil
+	}
+}
+
+func (ni *NI) scheduleDelivery(pkt *Packet, at sim.Cycle) {
+	ni.delivery = append(ni.delivery, delivered{pkt: pkt, readyAt: at})
+}
+
+// Network is the complete mesh: routers, NIs, and accounting.
+type Network struct {
+	cfg       Config
+	eng       *sim.Engine
+	st        *stats.All
+	routers   []*Router
+	nis       []*NI
+	nextPktID uint64
+}
+
+// New builds a mesh network and registers its components with the engine.
+// NIs tick before routers each cycle; all cross-component handoffs are gated
+// on readyAt stamps so the order carries no timing meaning.
+func New(cfg Config, eng *sim.Engine, st *stats.All) (*Network, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	n := &Network{cfg: cfg, eng: eng, st: st}
+	nodes := cfg.Nodes()
+	n.routers = make([]*Router, nodes)
+	n.nis = make([]*NI, nodes)
+	st.Net.LinkFlits = make([]uint64, nodes*4)
+	for i := 0; i < nodes; i++ {
+		n.routers[i] = newRouter(NodeID(i), n)
+		n.nis[i] = &NI{node: NodeID(i), net: n}
+	}
+	for i := 0; i < nodes; i++ {
+		eng.Register(n.nis[i])
+	}
+	for i := 0; i < nodes; i++ {
+		eng.Register(n.routers[i])
+	}
+	return n, nil
+}
+
+// Config returns the network configuration.
+func (n *Network) Config() Config { return n.cfg }
+
+// Attach registers an endpoint at a tile.
+func (n *Network) Attach(node NodeID, unit stats.Unit, ep Endpoint) {
+	n.nis[node].endpoints[unit] = ep
+}
+
+// NI returns the network interface of a tile.
+func (n *Network) NI(node NodeID) *NI { return n.nis[node] }
+
+// countLinkFlit accounts one flit traversing the inter-router link leaving
+// `node` through output port `port`.
+func (n *Network) countLinkFlit(node NodeID, port int, class stats.Class) {
+	n.st.Net.LinkFlits[int(node)*4+port]++
+	n.st.Net.TotalFlitsByClass[class]++
+}
+
+// LinkIndex returns the LinkFlits index for the link leaving node through
+// port, for per-link load reporting (Fig 14).
+func LinkIndex(node NodeID, port int) int { return int(node)*4 + port }
+
+// LinkName names a link index.
+func (n *Network) LinkName(idx int) string {
+	node := NodeID(idx / 4)
+	port := idx % 4
+	x, y := n.cfg.XY(node)
+	return fmt.Sprintf("(%d,%d)->%s", x, y, PortName(port))
+}
+
+// Quiescent reports whether no packets are queued, streaming, or buffered
+// anywhere in the network.
+func (n *Network) Quiescent() bool {
+	for _, ni := range n.nis {
+		if ni.stream != nil || len(ni.delivery) != 0 {
+			return false
+		}
+		for u := range ni.queues {
+			for v := range ni.queues[u] {
+				if len(ni.queues[u][v]) != 0 {
+					return false
+				}
+			}
+		}
+	}
+	for _, r := range n.routers {
+		for p := 0; p < NumPorts; p++ {
+			if r.outStream[p] != nil {
+				return false
+			}
+			for i := range r.in[p] {
+				if r.in[p][i].pkt != nil || r.in[p][i].reserved {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}

@@ -1,0 +1,256 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// Property: XY routing always makes progress toward the destination — the
+// hop count from any node to any destination is exactly the Manhattan
+// distance.
+func TestRoutingManhattanProperty(t *testing.T) {
+	cfg := DefaultConfig(8, 8)
+	f := func(rawSrc, rawDst uint8, xy bool) bool {
+		src := NodeID(int(rawSrc) % cfg.Nodes())
+		dst := NodeID(int(rawDst) % cfg.Nodes())
+		cur := src
+		hops := 0
+		for cur != dst {
+			p := cfg.nextPort(cur, dst, xy)
+			if p == PortLocal {
+				return false
+			}
+			nxt := cfg.neighbour(cur, p)
+			if nxt < 0 {
+				return false // routed off the mesh edge
+			}
+			cur = nxt
+			hops++
+			if hops > 64 {
+				return false
+			}
+		}
+		sx, sy := cfg.XY(src)
+		dx, dy := cfg.XY(dst)
+		want := abs(sx-dx) + abs(sy-dy)
+		return hops == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// Property: routeDests partitions the destination set exactly: every
+// destination appears in exactly one output subset.
+func TestRouteDestsPartitionProperty(t *testing.T) {
+	cfg := DefaultConfig(8, 8)
+	f := func(rawCur uint8, dests DestSet, xy bool) bool {
+		cur := NodeID(int(rawCur) % cfg.Nodes())
+		dests &= (1 << uint(cfg.Nodes())) - 1
+		if dests.Empty() {
+			return true
+		}
+		out := cfg.routeDests(cur, dests, xy)
+		var union DestSet
+		var total int
+		for p := 0; p < NumPorts; p++ {
+			if out[p]&union != 0 {
+				return false // overlap
+			}
+			union |= out[p]
+			total += out[p].Count()
+		}
+		return union == dests && total == dests.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Soak: random unicast+multicast traffic from every node; everything must be
+// delivered exactly once per destination and the network must drain.
+func TestRandomTrafficSoak(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.FilterEnabled = true
+	cfg.OrdPushInvStall = true
+	eng := sim.NewEngine(50_000, 5_000_000)
+	st := stats.New()
+	net, err := New(cfg, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recv := make([]int, cfg.Nodes())
+	for i := 0; i < cfg.Nodes(); i++ {
+		i := i
+		for u := stats.Unit(0); u < stats.NumUnits; u++ {
+			net.Attach(NodeID(i), u, endpointFunc(func(p *Packet, now sim.Cycle) { recv[i]++ }))
+		}
+	}
+	rng := uint64(12345)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 16
+	}
+	wantPerDest := make([]int, cfg.Nodes())
+	injected := 0
+	for round := 0; round < 400; round++ {
+		for src := 0; src < cfg.Nodes(); src++ {
+			r := next()
+			vnet := int(r % NumVNets)
+			if !net.NI(NodeID(src)).CanInject(stats.UnitL2, vnet) {
+				continue
+			}
+			var dests DestSet
+			if r%5 == 0 && vnet == VNetData {
+				// multicast to a random subset
+				dests = DestSet(next()) & ((1 << uint(cfg.Nodes())) - 1)
+				if dests.Empty() {
+					dests = OneDest(NodeID(r % uint64(cfg.Nodes())))
+				}
+			} else {
+				dests = OneDest(NodeID(r % uint64(cfg.Nodes())))
+			}
+			size := 1
+			if vnet == VNetData {
+				size = cfg.DataPacketSize()
+			}
+			pkt := &Packet{
+				VNet: vnet, Class: stats.ClassOther, SrcUnit: stats.UnitL2,
+				DstUnit: stats.Unit(r % uint64(stats.NumUnits)),
+				Dests:   dests, Addr: (r % 64) * 64, Size: size,
+				IsPush: vnet == VNetData && r%7 == 0,
+				IsInv:  vnet == VNetCtrl && r%3 == 0,
+			}
+			net.NI(NodeID(src)).Inject(pkt, eng.Now())
+			injected++
+			dests.ForEach(func(d NodeID) { wantPerDest[d]++ })
+		}
+		eng.Step()
+	}
+	_, err = eng.Run(func() bool {
+		got := 0
+		for _, v := range recv {
+			got += v
+		}
+		want := 0
+		for _, v := range wantPerDest {
+			want += v
+		}
+		return got == want
+	})
+	if err != nil {
+		t.Fatalf("soak did not drain: %v", err)
+	}
+	for d, got := range recv {
+		if got != wantPerDest[d] {
+			t.Errorf("dest %d received %d deliveries, want %d", d, got, wantPerDest[d])
+		}
+	}
+	if !net.Quiescent() {
+		t.Error("network not quiescent after soak")
+	}
+}
+
+type endpointFunc func(*Packet, sim.Cycle)
+
+func (f endpointFunc) Receive(p *Packet, now sim.Cycle) { f(p, now) }
+
+// Hotspot: all nodes flood one destination; deliveries must still complete
+// and per-source fairness must not starve anyone completely.
+func TestHotspotNoStarvation(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	eng := sim.NewEngine(100_000, 5_000_000)
+	st := stats.New()
+	net, err := New(cfg, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	perSrc := make(map[NodeID]int)
+	for u := stats.Unit(0); u < stats.NumUnits; u++ {
+		net.Attach(5, u, endpointFunc(func(p *Packet, now sim.Cycle) { perSrc[p.Src]++ }))
+	}
+	for i := 0; i < cfg.Nodes(); i++ {
+		if i == 5 {
+			continue
+		}
+		for u := stats.Unit(0); u < stats.NumUnits; u++ {
+			net.Attach(NodeID(i), u, endpointFunc(func(*Packet, sim.Cycle) {}))
+		}
+	}
+	total := 0
+	for round := 0; round < 600; round++ {
+		for src := 0; src < cfg.Nodes(); src++ {
+			if src == 5 || !net.NI(NodeID(src)).CanInject(stats.UnitL2, VNetData) {
+				continue
+			}
+			net.NI(NodeID(src)).Inject(&Packet{
+				VNet: VNetData, SrcUnit: stats.UnitL2, DstUnit: stats.UnitL2,
+				Dests: OneDest(5), Size: cfg.DataPacketSize(),
+			}, eng.Now())
+			total++
+		}
+		eng.Step()
+	}
+	if _, err := eng.Run(func() bool {
+		got := 0
+		for _, v := range perSrc {
+			got += v
+		}
+		return got == total
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for src, got := range perSrc {
+		if got == 0 {
+			t.Errorf("source %d starved at the hotspot", src)
+		}
+	}
+}
+
+// Broadcast storm: every node multicasts to all others simultaneously.
+func TestBroadcastStormDrains(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	eng := sim.NewEngine(100_000, 5_000_000)
+	st := stats.New()
+	net, err := New(cfg, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got int
+	all := DestSet(1<<16 - 1)
+	for i := 0; i < cfg.Nodes(); i++ {
+		for u := stats.Unit(0); u < stats.NumUnits; u++ {
+			net.Attach(NodeID(i), u, endpointFunc(func(*Packet, sim.Cycle) { got++ }))
+		}
+	}
+	sent := 0
+	for round := 0; round < 8; round++ {
+		for src := 0; src < cfg.Nodes(); src++ {
+			if !net.NI(NodeID(src)).CanInject(stats.UnitLLC, VNetData) {
+				continue
+			}
+			net.NI(NodeID(src)).Inject(&Packet{
+				VNet: VNetData, SrcUnit: stats.UnitLLC, DstUnit: stats.UnitL2,
+				Dests: all, Addr: uint64(src * 64), Size: cfg.DataPacketSize(), IsPush: true,
+			}, eng.Now())
+			sent++
+		}
+		eng.Step()
+	}
+	if _, err := eng.Run(func() bool { return got == sent*16 }); err != nil {
+		t.Fatalf("broadcast storm stuck at %d/%d: %v", got, sent*16, err)
+	}
+	if !net.Quiescent() {
+		t.Error("not quiescent after storm")
+	}
+}

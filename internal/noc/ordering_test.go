@@ -1,0 +1,135 @@
+package noc
+
+import (
+	"testing"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// TestOrdPushOrderingProperty injects randomized push-then-invalidation
+// pairs for the same line from the same source under background load, and
+// asserts the delivery-order invariant OrdPush coherence rests on: at every
+// destination covered by both, the push arrives strictly before the
+// invalidation.
+func TestOrdPushOrderingProperty(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.FilterEnabled = true
+	cfg.OrdPushInvStall = true
+	eng := sim.NewEngine(100_000, 5_000_000)
+	st := stats.New()
+	net, err := New(cfg, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type arrival struct{ pushSeen, invSeen bool }
+	// state[addr][dest]
+	state := map[uint64]map[NodeID]*arrival{}
+	violations := 0
+	for i := 0; i < cfg.Nodes(); i++ {
+		node := NodeID(i)
+		for u := stats.Unit(0); u < stats.NumUnits; u++ {
+			net.Attach(node, u, endpointFunc(func(p *Packet, now sim.Cycle) {
+				m := state[p.Addr]
+				if m == nil || m[node] == nil {
+					return
+				}
+				a := m[node]
+				if p.IsPush {
+					a.pushSeen = true
+				}
+				if p.IsInv {
+					a.invSeen = true
+					if !a.pushSeen {
+						violations++
+						t.Errorf("inv for %#x overtook push at node %d (cycle %d)", p.Addr, node, now)
+					}
+				}
+			}))
+		}
+	}
+
+	rng := uint64(99)
+	next := func() uint64 {
+		rng = rng*6364136223846793005 + 1442695040888963407
+		return rng >> 16
+	}
+	pairs := 0
+	wantInvs := 0
+	gotInvs := func() int {
+		n := 0
+		for _, m := range state {
+			for _, a := range m {
+				if a.invSeen {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	for round := 0; round < 300; round++ {
+		src := NodeID(next() % uint64(cfg.Nodes()))
+		ni := net.NI(src)
+		// Background noise on the data vnet.
+		if next()%2 == 0 && ni.CanInject(stats.UnitL2, VNetData) {
+			ni.Inject(&Packet{VNet: VNetData, SrcUnit: stats.UnitL2, DstUnit: stats.UnitLLC,
+				Dests: OneDest(NodeID(next() % uint64(cfg.Nodes()))), Addr: 0xf0000 + (next()%32)*64,
+				Size: cfg.DataPacketSize()}, eng.Now())
+		}
+		// A push+inv pair: fresh address each time so state is unambiguous.
+		if ni.CanInject(stats.UnitLLC, VNetData) && ni.CanInject(stats.UnitLLC, VNetCtrl) {
+			addr := uint64(0x100000) + uint64(pairs)*64
+			dests := DestSet(next()) & ((1 << 16) - 1)
+			if dests.Empty() {
+				dests = OneDest(NodeID(next() % 16))
+			}
+			invDest := dests.First()
+			state[addr] = map[NodeID]*arrival{invDest: {}}
+			ni.Inject(&Packet{VNet: VNetData, SrcUnit: stats.UnitLLC, DstUnit: stats.UnitL2,
+				Dests: dests, Addr: addr, Size: cfg.DataPacketSize(), IsPush: true}, eng.Now())
+			ni.Inject(&Packet{VNet: VNetCtrl, SrcUnit: stats.UnitLLC, DstUnit: stats.UnitL2,
+				Dests: OneDest(invDest), Addr: addr, Size: 1, IsInv: true}, eng.Now())
+			pairs++
+			wantInvs++
+		}
+		eng.Step()
+	}
+	if _, err := eng.Run(func() bool { return gotInvs() == wantInvs }); err != nil {
+		t.Fatalf("drain: %v (delivered %d/%d invs)", err, gotInvs(), wantInvs)
+	}
+	if pairs < 100 {
+		t.Fatalf("only %d pairs exercised", pairs)
+	}
+	if violations > 0 {
+		t.Fatalf("%d ordering violations", violations)
+	}
+}
+
+// TestMulticastReplicaAccounting checks that a k-port multicast counts its
+// extra replicas.
+func TestMulticastReplicaAccounting(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	eng := sim.NewEngine(10_000, 1_000_000)
+	st := stats.New()
+	net, err := New(cfg, eng, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := 0
+	for i := 0; i < cfg.Nodes(); i++ {
+		for u := stats.Unit(0); u < stats.NumUnits; u++ {
+			net.Attach(NodeID(i), u, endpointFunc(func(*Packet, sim.Cycle) { got++ }))
+		}
+	}
+	// From the center, a 4-corner multicast must branch.
+	net.NI(5).Inject(&Packet{VNet: VNetData, SrcUnit: stats.UnitLLC, DstUnit: stats.UnitL2,
+		Dests: OneDest(0).Add(3).Add(12).Add(15), Size: cfg.DataPacketSize(), IsPush: true},
+		eng.Now())
+	if _, err := eng.Run(func() bool { return got == 4 }); err != nil {
+		t.Fatal(err)
+	}
+	if st.Net.MulticastReplicas == 0 {
+		t.Error("no multicast replicas recorded")
+	}
+}

@@ -1,0 +1,365 @@
+package noc
+
+import (
+	"fmt"
+
+	"pushmulticast/internal/sim"
+)
+
+// inputVC is one virtual-channel buffer at a router input port. Virtual
+// cut-through flow control means a VC holds at most one packet and a packet
+// is admitted only into an empty VC, so the buffer always has room for the
+// whole packet.
+type inputVC struct {
+	// port/idx locate this VC at its router; occPos is its position in the
+	// router's occupied list (-1 when free).
+	port, idx, occPos int
+
+	pkt *Packet
+	// headAt is the cycle the head flit is present in this buffer; flit i
+	// is present at headAt+i (flits stream contiguously under the locked
+	// input/output port discipline).
+	headAt sim.Cycle
+	// routed is set once stage 1 (route compute + filter actions) ran.
+	routed bool
+	// pending holds per-output-port destination subsets that still need a
+	// replica sent; asynchronous multicast drains them one at a time.
+	pending [NumPorts]DestSet
+	// pendingPorts counts non-empty pending entries.
+	pendingPorts int
+	// active is the stream currently draining this VC, if any.
+	active *stream
+	// reserved marks the VC claimed by an upstream allocation whose head
+	// flit has not been written yet (cleared at head delivery).
+	reserved bool
+}
+
+func (vc *inputVC) free() bool { return vc.pkt == nil && !vc.reserved }
+
+// stream is one in-progress replica transmission from an input VC through an
+// output port. Both the input port and the output port are held until the
+// tail flit departs, which keeps flit delivery contiguous and makes
+// cut-through timing exact.
+type stream struct {
+	vc      *inputVC
+	replica *Packet // packet copy carrying this replica's destination subset
+	inPort  int
+	vcIdx   int // absolute VC index at the input port
+	outPort int
+	downVC  *inputVC // nil when outPort == PortLocal
+	sent    int
+}
+
+// Router is a 2-stage virtual-cut-through router: stage 1 performs buffer
+// write + route computation (plus the filter's registration/lookup actions in
+// parallel, Fig 7a), stage 2 performs VC/switch allocation and switch
+// traversal. Links add one cycle.
+type Router struct {
+	id  NodeID
+	net *Network
+	in  [NumPorts][]inputVC
+	// outStream / inLock serialize the switch at packet granularity: one
+	// replica owns an output port (and its input port) until its tail
+	// departs.
+	outStream [NumPorts]*stream
+	inLock    [NumPorts]*stream
+	filters   *filterBank
+	// rr holds per-output-port round-robin arbitration state.
+	rr [NumPorts]int
+	// occ lists VCs that hold or are reserved for a packet, so the per-
+	// cycle pipeline stages touch only live work instead of scanning every
+	// buffer. scratch is reused for iteration snapshots.
+	occ     []*inputVC
+	scratch []*inputVC
+}
+
+func newRouter(id NodeID, net *Network) *Router {
+	r := &Router{id: id, net: net}
+	total := NumVNets * net.cfg.VCsPerVNet
+	for p := 0; p < NumPorts; p++ {
+		r.in[p] = make([]inputVC, total)
+		for i := range r.in[p] {
+			vc := &r.in[p][i]
+			vc.port, vc.idx, vc.occPos = p, i, -1
+		}
+	}
+	if net.cfg.FilterEnabled || net.cfg.OrdPushInvStall {
+		r.filters = newFilterBank(net.cfg.VCsPerVNet)
+	}
+	return r
+}
+
+// claim registers a VC as occupied (reserved or holding a packet).
+func (r *Router) claim(vc *inputVC) {
+	if vc.occPos >= 0 {
+		return
+	}
+	vc.occPos = len(r.occ)
+	r.occ = append(r.occ, vc)
+}
+
+// release resets a VC and drops it from the occupied list.
+func (r *Router) release(vc *inputVC) {
+	if vc.occPos >= 0 {
+		last := len(r.occ) - 1
+		moved := r.occ[last]
+		r.occ[vc.occPos] = moved
+		moved.occPos = vc.occPos
+		r.occ = r.occ[:last]
+		vc.occPos = -1
+	}
+	vc.pkt = nil
+	vc.reserved = false
+	vc.routed = false
+	vc.pending = [NumPorts]DestSet{}
+	vc.pendingPorts = 0
+	vc.active = nil
+}
+
+// vcRange returns the [lo, hi) input-VC index range of a vnet.
+func (r *Router) vcRange(vnet int) (int, int) {
+	lo := vnet * r.net.cfg.VCsPerVNet
+	return lo, lo + r.net.cfg.VCsPerVNet
+}
+
+// freeVC returns a free input VC for the vnet at the given port, or nil.
+func (r *Router) freeVC(port, vnet int) *inputVC {
+	lo, hi := r.vcRange(vnet)
+	for i := lo; i < hi; i++ {
+		if r.in[port][i].free() {
+			return &r.in[port][i]
+		}
+	}
+	return nil
+}
+
+// Tick advances the router by one cycle: stage 1 for newly arrived heads,
+// then allocation, then switch/link traversal for all held streams.
+func (r *Router) Tick(now sim.Cycle) {
+	r.stage1(now)
+	r.allocate(now)
+	r.traverse(now)
+}
+
+// stage1 runs buffer-write/route-compute for heads that arrived by now.
+// Push packets are processed before requests so that the "Filtering at Port"
+// case (push and request arriving in the same cycle) resolves in the push's
+// favour, as in Fig 7a.
+func (r *Router) stage1(now sim.Cycle) {
+	if len(r.occ) == 0 {
+		return
+	}
+	snap := append(r.scratch[:0], r.occ...)
+	r.scratch = snap
+	// Pass 1: route pushes and everything non-filterable; register filters.
+	for _, vc := range snap {
+		if vc.pkt == nil || vc.routed || now < vc.headAt || vc.pkt.Filterable {
+			continue
+		}
+		r.route(vc, vc.port, vc.idx, now)
+	}
+	// Pass 2: filterable read requests (lookup may drop them).
+	for _, vc := range snap {
+		if vc.pkt == nil || vc.routed || now < vc.headAt || !vc.pkt.Filterable {
+			continue
+		}
+		if r.filters != nil && r.net.cfg.FilterEnabled &&
+			r.filters.lookup(vc.port, vc.pkt.Addr, vc.pkt.Requester, now) {
+			r.net.st.Net.FilteredRequests++
+			r.net.eng.Progress()
+			r.release(vc)
+			continue
+		}
+		r.route(vc, vc.port, vc.idx, now)
+	}
+}
+
+// route performs route computation for the packet in vc and, for pushes,
+// the filter registration and stationary-filtering actions.
+func (r *Router) route(vc *inputVC, port, vcIdx int, now sim.Cycle) {
+	pkt := vc.pkt
+	out := r.net.cfg.routeDests(r.id, pkt.Dests, routingXY(pkt.VNet))
+	vc.pending = out
+	vc.pendingPorts = 0
+	for o := 0; o < NumPorts; o++ {
+		if !out[o].Empty() {
+			vc.pendingPorts++
+		}
+	}
+	vc.routed = true
+	if vc.pendingPorts == 0 {
+		panic(fmt.Sprintf("noc: router %d routed packet with no outputs: %v", r.id, pkt))
+	}
+
+	// Filter registration happens whenever the filter banks exist: request
+	// pruning needs it, and so does OrdPush invalidation ordering even when
+	// pruning is ablated away (Fig 20's Push+Multicast point).
+	if pkt.IsPush && r.filters != nil {
+		dataVC := vcIdx - VNetData*r.net.cfg.VCsPerVNet
+		if dataVC < 0 || dataVC >= r.net.cfg.VCsPerVNet {
+			panic("noc: push packet outside the data vnet")
+		}
+		for o := 0; o < NumPorts; o++ {
+			if out[o].Empty() {
+				continue
+			}
+			// Filter Registration.
+			r.filters.register(o, port, dataVC, pkt.Addr, out[o])
+			// Stationary Filtering: prune matched read requests already
+			// buffered (or arriving) at the input port facing the push's
+			// output direction; they travel the reverse path and their
+			// response is embedded in this push.
+			if r.net.cfg.FilterEnabled {
+				r.stationaryFilter(o, pkt.Addr, out[o], now)
+			}
+		}
+	}
+}
+
+// stationaryFilter drops buffered read requests at input port `port` whose
+// response is covered by a registered push (addr, dests). Only idle,
+// single-flit filterable requests are dropped; a request already draining
+// through the switch is left alone (it will trigger a redundant unicast that
+// the private cache discards).
+func (r *Router) stationaryFilter(port int, addr uint64, dests DestSet, now sim.Cycle) {
+	lo, hi := r.vcRange(VNetReq)
+	for i := lo; i < hi; i++ {
+		vc := &r.in[port][i]
+		if vc.pkt == nil || vc.active != nil || !vc.pkt.Filterable {
+			continue
+		}
+		if vc.pkt.Addr == addr && dests.Has(vc.pkt.Requester) {
+			r.net.st.Net.FilteredRequests++
+			r.net.eng.Progress()
+			r.release(vc)
+		}
+	}
+}
+
+// allocate performs VC + switch allocation: each free output port picks one
+// eligible (input VC, replica) candidate round-robin, reserves a downstream
+// VC, and locks both ports for the replica's duration.
+func (r *Router) allocate(now sim.Cycle) {
+	if len(r.occ) == 0 {
+		return
+	}
+	// Per-cycle memo of downstream VC availability: under congestion many
+	// waiting packets share an exhausted (output port, vnet) pool, and
+	// re-probing it for each candidate would dominate the simulation.
+	var memo [NumPorts][NumVNets]int8 // 0 unknown, 1 available, -1 none
+	for o := 0; o < NumPorts; o++ {
+		if r.outStream[o] != nil {
+			continue
+		}
+		r.allocateOutput(o, now, &memo)
+	}
+}
+
+func (r *Router) allocateOutput(o int, now sim.Cycle, memo *[NumPorts][NumVNets]int8) {
+	total := len(r.occ)
+	start := r.rr[o]
+	for k := 0; k < total; k++ {
+		idx := (start + k) % total
+		vc := r.occ[idx]
+		p := vc.port
+		if vc.pkt == nil || !vc.routed || vc.active != nil || vc.pending[o].Empty() {
+			continue
+		}
+		if r.inLock[p] != nil {
+			continue
+		}
+		// Stage-2 eligibility: stage 1 ran in the head's arrival cycle.
+		if now < vc.headAt+1 {
+			continue
+		}
+		pkt := vc.pkt
+		// OrdPush ordering: stall an invalidation while a same-line push is
+		// still registered at this output port.
+		if pkt.IsInv && r.net.cfg.OrdPushInvStall && r.filters != nil &&
+			r.filters.hasAddr(o, pkt.Addr, now) {
+			r.net.st.Net.StalledInvCycles++
+			continue
+		}
+		var down *inputVC
+		if o != PortLocal {
+			if memo[o][pkt.VNet] < 0 {
+				continue // downstream pool known exhausted this cycle
+			}
+			nb := r.net.cfg.neighbour(r.id, o)
+			if nb < 0 {
+				panic(fmt.Sprintf("noc: router %d routed %v to edge port %s", r.id, pkt, PortName(o)))
+			}
+			downRouter := r.net.routers[nb]
+			down = downRouter.freeVC(opposite[o], pkt.VNet)
+			if down == nil {
+				memo[o][pkt.VNet] = -1
+				continue // no free downstream VC this cycle
+			}
+			down.reserved = true
+			downRouter.claim(down)
+		}
+		replica := *pkt
+		replica.Dests = vc.pending[o]
+		if vc.pendingPorts > 1 {
+			r.net.st.Net.MulticastReplicas++
+		}
+		s := &stream{
+			vc: vc, replica: &replica, inPort: p, vcIdx: vc.idx, outPort: o, downVC: down,
+		}
+		vc.active = s
+		vc.pending[o] = 0
+		vc.pendingPorts--
+		r.outStream[o] = s
+		r.inLock[p] = s
+		r.rr[o] = (idx + 1) % total
+		return
+	}
+}
+
+// traverse streams one flit per held output port, delivers heads downstream,
+// and retires completed replicas.
+func (r *Router) traverse(now sim.Cycle) {
+	for o := 0; o < NumPorts; o++ {
+		s := r.outStream[o]
+		if s == nil {
+			continue
+		}
+		r.sendFlit(s, now)
+	}
+}
+
+func (r *Router) sendFlit(s *stream, now sim.Cycle) {
+	pkt := s.replica
+	s.sent++
+	r.net.eng.Progress()
+	if s.outPort == PortLocal {
+		r.net.st.Net.EjectedFlits[pkt.DstUnit][pkt.Class]++
+	} else {
+		r.net.countLinkFlit(r.id, s.outPort, pkt.Class)
+	}
+	if s.sent == 1 && s.downVC != nil {
+		// Head flit: write into the reserved downstream buffer; it is
+		// visible to the downstream stage 1 after switch + link traversal.
+		s.downVC.pkt = pkt
+		s.downVC.headAt = now + 2
+		s.downVC.reserved = false
+	}
+	if s.sent < pkt.Size {
+		return
+	}
+	// Tail departed: release ports, lazily de-register the filter slot, free
+	// the VC if all replicas are out, and complete local ejection.
+	r.outStream[s.outPort] = nil
+	r.inLock[s.inPort] = nil
+	s.vc.active = nil
+	if pkt.IsPush && r.filters != nil {
+		dataVC := s.vcIdx - VNetData*r.net.cfg.VCsPerVNet
+		r.filters.scheduleClear(s.outPort, s.inPort, dataVC, now+2)
+	}
+	if s.vc.pendingPorts == 0 {
+		r.release(s.vc)
+	}
+	if s.outPort == PortLocal {
+		r.net.nis[r.id].scheduleDelivery(pkt, now+2)
+	}
+}

@@ -1,0 +1,227 @@
+// Package noc implements the mesh network-on-chip substrate: virtual
+// cut-through routers with a 2-stage pipeline, three virtual networks with
+// per-vnet deterministic routing (XY for requests, YX for responses),
+// asynchronous multicast, and the paper's coherent in-network filter.
+//
+// The model is packet-granular with per-flit timing: a packet occupies one
+// virtual channel per hop (virtual cut-through requires whole-packet
+// buffering), flits stream at one per cycle across links and switch ports,
+// and cut-through lets a head flit depart before the tail has arrived.
+package noc
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// NodeID identifies a tile (router/endpoint position) in the mesh.
+type NodeID int32
+
+// DestSet is a destination bit vector over tiles; it supports meshes of up to
+// 64 nodes, which covers the paper's 4x4 and 8x8 systems.
+type DestSet uint64
+
+// OneDest returns a DestSet containing only n.
+func OneDest(n NodeID) DestSet { return 1 << uint(n) }
+
+// Has reports whether n is in the set.
+func (d DestSet) Has(n NodeID) bool { return d&(1<<uint(n)) != 0 }
+
+// Add returns d with n added.
+func (d DestSet) Add(n NodeID) DestSet { return d | 1<<uint(n) }
+
+// Remove returns d with n removed.
+func (d DestSet) Remove(n NodeID) DestSet { return d &^ (1 << uint(n)) }
+
+// Count returns the number of destinations in the set.
+func (d DestSet) Count() int { return bits.OnesCount64(uint64(d)) }
+
+// Empty reports whether the set has no destinations.
+func (d DestSet) Empty() bool { return d == 0 }
+
+// ForEach calls f for every destination in the set, in ascending order.
+func (d DestSet) ForEach(f func(NodeID)) {
+	for v := uint64(d); v != 0; v &= v - 1 {
+		f(NodeID(bits.TrailingZeros64(v)))
+	}
+}
+
+// First returns the lowest-numbered destination; it panics on an empty set.
+func (d DestSet) First() NodeID {
+	if d == 0 {
+		panic("noc: First on empty DestSet")
+	}
+	return NodeID(bits.TrailingZeros64(uint64(d)))
+}
+
+// Virtual networks. The assignment mirrors a three-vnet MESI mapping:
+// requests, forwarded control (invalidations), and data/responses. Pushes
+// travel in the data vnet, reusing data-response virtual channels as the
+// paper prescribes.
+const (
+	// VNetReq carries L2->LLC requests (GetS/GetM/upgrade) plus LLC->memory
+	// reads. Routed XY.
+	VNetReq = 0
+	// VNetCtrl carries directory-to-cache control (invalidations) and
+	// acknowledgments. Routed YX so that, under OrdPush, an invalidation
+	// follows the exact path of the push it must stay behind.
+	VNetCtrl = 1
+	// VNetData carries data responses, pushes, and writebacks. Routed YX.
+	VNetData = 2
+	// NumVNets is the number of virtual networks.
+	NumVNets = 3
+)
+
+// Packet is the unit of transfer between endpoints. Multicast packets carry
+// a destination set; routers replicate them asynchronously.
+type Packet struct {
+	// ID is a unique packet number (diagnostics).
+	ID uint64
+	// VNet selects the virtual network (and thus routing and VC pool).
+	VNet int
+	// Class is the traffic class for accounting.
+	Class stats.Class
+	// Src is the injecting tile; SrcUnit its endpoint kind.
+	Src     NodeID
+	SrcUnit stats.Unit
+	// Dests is the destination tile set (a single bit for unicasts).
+	Dests DestSet
+	// DstUnit selects which endpoint kind at the destination tile receives
+	// the packet.
+	DstUnit stats.Unit
+	// Addr is the cache-line address the packet concerns; the in-network
+	// filter matches on it.
+	Addr uint64
+	// Size is the packet length in flits for the configured link width.
+	Size int
+	// Payload carries the protocol message; the NoC never inspects it.
+	Payload any
+
+	// IsPush marks speculative push multicast data packets (these register
+	// in filters).
+	IsPush bool
+	// Filterable marks read requests that the in-network filter may prune.
+	Filterable bool
+	// IsInv marks invalidations that OrdPush must keep ordered behind
+	// same-line pushes.
+	IsInv bool
+	// Requester is the tile whose demand the packet represents; for
+	// filterable requests it is matched against push destination sets.
+	Requester NodeID
+
+	// InjectedAt is stamped by the NI for latency accounting.
+	InjectedAt sim.Cycle
+}
+
+// String implements fmt.Stringer for diagnostics.
+func (p *Packet) String() string {
+	return fmt.Sprintf("pkt{id=%d vnet=%d class=%v src=%d dests=%b addr=%#x size=%d push=%v}",
+		p.ID, p.VNet, p.Class, p.Src, p.Dests, p.Addr, p.Size, p.IsPush)
+}
+
+// Ports of a router. The four cardinal directions connect to neighbouring
+// routers; the local port connects to the tile's network interface.
+const (
+	PortNorth = iota
+	PortEast
+	PortSouth
+	PortWest
+	PortLocal
+	NumPorts
+)
+
+var portNames = [NumPorts]string{"N", "E", "S", "W", "L"}
+
+// PortName returns a short name for a port index.
+func PortName(p int) string {
+	if p >= 0 && p < NumPorts {
+		return portNames[p]
+	}
+	return "?"
+}
+
+// opposite maps an output direction to the input port it feeds on the
+// neighbouring router (a flit sent out North arrives on the neighbour's
+// South input).
+var opposite = [NumPorts]int{
+	PortNorth: PortSouth,
+	PortEast:  PortWest,
+	PortSouth: PortNorth,
+	PortWest:  PortEast,
+	PortLocal: PortLocal,
+}
+
+// Config holds the NoC parameters (Table I defaults via DefaultConfig).
+type Config struct {
+	// Width and Height give the mesh dimensions; Width*Height tiles.
+	Width, Height int
+	// VCsPerVNet is the number of virtual channels per virtual network per
+	// port.
+	VCsPerVNet int
+	// LinkWidthBits sets flits-per-packet: a 64-byte line needs
+	// ceil(512/LinkWidthBits) body flits plus one head flit.
+	LinkWidthBits int
+	// InjQueueDepth bounds each endpoint's per-vnet injection queue, in
+	// packets; endpoints observe backpressure through CanInject.
+	InjQueueDepth int
+	// FilterEnabled turns the coherent in-network filter on.
+	FilterEnabled bool
+	// OrdPushInvStall enables OrdPush's in-router invalidation stalling
+	// behind same-line pushes.
+	OrdPushInvStall bool
+}
+
+// DefaultConfig returns the Table I NoC configuration for an W x H mesh.
+func DefaultConfig(w, h int) Config {
+	return Config{
+		Width:         w,
+		Height:        h,
+		VCsPerVNet:    4,
+		LinkWidthBits: 128,
+		InjQueueDepth: 16,
+	}
+}
+
+// Nodes returns the tile count.
+func (c Config) Nodes() int { return c.Width * c.Height }
+
+// DataPacketSize returns the flit count of a cache-line data packet at the
+// configured link width (head flit + payload flits).
+func (c Config) DataPacketSize() int {
+	lineBits := 64 * 8
+	return 1 + (lineBits+c.LinkWidthBits-1)/c.LinkWidthBits
+}
+
+// CtrlPacketSize returns the flit count of a control packet (always 1).
+func (c Config) CtrlPacketSize() int { return 1 }
+
+// XY returns the (x, y) coordinate of node n.
+func (c Config) XY(n NodeID) (int, int) { return int(n) % c.Width, int(n) / c.Width }
+
+// Node returns the node at coordinate (x, y).
+func (c Config) Node(x, y int) NodeID { return NodeID(y*c.Width + x) }
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Width <= 0 || c.Height <= 0 {
+		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
+	}
+	if c.Nodes() > 64 {
+		return fmt.Errorf("noc: %d nodes exceed the 64-node DestSet limit", c.Nodes())
+	}
+	if c.VCsPerVNet <= 0 {
+		return fmt.Errorf("noc: VCsPerVNet must be positive, got %d", c.VCsPerVNet)
+	}
+	switch c.LinkWidthBits {
+	case 64, 128, 256, 512:
+	default:
+		return fmt.Errorf("noc: unsupported link width %d bits", c.LinkWidthBits)
+	}
+	if c.InjQueueDepth <= 0 {
+		return fmt.Errorf("noc: InjQueueDepth must be positive, got %d", c.InjQueueDepth)
+	}
+	return nil
+}

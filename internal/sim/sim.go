@@ -1,0 +1,97 @@
+// Package sim provides the deterministic cycle-driven simulation kernel that
+// every other subsystem plugs into.
+//
+// The kernel is intentionally minimal: components register as Tickers and are
+// ticked once per cycle in registration order. Determinism comes from two
+// rules every component follows:
+//
+//  1. A component only consumes an item whose readyAt stamp is <= the current
+//     cycle, so same-cycle pass-through cannot depend on tick order.
+//  2. Components never spawn goroutines; all state lives behind the single
+//     simulation thread.
+//
+// The Engine also provides progress-based deadlock detection: components
+// report forward progress via Engine.Progress, and a run aborts with
+// ErrDeadlock if no progress is observed for the watchdog window.
+package sim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Cycle is a simulation timestamp in core clock cycles.
+type Cycle uint64
+
+// Ticker is the hook every simulated component implements. Tick is invoked
+// exactly once per simulated cycle.
+type Ticker interface {
+	Tick(now Cycle)
+}
+
+// TickFunc adapts an ordinary function to the Ticker interface.
+type TickFunc func(now Cycle)
+
+// Tick implements Ticker.
+func (f TickFunc) Tick(now Cycle) { f(now) }
+
+// ErrDeadlock is returned by Run when the watchdog window elapses without any
+// component reporting progress while the simulation is not finished.
+var ErrDeadlock = errors.New("sim: no forward progress (deadlock)")
+
+// ErrMaxCycles is returned by Run when the cycle limit is hit before the
+// finished predicate reports completion.
+var ErrMaxCycles = errors.New("sim: cycle limit exceeded")
+
+// Engine drives the simulation. The zero value is not usable; construct with
+// NewEngine.
+type Engine struct {
+	now          Cycle
+	tickers      []Ticker
+	lastProgress Cycle
+	watchdog     Cycle
+	maxCycles    Cycle
+}
+
+// NewEngine returns an engine with the given watchdog window and cycle limit.
+// A watchdog of 0 disables deadlock detection; a maxCycles of 0 means no
+// cycle limit.
+func NewEngine(watchdog, maxCycles Cycle) *Engine {
+	return &Engine{watchdog: watchdog, maxCycles: maxCycles}
+}
+
+// Register adds a component to the per-cycle tick list. Components are ticked
+// in registration order.
+func (e *Engine) Register(t Ticker) { e.tickers = append(e.tickers, t) }
+
+// Now returns the current cycle.
+func (e *Engine) Now() Cycle { return e.now }
+
+// Progress records that a component made forward progress this cycle (moved a
+// flit, retired an instruction, completed a transaction, ...). It feeds the
+// deadlock watchdog.
+func (e *Engine) Progress() { e.lastProgress = e.now }
+
+// Step advances the simulation by exactly one cycle.
+func (e *Engine) Step() {
+	for _, t := range e.tickers {
+		t.Tick(e.now)
+	}
+	e.now++
+}
+
+// Run advances the simulation until finished() reports true. It returns the
+// cycle at which the simulation finished, or an error if the watchdog fires
+// or the cycle limit is exceeded.
+func (e *Engine) Run(finished func() bool) (Cycle, error) {
+	for !finished() {
+		if e.maxCycles != 0 && e.now >= e.maxCycles {
+			return e.now, fmt.Errorf("%w at cycle %d", ErrMaxCycles, e.now)
+		}
+		if e.watchdog != 0 && e.now-e.lastProgress > e.watchdog {
+			return e.now, fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, e.lastProgress, e.now)
+		}
+		e.Step()
+	}
+	return e.now, nil
+}

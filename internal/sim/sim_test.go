@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestEngineStepsAndOrder(t *testing.T) {
+	eng := NewEngine(0, 0)
+	var order []int
+	eng.Register(TickFunc(func(now Cycle) { order = append(order, 1) }))
+	eng.Register(TickFunc(func(now Cycle) { order = append(order, 2) }))
+	eng.Step()
+	eng.Step()
+	if len(order) != 4 || order[0] != 1 || order[1] != 2 || order[2] != 1 {
+		t.Fatalf("tick order wrong: %v", order)
+	}
+	if eng.Now() != 2 {
+		t.Fatalf("Now = %d, want 2", eng.Now())
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	eng := NewEngine(0, 0)
+	count := 0
+	eng.Register(TickFunc(func(now Cycle) { count++; eng.Progress() }))
+	end, err := eng.Run(func() bool { return count >= 10 })
+	if err != nil || end != 10 {
+		t.Fatalf("end=%d err=%v", end, err)
+	}
+}
+
+func TestEngineDeadlockDetection(t *testing.T) {
+	eng := NewEngine(50, 0)
+	eng.Register(TickFunc(func(now Cycle) {}))
+	_, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want ErrDeadlock", err)
+	}
+}
+
+func TestEngineProgressDefersWatchdog(t *testing.T) {
+	eng := NewEngine(50, 0)
+	n := 0
+	eng.Register(TickFunc(func(now Cycle) {
+		n++
+		if n < 200 {
+			eng.Progress()
+		}
+	}))
+	_, err := eng.Run(func() bool { return n >= 400 })
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("err = %v, want deadlock after progress stops", err)
+	}
+	if n < 200 {
+		t.Fatalf("watchdog fired too early at n=%d", n)
+	}
+}
+
+func TestEngineMaxCycles(t *testing.T) {
+	eng := NewEngine(0, 25)
+	eng.Register(TickFunc(func(now Cycle) { eng.Progress() }))
+	_, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("err = %v, want ErrMaxCycles", err)
+	}
+}
+
+func TestEngineFinishedImmediately(t *testing.T) {
+	eng := NewEngine(1, 1)
+	end, err := eng.Run(func() bool { return true })
+	if err != nil || end != 0 {
+		t.Fatalf("end=%d err=%v, want 0,nil", end, err)
+	}
+}

@@ -1,0 +1,222 @@
+// Package stats defines the measurement vocabulary shared by all simulator
+// subsystems: traffic classes, network/link counters, cache counters, and the
+// push-usage breakdown used to reproduce the paper's evaluation figures.
+//
+// Counters are plain integers mutated by the single simulation goroutine; no
+// synchronization is needed or provided.
+package stats
+
+// Class is the traffic category a packet is accounted under. The categories
+// follow the paper's traffic breakdowns (Fig 3, Fig 13, Fig 15, Fig 16).
+type Class uint8
+
+// Traffic classes.
+const (
+	// ClassReadRequest covers GetS demand and prefetch read requests.
+	ClassReadRequest Class = iota
+	// ClassReadSharedData covers unicast data responses for lines in the
+	// shared state.
+	ClassReadSharedData
+	// ClassPushData covers speculative push multicast data packets. For
+	// figure reporting it is merged into the read-shared category, matching
+	// the paper's classification of pushes as shared-data traffic.
+	ClassPushData
+	// ClassExclusiveData covers E/M data responses (including write data).
+	ClassExclusiveData
+	// ClassWriteBackData covers dirty writeback (PutM) data packets.
+	ClassWriteBackData
+	// ClassPushAck covers push acknowledgment control messages (PushAck
+	// coherence variant only).
+	ClassPushAck
+	// ClassOther covers everything else: invalidations, inv-acks, memory
+	// traffic, and miscellaneous control.
+	ClassOther
+
+	// NumClasses is the number of traffic classes.
+	NumClasses
+)
+
+var classNames = [NumClasses]string{
+	"ReadRequest", "ReadSharedData", "PushData", "ExclusiveData",
+	"WriteBackData", "PushAck", "Other",
+}
+
+// String returns the class name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return "Unknown"
+}
+
+// Unit identifies the kind of endpoint a flit was injected from or ejected
+// to, for the per-endpoint bandwidth figures (Fig 15, Fig 16).
+type Unit uint8
+
+// Endpoint units.
+const (
+	UnitL2 Unit = iota
+	UnitLLC
+	UnitMem
+	NumUnits
+)
+
+var unitNames = [NumUnits]string{"L2", "LLC", "Mem"}
+
+// String returns the unit name.
+func (u Unit) String() string {
+	if int(u) < len(unitNames) {
+		return unitNames[u]
+	}
+	return "Unknown"
+}
+
+// Network aggregates all NoC-side counters.
+type Network struct {
+	// LinkFlits[l] is the number of flits that traversed link l. Link
+	// indices are assigned by the NoC; LinkName maps them back.
+	LinkFlits []uint64
+	// TotalFlitsByClass counts link-level flit traversals per class
+	// (a flit crossing three links counts three times, matching traffic
+	// volume as the paper measures it).
+	TotalFlitsByClass [NumClasses]uint64
+	// InjectedFlits[u][c] counts flits injected into the NoC by unit kind u
+	// under class c (endpoint-side, each flit counted once).
+	InjectedFlits [NumUnits][NumClasses]uint64
+	// EjectedFlits[u][c] counts flits ejected from the NoC to unit kind u.
+	EjectedFlits [NumUnits][NumClasses]uint64
+	// InjectedPackets / EjectedPackets mirror the flit counters at packet
+	// granularity.
+	InjectedPackets [NumUnits][NumClasses]uint64
+	EjectedPackets  [NumUnits][NumClasses]uint64
+	// FilteredRequests counts read requests pruned by the in-network
+	// coherent filter.
+	FilteredRequests uint64
+	// StalledInvCycles counts cycles an invalidation spent stalled behind a
+	// same-line push (OrdPush ordering enforcement).
+	StalledInvCycles uint64
+	// MulticastReplicas counts extra packet replicas created by in-router
+	// multicast forking.
+	MulticastReplicas uint64
+	// PacketLatencySum/PacketCount measure end-to-end packet latency.
+	PacketLatencySum uint64
+	PacketCount      uint64
+}
+
+// TotalFlits returns total link-level flit traversals across classes.
+func (n *Network) TotalFlits() uint64 {
+	var t uint64
+	for _, v := range n.TotalFlitsByClass {
+		t += v
+	}
+	return t
+}
+
+// PushOutcome classifies what happened to one received push at a private
+// cache (Fig 12 categories).
+type PushOutcome uint8
+
+// Push outcomes.
+const (
+	// PushDeadlockDrop: dropped because every line in the target set was in
+	// a blocking transient state (deadlock avoidance).
+	PushDeadlockDrop PushOutcome = iota
+	// PushRedundancyDrop: dropped because the line was already present.
+	PushRedundancyDrop
+	// PushCoherenceDrop: dropped because the line had a conflicting
+	// transient write upgrade outstanding.
+	PushCoherenceDrop
+	// PushUnused: installed but evicted without being accessed.
+	PushUnused
+	// PushMissToHit: installed and later accessed before eviction.
+	PushMissToHit
+	// PushEarlyResp: served an outstanding same-line read miss on arrival.
+	PushEarlyResp
+	NumPushOutcomes
+)
+
+var pushOutcomeNames = [NumPushOutcomes]string{
+	"Deadlock-Drop", "Redundancy-Drop", "Coherence-Drop",
+	"Unused", "Miss-to-Hit", "Early-Resp",
+}
+
+// String returns the outcome name.
+func (o PushOutcome) String() string {
+	if int(o) < len(pushOutcomeNames) {
+		return pushOutcomeNames[o]
+	}
+	return "Unknown"
+}
+
+// Cache aggregates per-cache-level counters summed over all tiles.
+type Cache struct {
+	L1Accesses   uint64
+	L1Misses     uint64
+	L2Accesses   uint64
+	L2Misses     uint64 // demand + prefetch misses, as the paper counts MPKI
+	L2Evictions  uint64
+	LLCAccesses  uint64
+	LLCMisses    uint64
+	LLCEvictions uint64
+	// PushOutcomes is the Fig 12 breakdown, summed over private caches.
+	PushOutcomes [NumPushOutcomes]uint64
+	// PushesTriggered counts push transactions initiated by LLC slices;
+	// PushDestinations sums their destination counts (avg destinations =
+	// PushDestinations / PushesTriggered, the §IV-C profiling).
+	PushesTriggered  uint64
+	PushDestinations uint64
+	// PausedPushRequests counts GetS requests carrying need_push=false.
+	PausedPushRequests uint64
+	// CoalescedRequests counts LLC requests merged by the Coalesce scheme.
+	CoalescedRequests uint64
+	// MemReads/MemWrites count DRAM transactions.
+	MemReads  uint64
+	MemWrites uint64
+}
+
+// TotalPushes returns the number of pushes received at private caches.
+func (c *Cache) TotalPushes() uint64 {
+	var t uint64
+	for _, v := range c.PushOutcomes {
+		t += v
+	}
+	return t
+}
+
+// UsefulPushes returns pushes that served a miss or turned a miss into a hit.
+func (c *Cache) UsefulPushes() uint64 {
+	return c.PushOutcomes[PushMissToHit] + c.PushOutcomes[PushEarlyResp]
+}
+
+// Core aggregates per-core execution counters summed over all cores.
+type Core struct {
+	Instructions uint64
+	Cycles       uint64 // parallel-phase cycles (same for every core)
+	Loads        uint64
+	Stores       uint64
+	StallCycles  uint64 // cycles the window was full
+}
+
+// All is the top-level stats bundle for one simulation run.
+type All struct {
+	Net   Network
+	Cache Cache
+	Core  Core
+	// SharerGaps records, for traced shared lines, the cycle gap between
+	// consecutive accesses by distinct sharers (Fig 4). Keyed by the ordered
+	// sharer pair index (prev*64+next); values are gap samples.
+	SharerGaps map[int][]uint64
+}
+
+// New returns an empty stats bundle.
+func New() *All {
+	return &All{SharerGaps: make(map[int][]uint64)}
+}
+
+// MPKI returns misses-per-kilo-instruction given a miss count.
+func (a *All) MPKI(misses uint64) float64 {
+	if a.Core.Instructions == 0 {
+		return 0
+	}
+	return float64(misses) * 1000 / float64(a.Core.Instructions)
+}

@@ -1,0 +1,71 @@
+package stats
+
+import "testing"
+
+func TestClassNames(t *testing.T) {
+	for c := Class(0); c < NumClasses; c++ {
+		if c.String() == "Unknown" {
+			t.Errorf("class %d unnamed", c)
+		}
+	}
+	if Class(200).String() != "Unknown" {
+		t.Error("out-of-range class should be Unknown")
+	}
+}
+
+func TestUnitNames(t *testing.T) {
+	for u := Unit(0); u < NumUnits; u++ {
+		if u.String() == "Unknown" {
+			t.Errorf("unit %d unnamed", u)
+		}
+	}
+}
+
+func TestPushOutcomeNames(t *testing.T) {
+	for o := PushOutcome(0); o < NumPushOutcomes; o++ {
+		if o.String() == "Unknown" {
+			t.Errorf("outcome %d unnamed", o)
+		}
+	}
+}
+
+func TestNetworkTotals(t *testing.T) {
+	var n Network
+	n.TotalFlitsByClass[ClassReadRequest] = 3
+	n.TotalFlitsByClass[ClassPushData] = 7
+	if n.TotalFlits() != 10 {
+		t.Errorf("TotalFlits = %d, want 10", n.TotalFlits())
+	}
+}
+
+func TestCachePushAggregates(t *testing.T) {
+	var c Cache
+	c.PushOutcomes[PushMissToHit] = 5
+	c.PushOutcomes[PushEarlyResp] = 3
+	c.PushOutcomes[PushUnused] = 2
+	if c.TotalPushes() != 10 {
+		t.Errorf("TotalPushes = %d, want 10", c.TotalPushes())
+	}
+	if c.UsefulPushes() != 8 {
+		t.Errorf("UsefulPushes = %d, want 8", c.UsefulPushes())
+	}
+}
+
+func TestMPKI(t *testing.T) {
+	a := New()
+	if a.MPKI(100) != 0 {
+		t.Error("MPKI with zero instructions should be 0")
+	}
+	a.Core.Instructions = 2000
+	if got := a.MPKI(100); got != 50 {
+		t.Errorf("MPKI = %v, want 50", got)
+	}
+}
+
+func TestNewInitializesGapMap(t *testing.T) {
+	a := New()
+	a.SharerGaps[5] = append(a.SharerGaps[5], 10)
+	if len(a.SharerGaps[5]) != 1 {
+		t.Error("SharerGaps not usable")
+	}
+}

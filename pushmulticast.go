@@ -1,0 +1,141 @@
+// Package pushmulticast is the public API of the Push Multicast simulator, a
+// Go reproduction of "Push Multicast: A Speculative and Coherent
+// Interconnect for Mitigating Manycore CPU Communication Bottleneck"
+// (HPCA 2025).
+//
+// The package wraps the internal simulator substrates (cycle engine, mesh
+// NoC with the coherent in-network filter, MSI coherence with the PushAck
+// and OrdPush extensions, cache hierarchy, core model, prefetchers, and
+// workload generators) behind three things:
+//
+//   - configuration: Default16/Default64 plus the scheme constructors
+//     (Baseline, Coalesce, MSP, PushAck, OrdPush, and the Fig 20 ablations);
+//   - execution: Run / RunWorkload, returning Results;
+//   - the experiment harness: one FigNN function per figure of the paper's
+//     evaluation, each regenerating the corresponding table of numbers.
+//
+// A minimal use:
+//
+//	cfg := pushmulticast.Default16().WithScheme(pushmulticast.OrdPush())
+//	res, err := pushmulticast.Run(cfg, "cachebw", pushmulticast.ScaleQuick)
+package pushmulticast
+
+import (
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/core"
+	"pushmulticast/internal/stats"
+	"pushmulticast/internal/workload"
+)
+
+// Config is the full machine configuration (Table I). See Default16 and
+// Default64 for the paper's presets.
+type Config = config.System
+
+// Scheme is one evaluated design point (baseline, Push Multicast variant,
+// or ablation).
+type Scheme = config.Scheme
+
+// Results bundles one run's execution time and counters.
+type Results = core.Results
+
+// Stats is the counter bundle inside Results.
+type Stats = stats.All
+
+// Workload is a named access-stream generator.
+type Workload = workload.Workload
+
+// Scale selects input sizing for workload generators.
+type Scale = workload.Scale
+
+// Input scales. Quick preserves the paper's working-set-to-cache ratios at
+// a fraction of the cost when paired with ScaledConfig; Full uses unscaled
+// Table I caches.
+const (
+	ScaleTiny  = workload.ScaleTiny
+	ScaleQuick = workload.ScaleQuick
+	ScaleFull  = workload.ScaleFull
+)
+
+// Default16 returns the Table I 16-core (4x4 mesh) configuration.
+func Default16() Config { return config.Default16() }
+
+// Default64 returns the Table I 64-core (8x8 mesh) configuration.
+func Default64() Config { return config.Default64() }
+
+// ScaledConfig shrinks the configuration's caches by the standard quick-run
+// factor so ScaleQuick inputs exert the same pressure full inputs exert on
+// the full caches.
+func ScaledConfig(cfg Config) Config { return cfg.Scaled(16) }
+
+// Scheme constructors (see config package for details).
+func Baseline() Scheme   { return config.Baseline() }
+func NoPrefetch() Scheme { return config.NoPrefetch() }
+func Coalesce() Scheme   { return config.Coalesce() }
+func MSP() Scheme        { return config.MSP() }
+func PushAck() Scheme    { return config.PushAck() }
+func OrdPush() Scheme    { return config.OrdPush() }
+
+// Fig 20 ablation lattice.
+func AblationPush() Scheme                { return config.AblationPush() }
+func AblationPushMulticast() Scheme       { return config.AblationPushMulticast() }
+func AblationPushMulticastFilter() Scheme { return config.AblationPushMulticastFilter() }
+func AblationFull() Scheme                { return config.AblationFull() }
+
+// Stream-building surface for user-defined workloads.
+
+// Op is one operation of a core's instruction stream.
+type Op = workload.Op
+
+// Stream produces a core's operation sequence.
+type Stream = workload.Stream
+
+// StreamFunc adapts a function to Stream.
+type StreamFunc = workload.StreamFunc
+
+// Stream operation kinds.
+const (
+	OpWork    = workload.OpWork
+	OpLoad    = workload.OpLoad
+	OpStore   = workload.OpStore
+	OpBarrier = workload.OpBarrier
+	OpEnd     = workload.OpEnd
+)
+
+// SharedBase is the base address of the shared data segment used by the
+// bundled workloads; user workloads placing read-shared data here get the
+// Fig 4 tracing for free.
+const SharedBase = 1 << 30
+
+// PrivateBase returns the base address of a core's private data segment.
+func PrivateBase(core int) uint64 { return workload.PrivateBase(core) }
+
+// Workloads returns the full registry in the paper's order (Table II).
+func Workloads() []Workload { return workload.Registry() }
+
+// WorkloadNames lists the registry names.
+func WorkloadNames() []string { return workload.Names() }
+
+// Run simulates the named workload on the configuration and returns its
+// results.
+func Run(cfg Config, workloadName string, sc Scale) (Results, error) {
+	wl, err := workload.ByName(workloadName)
+	if err != nil {
+		return Results{}, err
+	}
+	return RunWorkload(cfg, wl, sc)
+}
+
+// RunWorkload simulates a workload value (including user-defined ones) on
+// the configuration.
+func RunWorkload(cfg Config, wl Workload, sc Scale) (Results, error) {
+	sys, err := core.Build(cfg, wl, sc)
+	if err != nil {
+		return Results{}, err
+	}
+	res, err := sys.Run(0)
+	if err != nil {
+		return Results{}, err
+	}
+	res.Workload = wl.Name
+	return res, nil
+}

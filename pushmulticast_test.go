@@ -1,0 +1,369 @@
+package pushmulticast
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// tinyOpts keeps experiment tests fast: tiny inputs, few workloads.
+func tinyOpts(wls ...string) ExpOptions {
+	return ExpOptions{Scale: ScaleTiny, Cores: 16, Workloads: wls}
+}
+
+func TestRunByName(t *testing.T) {
+	cfg := ScaledConfig(Default16()).WithScheme(OrdPush())
+	res, err := Run(cfg, "cachebw", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Workload != "cachebw" || res.Scheme != "OrdPush" || res.Cycles == 0 {
+		t.Fatalf("bad results: %+v", res)
+	}
+	if _, err := Run(cfg, "doesnotexist", ScaleTiny); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %v", g)
+	}
+	if g := geomean(nil); g != 0 {
+		t.Errorf("geomean(nil) = %v", g)
+	}
+	if g := geomean([]float64{1, 0}); g != 0 {
+		t.Errorf("geomean with zero = %v", g)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := sortU64([]uint64{5, 1, 9, 3, 7})
+	if quantile(s, 0) != 1 || quantile(s, 1) != 9 || quantile(s, 0.5) != 5 {
+		t.Errorf("quantiles wrong: %v", s)
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := newTable("Title", "A", "B")
+	tb.addRow("x", "1")
+	tb.addNote("hello %d", 7)
+	s := tb.String()
+	for _, want := range []string{"Title", "A", "B", "x", "1", "note: hello 7"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("table missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	o := tinyOpts()
+	t1 := TableI(o)
+	if !strings.Contains(t1, "4x4 tiles") || !strings.Contains(t1, "TPC threshold") {
+		t.Errorf("Table I incomplete:\n%s", t1)
+	}
+	t2 := TableII()
+	for _, wl := range []string{"cachebw", "bfs", "swaptions"} {
+		if !strings.Contains(t2, wl) {
+			t.Errorf("Table II missing %s", wl)
+		}
+	}
+}
+
+func TestFig2And3Tiny(t *testing.T) {
+	f2r, err := Fig2(tinyOpts("cachebw", "swaptions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f2r.Rows) != 2 {
+		t.Fatalf("Fig2 rows = %d", len(f2r.Rows))
+	}
+	// High-load cachebw must dominate low-load swaptions on both axes.
+	if f2r.Rows[0].L2MPKI <= f2r.Rows[1].L2MPKI || f2r.Rows[0].InjLoad <= f2r.Rows[1].InjLoad {
+		t.Errorf("Fig2 shape wrong: %+v", f2r.Rows)
+	}
+	f3r, err := Fig3(tinyOpts("cachebw", "swaptions"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := f3r.Rows[0]
+	if cb.ReadShared < 0.5 {
+		t.Errorf("cachebw read-shared fraction = %v, want > 0.5", cb.ReadShared)
+	}
+	sum := cb.ReadShared + cb.ReadRequest + cb.Exclusive + cb.WriteBack + cb.Others
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("cachebw fractions sum to %v", sum)
+	}
+	if f3r.Rows[1].ReadShared > 0.2 {
+		t.Errorf("swaptions read-shared fraction = %v, want tiny", f3r.Rows[1].ReadShared)
+	}
+	if f2r.String() == "" || f3r.String() == "" {
+		t.Error("empty rendering")
+	}
+}
+
+func TestFig4Tiny(t *testing.T) {
+	f, err := Fig4(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Pairs) == 0 {
+		t.Fatal("no sharer gap samples recorded")
+	}
+	if f.AllMedian == 0 {
+		t.Error("zero median gap")
+	}
+	if !strings.Contains(f.String(), "median gap") {
+		t.Error("rendering incomplete")
+	}
+}
+
+func TestFig11Tiny(t *testing.T) {
+	f, err := Fig11(tinyOpts("cachebw", "mlp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 || len(f.Schemes) != 4 {
+		t.Fatalf("Fig11 shape: %d rows %d schemes", len(f.Rows), len(f.Schemes))
+	}
+	// cachebw: OrdPush must beat the baseline.
+	for _, r := range f.Rows {
+		if r.Workload == "cachebw" && r.Speedup["OrdPush"] <= 1.0 {
+			t.Errorf("cachebw OrdPush speedup = %v, want > 1", r.Speedup["OrdPush"])
+		}
+	}
+	if f.Geomean["OrdPush"] == 0 || f.Max["OrdPush"] == 0 {
+		t.Error("aggregates missing")
+	}
+}
+
+func TestFig12Tiny(t *testing.T) {
+	f, err := Fig12(tinyOpts("cachebw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ord *Fig12Row
+	for i := range f.Rows {
+		if f.Rows[i].Scheme == "OrdPush" {
+			ord = &f.Rows[i]
+		}
+	}
+	if ord == nil || ord.Total == 0 {
+		t.Fatal("no OrdPush pushes recorded")
+	}
+	useful := ord.Percent[4] + ord.Percent[5] // MissToHit + EarlyResp
+	if useful < 0.7 {
+		t.Errorf("cachebw OrdPush usefulness = %v, want high", useful)
+	}
+}
+
+func TestFig13Tiny(t *testing.T) {
+	f, err := Fig13(tinyOpts("cachebw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f.Rows {
+		if r.Scheme == "OrdPush" && r.Total >= 1.0 {
+			t.Errorf("OrdPush cachebw traffic %v not below baseline", r.Total)
+		}
+	}
+	if f.AvgSavingOrdPush <= 0 {
+		t.Errorf("average OrdPush saving = %v, want positive", f.AvgSavingOrdPush)
+	}
+}
+
+func TestFig14Tiny(t *testing.T) {
+	f, err := Fig14(tinyOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Grids) != 2 {
+		t.Fatalf("grids = %d", len(f.Grids))
+	}
+	base, ord := f.Grids[0], f.Grids[1]
+	if ord.Total >= base.Total {
+		t.Errorf("OrdPush link flits %d not below baseline %d", ord.Total, base.Total)
+	}
+	if base.MaxLoad == 0 || ord.MaxLink == "" {
+		t.Error("hotspot data missing")
+	}
+}
+
+func TestFig15And16Tiny(t *testing.T) {
+	f15, err := Fig15(tinyOpts("cachebw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f16, err := Fig16(tinyOpts("cachebw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range f16.Rows {
+		if r.Scheme == "OrdPush" && r.Injected >= 1.0 {
+			t.Errorf("LLC injection %v not reduced by multicasts", r.Injected)
+		}
+		if r.Scheme == "PushAck" && r.InjPushAck > 0 {
+			t.Error("LLC should not inject PushAck messages")
+		}
+	}
+	foundAck := false
+	for _, r := range f15.Rows {
+		if r.Scheme == "PushAck" && r.InjPushAck > 0 {
+			foundAck = true
+		}
+	}
+	if !foundAck {
+		t.Error("PushAck scheme shows no L2 PushAck injection")
+	}
+}
+
+func TestFig20Tiny(t *testing.T) {
+	f, err := Fig20(tinyOpts("cachebw", "bfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Stages) != 4 {
+		t.Fatalf("stages = %v", f.Stages)
+	}
+	for _, r := range f.Rows {
+		if r.Workload != "bfs" {
+			continue
+		}
+		if r.Speedup["Push+Multicast+Filter+Knob"] < r.Speedup["Push"] {
+			t.Errorf("knob stage should not be worse than raw Push on bfs: %+v", r.Speedup)
+		}
+	}
+}
+
+func TestExtInterplayTiny(t *testing.T) {
+	f, err := ExtInterplay(tinyOpts("cachebw", "mlp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	for _, r := range f.Rows {
+		if r.OrdPush <= 0 || r.Combined <= 0 {
+			t.Errorf("%s: non-positive speedups %+v", r.Workload, r)
+		}
+	}
+}
+
+func TestExtRecentPushTableTiny(t *testing.T) {
+	f, err := ExtRecentPushTable(tinyOpts("cachebw"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := f.Rows[0]
+	if r.PushesWithout <= r.PushesWith {
+		t.Errorf("recent-push table should reduce triggered multicasts: with=%d without=%d",
+			r.PushesWith, r.PushesWithout)
+	}
+	if r.TrafficRatio >= 1.0 {
+		t.Errorf("traffic ratio %v not below 1", r.TrafficRatio)
+	}
+}
+
+func TestExtFutureDirectionsTiny(t *testing.T) {
+	f, err := ExtFutureDirections(tinyOpts("cachebw", "bfs"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Rows) != 2 {
+		t.Fatalf("rows = %d", len(f.Rows))
+	}
+	for _, r := range f.Rows {
+		if r.OrdPush <= 0 || r.Predict <= 0 || r.DeepL1 <= 0 {
+			t.Errorf("%s: non-positive speedups %+v", r.Workload, r)
+		}
+	}
+}
+
+func TestPredictivePushTriggersOnRefetch(t *testing.T) {
+	// bfs at tiny scale with a shrunken LLC forces evictions and refetches;
+	// the predictor must add fill-time pushes over plain OrdPush, and the
+	// run must stay coherent.
+	mk := func(sch Scheme) Results {
+		cfg := ScaledConfig(Default16()).WithScheme(sch)
+		cfg.LLCSliceSize /= 16
+		res, err := Run(cfg, "bfs", ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	ord := mk(OrdPush())
+	pred := mk(PredictivePush())
+	if pred.Stats.Cache.PushesTriggered <= ord.Stats.Cache.PushesTriggered {
+		t.Errorf("predictor added no pushes: ord=%d pred=%d",
+			ord.Stats.Cache.PushesTriggered, pred.Stats.Cache.PushesTriggered)
+	}
+}
+
+func TestDeepPushFillsL1(t *testing.T) {
+	cfg := ScaledConfig(Default16()).WithScheme(DeepPush())
+	res, err := Run(cfg, "cachebw", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Run(ScaledConfig(Default16()).WithScheme(OrdPush()), "cachebw", ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.L1MPKI() >= base.L1MPKI() {
+		t.Errorf("L1 push fill did not reduce L1 MPKI: %v vs %v", res.L1MPKI(), base.L1MPKI())
+	}
+}
+
+func TestExpOptionsDefaults(t *testing.T) {
+	o := ExpOptions{}.withDefaults()
+	if o.Cores != 16 || o.Parallelism < 1 {
+		t.Fatalf("defaults wrong: %+v", o)
+	}
+	if o.baseConfig().Tiles() != 16 {
+		t.Fatal("default config not 16 tiles")
+	}
+	o64 := ExpOptions{Cores: 64}.withDefaults()
+	if o64.baseConfig().Tiles() != 64 {
+		t.Fatal("64-core config not 64 tiles")
+	}
+	full := ExpOptions{Scale: ScaleFull}.withDefaults()
+	if full.baseConfig().L2Size != Default16().L2Size {
+		t.Fatal("full scale must keep Table I caches")
+	}
+	quick := ExpOptions{Scale: ScaleQuick}.withDefaults()
+	if quick.baseConfig().L2Size >= Default16().L2Size {
+		t.Fatal("quick scale must shrink caches")
+	}
+}
+
+func TestExpOptionsWorkloadFilter(t *testing.T) {
+	o := ExpOptions{Workloads: []string{"cachebw", "bfs"}}.withDefaults()
+	wls, err := o.pickWorkloads(Workloads())
+	if err != nil || len(wls) != 2 || wls[0].Name != "cachebw" {
+		t.Fatalf("filter wrong: %v %v", wls, err)
+	}
+	bad := ExpOptions{Workloads: []string{"nope"}}.withDefaults()
+	if _, err := bad.pickWorkloads(Workloads()); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+	def := ExpOptions{}.withDefaults()
+	wls, err = def.pickWorkloads(Workloads())
+	if err != nil || len(wls) != 15 {
+		t.Fatalf("default set wrong: %d %v", len(wls), err)
+	}
+}
+
+func TestSchemeAccessors(t *testing.T) {
+	if Baseline().Name != "L1Bingo-L2Stride" || OrdPush().Name != "OrdPush" {
+		t.Fatal("scheme names changed; experiment row keys depend on them")
+	}
+	names := WorkloadNames()
+	if len(names) != 15 || names[0] != "cachebw" {
+		t.Fatalf("workload names changed: %v", names)
+	}
+}

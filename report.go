@@ -1,0 +1,52 @@
+package pushmulticast
+
+import (
+	"fmt"
+	"strings"
+	"text/tabwriter"
+)
+
+// table renders aligned text tables for experiment reports.
+type table struct {
+	title   string
+	columns []string
+	rows    [][]string
+	notes   []string
+}
+
+func newTable(title string, columns ...string) *table {
+	return &table{title: title, columns: columns}
+}
+
+func (t *table) addRow(cells ...string) { t.rows = append(t.rows, cells) }
+
+func (t *table) addNote(format string, args ...any) {
+	t.notes = append(t.notes, fmt.Sprintf(format, args...))
+}
+
+func (t *table) String() string {
+	var b strings.Builder
+	b.WriteString(t.title)
+	b.WriteString("\n")
+	b.WriteString(strings.Repeat("-", len(t.title)))
+	b.WriteString("\n")
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, strings.Join(t.columns, "\t"))
+	for _, r := range t.rows {
+		fmt.Fprintln(w, strings.Join(r, "\t"))
+	}
+	w.Flush()
+	for _, n := range t.notes {
+		b.WriteString("note: ")
+		b.WriteString(n)
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// f2 formats a float with two decimals; f1 with one; pct as a percentage.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func pct(v float64) string {
+	return fmt.Sprintf("%.1f%%", 100*v)
+}
