@@ -30,6 +30,23 @@ func BenchmarkRunCachebwOrdPush(b *testing.B) {
 	b.ReportMetric(float64(cycles), "simcycles/op")
 }
 
+// BenchmarkRunCachebwOrdPushDense is the same run under the dense
+// (tick-everything) reference kernel; the ratio to the wake-driven
+// benchmark above is the kernel speedup tracked in BENCH_kernel.json.
+func BenchmarkRunCachebwOrdPushDense(b *testing.B) {
+	cfg := ScaledConfig(Default16()).WithScheme(OrdPush())
+	cfg.DenseKernel = true
+	var cycles uint64
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfg, "cachebw", ScaleTiny)
+		if err != nil {
+			b.Fatal(err)
+		}
+		cycles = res.Cycles
+	}
+	b.ReportMetric(float64(cycles), "simcycles/op")
+}
+
 func BenchmarkFig2(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		f, err := Fig2(benchOpts("cachebw", "mv", "swaptions"))

@@ -26,6 +26,7 @@ func main() {
 		linkBits = flag.Int("link", 128, "link width in bits: 64|128|256|512")
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
+		dense    = flag.Bool("dense", false, "run on the dense reference kernel (tick every component every cycle; the wake-driven scheduler's equivalence oracle)")
 	)
 	flag.Parse()
 
@@ -41,6 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
 		os.Exit(1)
 	}
+	cfg.DenseKernel = *dense
 	sc, err := parseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)

@@ -150,14 +150,14 @@ func Fig4(o ExpOptions) (*Fig4Result, error) {
 	var all []uint64
 	keys := make([]int, 0, len(res.Stats.SharerGaps))
 	for k, v := range res.Stats.SharerGaps {
-		if len(v) >= 8 {
+		if len(v.Samples) >= 8 {
 			keys = append(keys, k)
 		}
-		all = append(all, v...)
+		all = append(all, v.Samples...)
 	}
 	sort.Ints(keys)
 	for _, k := range keys {
-		s := sortU64(res.Stats.SharerGaps[k])
+		s := sortU64(res.Stats.SharerGaps[k].Samples)
 		out.Pairs = append(out.Pairs, Fig4Pair{
 			Prev: k / 64, Next: k % 64, Samples: len(s),
 			Min: s[0], P25: quantile(s, 0.25), Median: quantile(s, 0.5),

@@ -1,6 +1,7 @@
 package pushmulticast
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"runtime"
@@ -87,37 +88,65 @@ func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Wo
 		}
 	}
 	results := make(map[runKey]Results, len(jobs))
-	var mu sync.Mutex
-	var firstErr error
+	var (
+		mu     sync.Mutex
+		errs   []error
+		seen   map[string]bool
+		failed bool
+	)
+	// fail records an error, deduplicating repeats: a broken configuration
+	// tends to sink every pair the same way, and one copy per distinct cause
+	// reads better than len(jobs) copies of the same message.
+	fail := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		failed = true
+		if seen == nil {
+			seen = make(map[string]bool)
+		}
+		if msg := err.Error(); !seen[msg] {
+			seen[msg] = true
+			errs = append(errs, err)
+		}
+	}
+	stopped := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return failed
+	}
 	sem := make(chan struct{}, o.Parallelism)
 	var wg sync.WaitGroup
 	for _, j := range jobs {
+		if stopped() {
+			break // a simulation already failed; launch nothing further
+		}
 		wg.Add(1)
 		go func(j job) {
 			defer wg.Done()
+			// Check before queuing for a semaphore slot: holding one just to
+			// discover the matrix is sinking would delay the jobs still
+			// draining ahead of us.
+			if stopped() {
+				return
+			}
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			mu.Lock()
-			stop := firstErr != nil
-			mu.Unlock()
-			if stop {
+			if stopped() {
 				return
 			}
 			res, err := RunWorkload(cfgFor(j.sch), j.wl, o.Scale)
-			mu.Lock()
-			defer mu.Unlock()
 			if err != nil {
-				if firstErr == nil {
-					firstErr = fmt.Errorf("%s/%s: %w", j.sch.Name, j.wl.Name, err)
-				}
+				fail(fmt.Errorf("%s/%s: %w", j.sch.Name, j.wl.Name, err))
 				return
 			}
+			mu.Lock()
 			results[runKey{j.sch.Name, j.wl.Name}] = res
+			mu.Unlock()
 		}(j)
 	}
 	wg.Wait()
-	if firstErr != nil {
-		return nil, firstErr
+	if len(errs) > 0 {
+		return nil, errors.Join(errs...)
 	}
 	return results, nil
 }
@@ -145,13 +174,25 @@ func geomean(vals []float64) float64 {
 	return math.Exp(sum / float64(len(vals)))
 }
 
-// quantile returns the q-quantile (0..1) of sorted samples.
+// quantile returns the q-quantile (0..1) of sorted samples, linearly
+// interpolating between the two nearest ranks and rounding to the nearest
+// integer. Truncating to the lower rank instead would bias high quantiles
+// (P99 on a handful of samples) toward the smaller neighbour.
 func quantile(sorted []uint64, q float64) uint64 {
 	if len(sorted) == 0 {
 		return 0
 	}
-	idx := int(q * float64(len(sorted)-1))
-	return sorted[idx]
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	if lo < 0 {
+		return sorted[0]
+	}
+	if lo >= len(sorted)-1 {
+		return sorted[len(sorted)-1]
+	}
+	frac := pos - float64(lo)
+	a, b := float64(sorted[lo]), float64(sorted[lo+1])
+	return uint64(a + (b-a)*frac + 0.5)
 }
 
 func sortU64(v []uint64) []uint64 {

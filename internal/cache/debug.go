@@ -28,8 +28,8 @@ func (c *L2) DumpState(w io.Writer) {
 	if len(c.out.pkts) > 0 {
 		fmt.Fprintf(w, "  outbox %d pkts\n", len(c.out.pkts))
 	}
-	if len(c.inq.items) > 0 {
-		fmt.Fprintf(w, "  inq %d msgs, head %v\n", len(c.inq.items), c.inq.items[0].pkt.Payload)
+	if live := c.inq.live(); len(live) > 0 {
+		fmt.Fprintf(w, "  inq %d msgs, head %v\n", len(live), live[0].pkt.Payload)
 	}
 }
 
@@ -62,9 +62,9 @@ func (s *LLC) DumpState(w io.Writer) {
 		}
 		fmt.Fprintln(w)
 	}
-	if len(s.inq.items) > 0 {
-		fmt.Fprintf(w, "  inq %d msgs, head %v ready=%d\n", len(s.inq.items),
-			s.inq.items[0].pkt.Payload, s.inq.items[0].readyAt)
+	if live := s.inq.live(); len(live) > 0 {
+		fmt.Fprintf(w, "  inq %d msgs, head %v ready=%d\n", len(live),
+			live[0].pkt.Payload, live[0].readyAt)
 	}
 	if len(s.out.pkts) > 0 {
 		fmt.Fprintf(w, "  outbox %d pkts, head %v\n", len(s.out.pkts), s.out.pkts[0].Payload)

@@ -86,6 +86,26 @@ func (k *resumeKnob) tick() {
 	}
 }
 
+// tickN advances the counter by n cycles at once, toggling phases exactly as
+// n calls to tick would. The wake-driven LLC uses it to catch up after
+// sleeping through idle cycles, keeping the phase sequence identical to a
+// dense run's.
+func (k *resumeKnob) tickN(n int) {
+	if !k.enabled || n <= 0 {
+		return
+	}
+	if n < k.counter {
+		k.counter -= n
+		return
+	}
+	n -= k.counter // cycles left after the first expiry
+	toggles := 1 + n/k.window
+	k.counter = k.window - n%k.window
+	if toggles&1 == 1 {
+		k.resume = !k.resume
+	}
+}
+
 // onRequest applies a request's need_push feedback. During the
 // Disable-Accepting phase the requester is added to or removed from the
 // PDRMap according to the bit; during the Resume phase additions are

@@ -63,12 +63,28 @@ type L2 struct {
 	l1   *L1
 	core Requestor
 
-	mshr map[uint64]*l2MSHR
-	wb   map[uint64]*wbEntry
-	inq  delayQueue
-	out  outbox
-	pend []doneEvt
-	knob pauseKnob
+	h *sim.Handle
+	// wakeCore, when the Requestor supports it, marks the core runnable
+	// after this L2 processed any message: each one may free the resource
+	// (MSHR, writeback slot, transient victim) a core is stalled on.
+	wakeCore func()
+
+	mshr     map[uint64]*l2MSHR
+	mshrFree []*l2MSHR
+	wb       map[uint64]*wbEntry
+	inq      delayQueue
+	out      outbox
+	pend     []doneEvt
+	knob     pauseKnob
+
+	// rejKind/rejAddr remember a load (1) or store (2) the controller
+	// rejected with accepted=false. The core's next attempt for the same
+	// line is a retry of that architectural access, not a new one, so the
+	// access counters are not incremented again. Without this, counter
+	// totals would depend on how many times the core polls while stalled —
+	// which differs between the dense and wake-driven kernels.
+	rejKind uint8
+	rejAddr uint64
 
 	// OnMiss, when set, is invoked on every demand L2 miss (the stride
 	// prefetcher's training hook).
@@ -97,7 +113,11 @@ func NewL2(id noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine,
 		},
 	}
 	net.Attach(id, stats.UnitL2, c)
-	eng.Register(c)
+	c.h = eng.Register(c)
+	c.out.h = c.h
+	if w, ok := core.(interface{ WakeUp() }); ok {
+		c.wakeCore = w.WakeUp
+	}
 	return c
 }
 
@@ -108,7 +128,9 @@ func (c *L2) ID() noc.NodeID { return c.id }
 func (c *L2) L1() *L1 { return c.l1 }
 
 // Receive implements noc.Endpoint.
-func (c *L2) Receive(pkt *noc.Packet, now sim.Cycle) { c.inq.push(pkt, now) }
+func (c *L2) Receive(pkt *noc.Packet, now sim.Cycle) {
+	c.h.WakeAt(c.inq.push(pkt, now))
+}
 
 // Tick fires matured core completions, processes incoming protocol messages,
 // and drains the outbox.
@@ -129,6 +151,7 @@ func (c *L2) Tick(now sim.Cycle) {
 		}
 		c.pend = kept
 	}
+	handled := false
 	for i := 0; i < 2 && !c.out.congested(); i++ {
 		pkt := c.inq.pop(now)
 		if pkt == nil {
@@ -136,19 +159,56 @@ func (c *L2) Tick(now sim.Cycle) {
 		}
 		c.eng.Progress()
 		c.handle(pkt.Payload.(*coherence.Msg), now)
+		// The L2 never retains delivered packets past handle (handlers work
+		// on the payload message), so replicas can rejoin the free list.
+		c.out.ni.Recycle(pkt)
+		handled = true
 	}
 	c.out.drain(now)
+	if handled && c.wakeCore != nil {
+		c.wakeCore()
+	}
+	c.reschedule()
+}
+
+// reschedule reports quiescence: with an empty outbox, the L2's next possible
+// action is the earlier of its head input maturing and its next scheduled
+// core completion. A non-empty outbox keeps it awake to retry injection.
+func (c *L2) reschedule() {
+	if len(c.out.pkts) != 0 {
+		return
+	}
+	next := sim.NeverWake
+	if at, ok := c.inq.nextReady(); ok {
+		next = at
+	}
+	for _, d := range c.pend {
+		if d.at < next {
+			next = d.at
+		}
+	}
+	if next == sim.NeverWake {
+		c.h.Sleep()
+	} else {
+		c.h.SleepUntil(next)
+	}
 }
 
 // Load issues a demand load. done=true means it completed immediately (L1
 // hit); accepted=false means a resource stall and the core must retry.
 func (c *L2) Load(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
-	c.st.Cache.L1Accesses++
+	retry := c.rejKind == 1 && c.rejAddr == lineAddr
+	c.rejKind = 0
+	if !retry {
+		c.st.Cache.L1Accesses++
+	}
 	if _, ok := c.l1.Lookup(lineAddr, now); ok {
 		return true, true
 	}
-	c.st.Cache.L1Misses++
-	c.st.Cache.L2Accesses++
+	if !retry {
+		c.st.Cache.L1Misses++
+		c.st.Cache.L2Accesses++
+	}
 	if line := c.arr.Lookup(lineAddr); line != nil {
 		switch line.State {
 		case StateS, StateM:
@@ -156,6 +216,7 @@ func (c *L2) Load(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
 			c.touchPushed(line)
 			c.l1.Fill(lineAddr, line.Version, now)
 			c.pend = append(c.pend, doneEvt{lineAddr, now + sim.Cycle(c.cfg.L2Latency), false})
+			c.h.WakeAt(now + sim.Cycle(c.cfg.L2Latency))
 			return false, true
 		case StateISD, StateISDI, StateIMD, StateSMD:
 			m := c.mshr[lineAddr]
@@ -168,18 +229,49 @@ func (c *L2) Load(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
 		}
 	}
 	if _, busy := c.wb[lineAddr]; busy {
-		return false, false
+		return false, c.reject(1, lineAddr)
 	}
 	if !c.allocMiss(lineAddr, now, 1, 0, false) {
-		return false, false
+		return false, c.reject(1, lineAddr)
 	}
 	return false, true
+}
+
+// newMSHR pops a recycled MSHR from the free list or allocates one; misses
+// are frequent enough that the per-miss allocation showed up in profiles.
+func (c *L2) newMSHR() *l2MSHR {
+	if k := len(c.mshrFree); k > 0 {
+		m := c.mshrFree[k-1]
+		c.mshrFree[k-1] = nil
+		c.mshrFree = c.mshrFree[:k-1]
+		return m
+	}
+	return &l2MSHR{}
+}
+
+// freeMSHR retires the MSHR for addr and returns it to the free list.
+func (c *L2) freeMSHR(addr uint64) {
+	if m := c.mshr[addr]; m != nil {
+		delete(c.mshr, addr)
+		c.mshrFree = append(c.mshrFree, m)
+	}
+}
+
+// reject records a refused access for retry dedup and returns false.
+func (c *L2) reject(kind uint8, lineAddr uint64) bool {
+	c.rejKind = kind
+	c.rejAddr = lineAddr
+	return false
 }
 
 // Store issues a store. Stores write through to the L1 and perform at the
 // L2 once ownership is held.
 func (c *L2) Store(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
-	c.st.Cache.L2Accesses++
+	retry := c.rejKind == 2 && c.rejAddr == lineAddr
+	c.rejKind = 0
+	if !retry {
+		c.st.Cache.L2Accesses++
+	}
 	if line := c.arr.Lookup(lineAddr); line != nil {
 		switch line.State {
 		case StateM:
@@ -188,11 +280,12 @@ func (c *L2) Store(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
 			line.Version++
 			c.l1.Update(lineAddr, line.Version)
 			c.pend = append(c.pend, doneEvt{lineAddr, now + sim.Cycle(c.cfg.L2Latency), true})
+			c.h.WakeAt(now + sim.Cycle(c.cfg.L2Latency))
 			return false, true
 		case StateS:
 			// Upgrade: keep the S data readable while GetM is outstanding.
 			if len(c.mshr) >= c.cfg.L2MSHRs {
-				return false, false
+				return false, c.reject(2, lineAddr)
 			}
 			line.State = StateSMD
 			m := &l2MSHR{addr: lineAddr, stores: 1}
@@ -207,10 +300,10 @@ func (c *L2) Store(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
 		}
 	}
 	if _, busy := c.wb[lineAddr]; busy {
-		return false, false
+		return false, c.reject(2, lineAddr)
 	}
 	if !c.allocMiss(lineAddr, now, 0, 1, false) {
-		return false, false
+		return false, c.reject(2, lineAddr)
 	}
 	return false, true
 }
@@ -244,7 +337,8 @@ func (c *L2) allocMiss(lineAddr uint64, now sim.Cycle, loads, stores int, prefet
 	}
 	c.evict(victim, now)
 	c.st.Cache.L2Misses++
-	m := &l2MSHR{addr: lineAddr, loads: loads, stores: stores,
+	m := c.newMSHR()
+	*m = l2MSHR{addr: lineAddr, loads: loads, stores: stores,
 		prefetchL1: prefetchL1, prefetch: loads == 0 && stores == 0}
 	c.mshr[lineAddr] = m
 	if stores > 0 && loads == 0 {
@@ -270,7 +364,7 @@ func (c *L2) allocMiss(lineAddr uint64, now sim.Cycle, loads, stores int, prefet
 // incomingDataPending reports whether a shared-data fill for the line is
 // already sitting in the controller's input queue.
 func (c *L2) incomingDataPending(lineAddr uint64) bool {
-	for _, d := range c.inq.items {
+	for _, d := range c.inq.live() {
 		m, ok := d.pkt.Payload.(*coherence.Msg)
 		if !ok {
 			continue
@@ -322,8 +416,15 @@ func (c *L2) touchPushed(l *Line) {
 
 func (c *L2) home(lineAddr uint64) noc.NodeID { return c.cfg.HomeSlice(lineAddr) }
 
+// send wraps m into a pool-backed packet and queues it for injection. The
+// message value is copied into a pool-backed Msg, so callers can pass
+// stack-allocated literals without the per-message heap allocation.
 func (c *L2) send(m *coherence.Msg, dests noc.DestSet, dstUnit stats.Unit) {
-	c.out.send(m.Packet(c.cfg.NoC, stats.UnitL2, dstUnit, dests))
+	pm := newMsg(c.out.ni)
+	*pm = *m
+	p := c.out.ni.NewPacket()
+	pm.FillPacket(p, c.cfg.NoC, stats.UnitL2, dstUnit, dests)
+	c.out.send(p)
 }
 
 func (c *L2) sendGetS(lineAddr uint64, prefetch bool) {
@@ -375,7 +476,7 @@ func (c *L2) finishFill(line *Line, m *l2MSHR, now sim.Cycle) {
 		c.sendGetM(m.addr)
 		return
 	}
-	delete(c.mshr, m.addr)
+	c.freeMSHR(m.addr)
 }
 
 func (c *L2) handleDataS(m *coherence.Msg, now sim.Cycle) {
@@ -412,7 +513,7 @@ func (c *L2) handleDataS(m *coherence.Msg, now sim.Cycle) {
 			c.sendGetM(m.Addr)
 		} else {
 			line.State = StateI
-			delete(c.mshr, m.Addr)
+			c.freeMSHR(m.Addr)
 		}
 	default:
 		panic(fmt.Sprintf("L2 %d: DataS for %#x in %v", c.id, m.Addr, line.State))
@@ -453,7 +554,7 @@ func (c *L2) handleDataM(m *coherence.Msg, now sim.Cycle) {
 			c.send(&coherence.Msg{Type: coherence.InvAckData, Addr: m.Addr, Requester: c.id,
 				Version: v, Epoch: ms.recallEpoch}, noc.OneDest(c.home(m.Addr)), stats.UnitLLC)
 		}
-		delete(c.mshr, m.Addr)
+		c.freeMSHR(m.Addr)
 	default:
 		panic(fmt.Sprintf("L2 %d: DataM for %#x in %v", c.id, m.Addr, line.State))
 	}

@@ -66,11 +66,19 @@ type LLC struct {
 	ep      map[uint64]*episode
 	fetches map[uint64]*fetch
 	stalled map[uint64][]*noc.Packet
-	inq     delayQueue
-	out     outbox
-	knob    resumeKnob
-	traces  map[uint64]*traceState
-	memNode noc.NodeID
+	// parked is set by stall/retry during handle so Tick knows whether the
+	// packet just processed was retained or can be recycled.
+	parked bool
+	inq    delayQueue
+	out    outbox
+	knob   resumeKnob
+	h      *sim.Handle
+	// lastTick lets a slice woken after sleeping advance the resume knob by
+	// exactly the number of skipped cycles (tickN), keeping the phase
+	// sequence identical to a dense run's.
+	lastTick sim.Cycle
+	traces   map[uint64]*traceState
+	memNode  noc.NodeID
 	// pred is the decoupled sharer predictor (PredictPush extension).
 	pred *sharerPredictor
 	// recent is a small table of just-sent pushes (addr -> dests/expiry).
@@ -120,7 +128,9 @@ func NewLLC(id noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine
 		s.pred = newSharerPredictor(1024)
 	}
 	net.Attach(id, stats.UnitLLC, s)
-	eng.Register(s)
+	s.h = eng.Register(s)
+	s.out.h = s.h
+	s.lastTick = ^sim.Cycle(0) // sentinel: first Tick advances the knob by 1
 	return s
 }
 
@@ -135,27 +145,63 @@ func (s *LLC) Receive(pkt *noc.Packet, now sim.Cycle) {
 	if pkt.Filterable && s.cfg.Scheme.Filter {
 		if m := pkt.Payload.(*coherence.Msg); s.pushCovering(m.Addr, m.Requester) {
 			s.st.Net.FilteredRequests++
+			s.out.ni.Recycle(pkt)
 			return
 		}
 	}
-	s.inq.push(pkt, now)
+	s.h.WakeAt(s.inq.push(pkt, now))
 }
 
 // Tick advances the resume knob, processes one matured message, and drains
 // outgoing packets.
 func (s *LLC) Tick(now sim.Cycle) {
-	s.knob.tick()
+	n := 1
+	if s.lastTick != ^sim.Cycle(0) {
+		n = int(now - s.lastTick)
+	}
+	s.lastTick = now
+	s.knob.tickN(n)
 	if !s.out.congested() {
 		if pkt := s.inq.pop(now); pkt != nil {
 			s.eng.Progress()
+			s.parked = false
 			s.handle(pkt, now)
+			// A handler either consumes the packet (only the payload message
+			// survives it) or parks it via stall/retry; consumed delivery
+			// copies rejoin the network free list.
+			if !s.parked {
+				s.out.ni.Recycle(pkt)
+			}
 		}
 	}
 	s.out.drain(now)
+	s.reschedule()
 }
 
+// reschedule puts the slice to sleep when it has nothing to do this cycle:
+// an empty outbox (injection retries need a tick every cycle) and either an
+// empty input queue or one whose head has not matured. Stalled packets,
+// open episodes, and outstanding fetches all resolve via future Receives,
+// which wake the slice.
+func (s *LLC) reschedule() {
+	if len(s.out.pkts) != 0 {
+		return
+	}
+	if at, ok := s.inq.nextReady(); ok {
+		s.h.SleepUntil(at)
+		return
+	}
+	s.h.Sleep()
+}
+
+// send wraps m into a pool-backed packet and queues it for injection; the
+// message value is copied into a pool-backed Msg (see L2.send).
 func (s *LLC) send(m *coherence.Msg, dests noc.DestSet, dstUnit stats.Unit) {
-	s.out.send(m.Packet(s.cfg.NoC, stats.UnitLLC, dstUnit, dests))
+	pm := newMsg(s.out.ni)
+	*pm = *m
+	p := s.out.ni.NewPacket()
+	pm.FillPacket(p, s.cfg.NoC, stats.UnitLLC, dstUnit, dests)
+	s.out.send(p)
 }
 
 // pushCovering reports whether a push embedding a response for the
@@ -171,6 +217,7 @@ func (s *LLC) pushCovering(addr uint64, req noc.NodeID) bool {
 
 // stall parks a packet until wake(addr) reinjects it.
 func (s *LLC) stall(addr uint64, pkt *noc.Packet) {
+	s.parked = true
 	s.stalled[addr] = append(s.stalled[addr], pkt)
 }
 
@@ -192,7 +239,8 @@ func (s *LLC) wake(addr uint64, now sim.Cycle) {
 // putting it at the front would head-of-line-block the very fills that will
 // eventually unblock it.
 func (s *LLC) retry(pkt *noc.Packet, now sim.Cycle) {
-	s.inq.items = append(s.inq.items, delayed{pkt, now + 8})
+	s.parked = true
+	s.inq.pushBack(pkt, now+8)
 }
 
 func (s *LLC) handle(pkt *noc.Packet, now sim.Cycle) {
@@ -388,9 +436,12 @@ func (s *LLC) traceSharerGap(line *Line, req noc.NodeID, now sim.Cycle) {
 	}
 	if t.lastReader != req {
 		key := int(t.lastReader)*64 + int(req)
-		if samples := s.st.SharerGaps[key]; len(samples) < 4096 {
-			s.st.SharerGaps[key] = append(samples, uint64(now-t.lastAt))
+		r := s.st.SharerGaps[key]
+		if r == nil {
+			r = stats.NewGapReservoir(uint64(key))
+			s.st.SharerGaps[key] = r
 		}
+		r.Observe(uint64(now - t.lastAt))
 	}
 	t.lastReader, t.lastAt = req, now
 }

@@ -1,15 +1,19 @@
 package cache
 
 import (
+	"pushmulticast/internal/coherence"
 	"pushmulticast/internal/noc"
 	"pushmulticast/internal/sim"
 	"pushmulticast/internal/stats"
 )
 
 // delayQueue models a controller's input pipeline: packets become visible to
-// the controller a fixed latency after network delivery, in FIFO order.
+// the controller a fixed latency after network delivery, in FIFO order. The
+// backing array is managed as a sliding window (head index plus compaction)
+// so steady-state operation never reallocates.
 type delayQueue struct {
 	items   []delayed
+	head    int // items[head:] are live
 	latency sim.Cycle
 }
 
@@ -18,49 +22,98 @@ type delayed struct {
 	readyAt sim.Cycle
 }
 
-func (q *delayQueue) push(pkt *noc.Packet, now sim.Cycle) {
-	q.items = append(q.items, delayed{pkt, now + q.latency})
+// push enqueues a packet and returns the cycle it becomes visible.
+func (q *delayQueue) push(pkt *noc.Packet, now sim.Cycle) sim.Cycle {
+	if q.head > 0 {
+		if q.head == len(q.items) {
+			q.items = q.items[:0]
+			q.head = 0
+		} else if q.head >= 16 && q.head*2 >= len(q.items) {
+			n := copy(q.items, q.items[q.head:])
+			for i := n; i < len(q.items); i++ {
+				q.items[i] = delayed{}
+			}
+			q.items = q.items[:n]
+			q.head = 0
+		}
+	}
+	at := now + q.latency
+	q.items = append(q.items, delayed{pkt, at})
+	return at
+}
+
+// pushBack re-enqueues a packet at the tail with an explicit ready cycle
+// (retry backoff). The entry's readyAt may be later than entries pushed
+// afterwards; the queue is head-blocking, so FIFO order still holds.
+func (q *delayQueue) pushBack(pkt *noc.Packet, at sim.Cycle) {
+	q.items = append(q.items, delayed{pkt, at})
 }
 
 // pushFront re-enqueues a packet at the head for immediate reprocessing
 // (stall-and-wait wakeups).
 func (q *delayQueue) pushFront(pkt *noc.Packet, at sim.Cycle) {
-	q.items = append([]delayed{{pkt, at}}, q.items...)
+	if q.head > 0 {
+		q.head--
+		q.items[q.head] = delayed{pkt, at}
+		return
+	}
+	q.items = append(q.items, delayed{})
+	copy(q.items[1:], q.items)
+	q.items[0] = delayed{pkt, at}
 }
 
 // pop returns the head packet if it has matured, else nil.
 func (q *delayQueue) pop(now sim.Cycle) *noc.Packet {
-	if len(q.items) == 0 || q.items[0].readyAt > now {
+	if q.head == len(q.items) || q.items[q.head].readyAt > now {
 		return nil
 	}
-	p := q.items[0].pkt
-	q.items = q.items[1:]
+	p := q.items[q.head].pkt
+	q.items[q.head] = delayed{}
+	q.head++
 	return p
 }
 
 // peek returns the head packet if matured without removing it.
 func (q *delayQueue) peek(now sim.Cycle) *noc.Packet {
-	if len(q.items) == 0 || q.items[0].readyAt > now {
+	if q.head == len(q.items) || q.items[q.head].readyAt > now {
 		return nil
 	}
-	return q.items[0].pkt
+	return q.items[q.head].pkt
 }
 
-func (q *delayQueue) empty() bool { return len(q.items) == 0 }
+// nextReady returns the cycle at which the head entry matures. The queue is
+// head-blocking (later entries cannot be processed first), so this is the
+// earliest cycle the controller can make progress on queued input.
+func (q *delayQueue) nextReady() (sim.Cycle, bool) {
+	if q.head == len(q.items) {
+		return 0, false
+	}
+	return q.items[q.head].readyAt, true
+}
+
+func (q *delayQueue) empty() bool { return q.head == len(q.items) }
+
+// live returns the live entries in FIFO order (callers iterating the queue
+// must not index items directly: entries before head are dead).
+func (q *delayQueue) live() []delayed { return q.items[q.head:] }
 
 // removeIf deletes queued packets matching the predicate and returns them
 // (LLC request coalescing scans its input queue for same-line reads).
 func (q *delayQueue) removeIf(match func(*noc.Packet) bool) []*noc.Packet {
 	var out []*noc.Packet
-	kept := q.items[:0]
-	for _, d := range q.items {
+	live := q.items[q.head:]
+	kept := live[:0]
+	for _, d := range live {
 		if match(d.pkt) {
 			out = append(out, d.pkt)
 		} else {
 			kept = append(kept, d)
 		}
 	}
-	q.items = kept
+	for i := len(kept); i < len(live); i++ {
+		live[i] = delayed{}
+	}
+	q.items = q.items[:q.head+len(kept)]
 	return out
 }
 
@@ -69,10 +122,38 @@ func (q *delayQueue) removeIf(match func(*noc.Packet) bool) []*noc.Packet {
 type outbox struct {
 	ni   *noc.NI
 	unit stats.Unit
+	// h, when set, is woken on every send: a sleeping controller with a
+	// non-empty outbox must tick to retry injection.
+	h    *sim.Handle
 	pkts []*noc.Packet
 }
 
-func (o *outbox) send(pkt *noc.Packet) { o.pkts = append(o.pkts, pkt) }
+func (o *outbox) send(pkt *noc.Packet) {
+	o.pkts = append(o.pkts, pkt)
+	if o.h != nil {
+		o.h.Wake()
+	}
+}
+
+// newMsg returns a protocol message drawn from the network's payload free
+// list, falling back to a fresh allocation while the list warms up.
+func newMsg(ni *noc.NI) *coherence.Msg {
+	if rp := ni.NewPayload(); rp != nil {
+		return rp.(*coherence.Msg)
+	}
+	return &coherence.Msg{}
+}
+
+// heldPush reports whether a same-line push is among the packets already held
+// back this drain pass.
+func heldPush(held []*noc.Packet, addr uint64) bool {
+	for _, p := range held {
+		if p.IsPush && p.Addr == addr {
+			return true
+		}
+	}
+	return false
+}
 
 // drain injects as many buffered packets as the NI accepts this cycle,
 // preserving order per virtual network. An invalidation is additionally
@@ -82,22 +163,21 @@ func (o *outbox) send(pkt *noc.Packet) { o.pkts = append(o.pkts, pkt) }
 func (o *outbox) drain(now sim.Cycle) {
 	kept := o.pkts[:0]
 	blocked := [noc.NumVNets]bool{}
-	heldPush := make(map[uint64]bool)
 	for _, p := range o.pkts {
-		if p.IsInv && heldPush[p.Addr] {
+		if p.IsInv && heldPush(kept, p.Addr) {
 			blocked[p.VNet] = true
 			kept = append(kept, p)
 			continue
 		}
 		if blocked[p.VNet] || !o.ni.CanInject(o.unit, p.VNet) {
 			blocked[p.VNet] = true
-			if p.IsPush {
-				heldPush[p.Addr] = true
-			}
 			kept = append(kept, p)
 			continue
 		}
 		o.ni.Inject(p, now)
+	}
+	for i := len(kept); i < len(o.pkts); i++ {
+		o.pkts[i] = nil
 	}
 	o.pkts = kept
 }

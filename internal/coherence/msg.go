@@ -106,6 +106,20 @@ type Msg struct {
 	// data, so traffic accounting classifies these as exclusive rather
 	// than read-shared.
 	Private bool
+
+	// refs counts packets currently carrying this message (the original
+	// plus router replicas); the network pools the message again when the
+	// last carrier dies. See noc.RefPayload.
+	refs int32
+}
+
+// AddRef implements noc.RefPayload.
+func (m *Msg) AddRef() { m.refs++ }
+
+// Release implements noc.RefPayload.
+func (m *Msg) Release() bool {
+	m.refs--
+	return m.refs == 0
 }
 
 // String implements fmt.Stringer.
@@ -151,6 +165,15 @@ func route(t MsgType) (vnet int, class stats.Class, data bool) {
 // config determines data packet sizing; srcUnit/dstUnit select endpoint
 // kinds at the source and destination tiles.
 func (m *Msg) Packet(cfg noc.Config, srcUnit, dstUnit stats.Unit, dests noc.DestSet) *noc.Packet {
+	p := &noc.Packet{}
+	m.FillPacket(p, cfg, srcUnit, dstUnit, dests)
+	return p
+}
+
+// FillPacket wraps the message into an existing (zeroed) packet, typically
+// one drawn from the network's free list via NI.NewPacket. Fields are set
+// individually so the packet's pool bookkeeping is left untouched.
+func (m *Msg) FillPacket(p *noc.Packet, cfg noc.Config, srcUnit, dstUnit stats.Unit, dests noc.DestSet) {
 	vnet, class, data := route(m.Type)
 	if m.Type == DataS && m.Private {
 		class = stats.ClassExclusiveData
@@ -159,18 +182,18 @@ func (m *Msg) Packet(cfg noc.Config, srcUnit, dstUnit stats.Unit, dests noc.Dest
 	if data {
 		size = cfg.DataPacketSize()
 	}
-	return &noc.Packet{
-		VNet:       vnet,
-		Class:      class,
-		SrcUnit:    srcUnit,
-		DstUnit:    dstUnit,
-		Dests:      dests,
-		Addr:       m.Addr,
-		Size:       size,
-		Payload:    m,
-		IsPush:     m.Type == PushData,
-		Filterable: m.Type == GetS,
-		IsInv:      m.Type == Inv,
-		Requester:  m.Requester,
-	}
+	p.VNet = vnet
+	p.Class = class
+	p.SrcUnit = srcUnit
+	p.DstUnit = dstUnit
+	p.Dests = dests
+	p.Addr = m.Addr
+	p.Size = size
+	p.Payload = m
+	p.IsPush = m.Type == PushData
+	p.Filterable = m.Type == GetS
+	p.IsInv = m.Type == Inv
+	p.Requester = m.Requester
+	// Attaching to a packet is the message's first carrier reference.
+	m.refs++
 }

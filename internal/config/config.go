@@ -213,6 +213,13 @@ type System struct {
 	// after a push departed to unicasts instead of fresh multicasts).
 	// Exposed for the ablation study of this design choice.
 	NoRecentPushTable bool
+
+	// DenseKernel runs the simulation on the dense reference kernel that
+	// ticks every component every cycle, instead of the wake-driven
+	// scheduler. Results are identical by contract (the equivalence tests
+	// enforce it); dense mode exists as the cross-check oracle and for
+	// debugging suspected scheduling bugs.
+	DenseKernel bool
 }
 
 // Tiles returns the tile count.

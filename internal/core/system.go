@@ -41,6 +41,7 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 	}
 	st := stats.New()
 	eng := sim.NewEngine(200_000, 500_000_000)
+	eng.SetDense(cfg.DenseKernel)
 	net, err := noc.New(cfg.NoC, eng, st)
 	if err != nil {
 		return nil, err
@@ -86,6 +87,12 @@ func (d deferredRequestor) LoadDone(addr uint64, now sim.Cycle) {
 func (d deferredRequestor) StoreDone(addr uint64, now sim.Cycle) {
 	if *d.c != nil {
 		(*d.c).StoreDone(addr, now)
+	}
+}
+
+func (d deferredRequestor) WakeUp() {
+	if *d.c != nil {
+		(*d.c).WakeUp()
 	}
 }
 

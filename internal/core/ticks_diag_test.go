@@ -1,0 +1,54 @@
+package core
+
+import (
+	"testing"
+
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/workload"
+)
+
+// TestSparseTicksFewerThanDense checks the wake-driven scheduler's reason to
+// exist: it must finish in the same number of simulated cycles as the dense
+// reference kernel while executing strictly fewer component ticks (quiescent
+// components are skipped instead of no-op ticked).
+func TestSparseTicksFewerThanDense(t *testing.T) {
+	for _, name := range []string{"Baseline", "OrdPush"} {
+		cfg := config.Default16().Scaled(16)
+		if name == "OrdPush" {
+			cfg = cfg.WithScheme(config.OrdPush())
+		} else {
+			cfg = cfg.WithScheme(config.Baseline())
+		}
+		wl, err := workload.ByName("cachebw")
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := Build(cfg, wl, workload.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		sparse, cyc := sys.Eng.Ticks(), sys.Eng.Now()
+
+		cfg.DenseKernel = true
+		sys2, err := Build(cfg, wl, workload.ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := sys2.Run(0); err != nil {
+			t.Fatal(err)
+		}
+		dense, cyc2 := sys2.Eng.Ticks(), sys2.Eng.Now()
+
+		t.Logf("%s: cycles=%d sparse ticks=%d dense ticks=%d ratio=%.2f",
+			name, cyc, sparse, dense, float64(dense)/float64(sparse))
+		if cyc != cyc2 {
+			t.Errorf("%s: sparse finished at cycle %d, dense at %d", name, cyc, cyc2)
+		}
+		if sparse >= dense {
+			t.Errorf("%s: sparse executed %d ticks, dense %d — scheduler skipped nothing", name, sparse, dense)
+		}
+	}
+}

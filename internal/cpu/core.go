@@ -21,18 +21,29 @@ type Barrier struct {
 	n       int
 	arrived int
 	gen     uint64
+	waiters []*sim.Handle
 }
 
 // NewBarrier returns a barrier for n cores.
 func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
 
-// arrive registers one arrival; the last arrival advances the generation.
-func (b *Barrier) arrive() uint64 {
+// arrive registers one arrival; the last arrival advances the generation and
+// wakes every parked waiter (the arriving core itself is still awake, so its
+// own wake is a no-op).
+func (b *Barrier) arrive(h *sim.Handle) uint64 {
 	gen := b.gen
 	b.arrived++
+	if h != nil {
+		b.waiters = append(b.waiters, h)
+	}
 	if b.arrived == b.n {
 		b.arrived = 0
 		b.gen++
+		for i, w := range b.waiters {
+			w.Wake()
+			b.waiters[i] = nil
+		}
+		b.waiters = b.waiters[:0]
 	}
 	return gen
 }
@@ -53,11 +64,24 @@ type Core struct {
 	stream  workload.Stream
 	barrier *Barrier
 
+	h *sim.Handle
+
 	cur     workload.Op
 	haveOp  bool
 	ended   bool
 	waiting bool // parked at a barrier
 	myGen   uint64
+
+	// blocked/blockedAt track a sleep entered while stalled; the wake tick
+	// reconstructs the stall cycles a dense run would have counted one by one.
+	blocked   bool
+	blockedAt sim.Cycle
+
+	// loadRetry marks the current load op as a retry of a rejected attempt:
+	// the prefetcher already observed the access and must not see it again
+	// (retry counts would otherwise depend on how often the core polls,
+	// which differs between the dense and wake-driven kernels).
+	loadRetry bool
 
 	outLoads  int
 	outStores int
@@ -73,9 +97,14 @@ type Core struct {
 func New(id noc.NodeID, cfg *config.System, eng *sim.Engine, st *stats.All,
 	l2 *cache.L2, stream workload.Stream, barrier *Barrier) *Core {
 	c := &Core{id: id, cfg: cfg, eng: eng, st: st, l2: l2, stream: stream, barrier: barrier}
-	eng.Register(c)
+	c.h = eng.Register(c)
 	return c
 }
+
+// WakeUp marks the core runnable again; the L2 calls it (via cache.Requestor)
+// whenever it processes a message, since any of those can free the resource a
+// core is stalled on.
+func (c *Core) WakeUp() { c.h.Wake() }
 
 // Finished reports whether the core retired its whole stream and drained
 // all outstanding memory operations.
@@ -95,6 +124,7 @@ func (c *Core) LoadDone(lineAddr uint64, now sim.Cycle) {
 		panic("cpu: LoadDone without outstanding load")
 	}
 	c.outLoads--
+	c.h.Wake()
 }
 
 // StoreDone implements cache.Requestor.
@@ -103,17 +133,27 @@ func (c *Core) StoreDone(lineAddr uint64, now sim.Cycle) {
 		panic("cpu: StoreDone without outstanding store")
 	}
 	c.outStores--
+	c.h.Wake()
 }
 
 // Tick retires up to CoreWidth instructions, issuing memory operations
 // non-blocking until a structural resource fills.
 func (c *Core) Tick(now sim.Cycle) {
+	if c.blocked {
+		// Sleeping skipped the ticks between blockedAt and now; a dense run
+		// would have counted each of those cycles as a stall (the unblocking
+		// event is what woke us, so none of them could have issued).
+		c.stalls += uint64(now - c.blockedAt - 1)
+		c.blocked = false
+	}
 	if c.ended {
+		c.h.Sleep()
 		return
 	}
 	if c.waiting {
 		if c.barrier.gen == c.myGen {
 			c.stalls++
+			c.park(now)
 			return
 		}
 		c.waiting = false
@@ -146,14 +186,16 @@ func (c *Core) Tick(now sim.Cycle) {
 				break
 			}
 			line := c.lineOf(c.cur.Addr)
-			if c.L1Prefetcher != nil {
+			if c.L1Prefetcher != nil && !c.loadRetry {
 				c.L1Prefetcher.OnAccess(line, now)
 			}
 			done, accepted := c.l2.Load(line, now)
 			if !accepted {
+				c.loadRetry = true
 				budget = 0
 				break
 			}
+			c.loadRetry = false
 			if !done {
 				c.outLoads++
 			}
@@ -186,7 +228,7 @@ func (c *Core) Tick(now sim.Cycle) {
 				budget = 0
 				break
 			}
-			c.myGen = c.barrier.arrive()
+			c.myGen = c.barrier.arrive(c.h)
 			c.waiting = true
 			budget = 0
 		case workload.OpEnd:
@@ -203,6 +245,29 @@ func (c *Core) Tick(now sim.Cycle) {
 	} else if !c.ended {
 		c.stalls++
 	}
+	switch {
+	case c.ended:
+		c.h.Sleep()
+	case c.waiting:
+		// Park only while the barrier is still pending: if this was the last
+		// arrival the generation already advanced and nothing would wake us.
+		if c.barrier.gen == c.myGen {
+			c.park(now)
+		}
+	case issued == 0:
+		// Stalled on a structural resource; LoadDone/StoreDone or the L2's
+		// WakeUp (any processed message may free an MSHR, the writeback
+		// buffer, or a transient victim) unblocks us.
+		c.park(now)
+	}
+}
+
+// park records the cycle the core went idle and sleeps; the stall counter for
+// the skipped span is reconstructed on wake.
+func (c *Core) park(now sim.Cycle) {
+	c.blocked = true
+	c.blockedAt = now
+	c.h.Sleep()
 }
 
 func (c *Core) lineOf(addr uint64) uint64 {

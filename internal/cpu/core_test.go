@@ -157,11 +157,11 @@ func TestBarrierSynchronizesCores(t *testing.T) {
 
 func TestBarrierGenerations(t *testing.T) {
 	b := NewBarrier(2)
-	g0 := b.arrive()
+	g0 := b.arrive(nil)
 	if b.gen != 0 {
 		t.Fatal("generation advanced before all arrived")
 	}
-	g1 := b.arrive()
+	g1 := b.arrive(nil)
 	if g0 != g1 || b.gen != 1 {
 		t.Fatalf("generation accounting wrong: %d %d gen=%d", g0, g1, b.gen)
 	}

@@ -31,6 +31,7 @@ type Ctrl struct {
 	st   *stats.All
 	ni   *noc.NI
 
+	h         *sim.Handle
 	inq       []*noc.Packet
 	busyUntil sim.Cycle
 	resps     []pendingResp
@@ -51,13 +52,14 @@ func New(node noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine,
 		versions: make(map[uint64]uint64),
 	}
 	net.Attach(node, stats.UnitMem, c)
-	eng.Register(c)
+	c.h = eng.Register(c)
 	return c
 }
 
 // Receive implements noc.Endpoint.
 func (c *Ctrl) Receive(pkt *noc.Packet, now sim.Cycle) {
 	c.inq = append(c.inq, pkt)
+	c.h.Wake()
 }
 
 // Tick serves at most one new transaction per bandwidth slot and releases
@@ -70,25 +72,31 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 			kept = append(kept, r)
 			continue
 		}
-		c.outbox = append(c.outbox, r.msg.Packet(c.cfg.NoC, stats.UnitMem, stats.UnitLLC, noc.OneDest(r.to)))
+		p := c.ni.NewPacket()
+		r.msg.FillPacket(p, c.cfg.NoC, stats.UnitMem, stats.UnitLLC, noc.OneDest(r.to))
+		c.outbox = append(c.outbox, p)
 	}
 	c.resps = kept
 
 	// Start the next transaction when the channel frees up.
 	if len(c.inq) > 0 && now >= c.busyUntil {
 		pkt := c.inq[0]
-		c.inq = c.inq[1:]
+		copy(c.inq, c.inq[1:])
+		c.inq[len(c.inq)-1] = nil
+		c.inq = c.inq[:len(c.inq)-1]
 		c.eng.Progress()
 		c.busyUntil = now + sim.Cycle(c.cfg.MemCyclesPerLine)
 		m := pkt.Payload.(*coherence.Msg)
 		switch m.Type {
 		case coherence.MemRead:
 			c.st.Cache.MemReads++
+			rm := c.newMsg()
+			*rm = coherence.Msg{Type: coherence.MemData, Addr: m.Addr,
+				Requester: m.Requester, Version: c.versions[m.Addr]}
 			c.resps = append(c.resps, pendingResp{
-				at: now + sim.Cycle(c.cfg.MemLatency),
-				msg: &coherence.Msg{Type: coherence.MemData, Addr: m.Addr,
-					Requester: m.Requester, Version: c.versions[m.Addr]},
-				to: pkt.Src,
+				at:  now + sim.Cycle(c.cfg.MemLatency),
+				msg: rm,
+				to:  pkt.Src,
 			})
 		case coherence.MemWrite:
 			c.st.Cache.MemWrites++
@@ -96,6 +104,9 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 		default:
 			panic(fmt.Sprintf("memctrl %d: unexpected message %v", c.node, m))
 		}
+		// The request packet's payload has been copied into the response (or
+		// applied to the memory image); the packet itself is dead.
+		c.ni.Recycle(pkt)
 	}
 
 	// Drain outgoing responses.
@@ -108,7 +119,44 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 		c.ni.Inject(p, now)
 		c.eng.Progress()
 	}
+	for i := len(keptOut); i < len(c.outbox); i++ {
+		c.outbox[i] = nil
+	}
 	c.outbox = keptOut
+	c.reschedule(now)
+}
+
+// reschedule sleeps the controller until its next deadline: the channel
+// freeing up (queued requests) or a response maturing. A non-empty outbox
+// keeps it awake to retry injection every cycle; new requests wake it via
+// Receive.
+func (c *Ctrl) reschedule(now sim.Cycle) {
+	if len(c.outbox) != 0 {
+		return
+	}
+	next := sim.NeverWake
+	if len(c.inq) > 0 && c.busyUntil < next {
+		next = c.busyUntil
+	}
+	for _, r := range c.resps {
+		if r.at < next {
+			next = r.at
+		}
+	}
+	if next == sim.NeverWake {
+		c.h.Sleep()
+		return
+	}
+	c.h.SleepUntil(next)
+}
+
+// newMsg returns a protocol message drawn from the network's payload free
+// list, falling back to a fresh allocation while the list warms up.
+func (c *Ctrl) newMsg() *coherence.Msg {
+	if rp := c.ni.NewPayload(); rp != nil {
+		return rp.(*coherence.Msg)
+	}
+	return &coherence.Msg{}
 }
 
 // Version exposes the memory image for checkers.

@@ -26,27 +26,42 @@ func (e *filterEntry) live(now sim.Cycle) bool {
 
 // filterBank holds a router's filters. Following Fig 7b, each output port
 // has a designated filter per input port, with one entry per input data
-// virtual channel of that port: entries[outPort][inPort][dataVC].
+// virtual channel of that port: slot (outPort, inPort, dataVC), stored
+// flattened in one contiguous slice so lookups walk a single cache-friendly
+// range instead of chasing nested slice headers.
 type filterBank struct {
-	entries [][][]filterEntry
+	dataVCs int
+	entries []filterEntry
+	// activeCnt[p] counts valid entries at output port p with no pending
+	// clear; aliveUntil[p] upper-bounds the last cycle any pending-clear
+	// entry at p can still be live (monotone, never lowered). Together they
+	// prove "no live entry at p" without scanning — lookups and
+	// invalidation-stall checks run every congested cycle, so the common
+	// empty case must be O(1).
+	activeCnt  [NumPorts]int
+	aliveUntil [NumPorts]sim.Cycle
 }
 
 func newFilterBank(dataVCs int) *filterBank {
-	fb := &filterBank{entries: make([][][]filterEntry, NumPorts)}
-	for o := 0; o < NumPorts; o++ {
-		fb.entries[o] = make([][]filterEntry, NumPorts)
-		for i := 0; i < NumPorts; i++ {
-			fb.entries[o][i] = make([]filterEntry, dataVCs)
-		}
+	return &filterBank{
+		dataVCs: dataVCs,
+		entries: make([]filterEntry, NumPorts*NumPorts*dataVCs),
 	}
-	return fb
+}
+
+// slot returns the entry for (outPort, inPort, dataVC).
+func (fb *filterBank) slot(outPort, inPort, dataVC int) *filterEntry {
+	return &fb.entries[(outPort*NumPorts+inPort)*fb.dataVCs+dataVC]
 }
 
 // register installs a push's address and per-output destination subset in the
 // output port's filter slot for (inPort, dataVC). Filter Registration in
 // Fig 7b.
 func (fb *filterBank) register(outPort, inPort, dataVC int, addr uint64, dests DestSet) {
-	e := &fb.entries[outPort][inPort][dataVC]
+	e := fb.slot(outPort, inPort, dataVC)
+	if !e.valid || e.clearPending {
+		fb.activeCnt[outPort]++
+	}
 	e.valid = true
 	e.addr = addr
 	e.dests = dests
@@ -57,12 +72,26 @@ func (fb *filterBank) register(outPort, inPort, dataVC int, addr uint64, dests D
 // scheduleClear lazily de-registers the slot at the given cycle (Filter
 // De-registration; lazy to cover the link delay).
 func (fb *filterBank) scheduleClear(outPort, inPort, dataVC int, at sim.Cycle) {
-	e := &fb.entries[outPort][inPort][dataVC]
+	e := fb.slot(outPort, inPort, dataVC)
 	if !e.valid {
 		return
 	}
+	if !e.clearPending {
+		fb.activeCnt[outPort]--
+	}
 	e.clearPending = true
 	e.clearAt = at
+	if at > fb.aliveUntil[outPort] {
+		fb.aliveUntil[outPort] = at
+	}
+}
+
+// dead reports that no entry at port p can be live at cycle now: no entry is
+// registered without a pending clear, and every pending clear has matured.
+// aliveUntil is an upper bound, so a true result is exact and a false result
+// merely falls back to the scan.
+func (fb *filterBank) dead(p int, now sim.Cycle) bool {
+	return fb.activeCnt[p] == 0 && now >= fb.aliveUntil[p]
 }
 
 // lookup implements Filter Lookup: an arriving read request at input port
@@ -70,12 +99,14 @@ func (fb *filterBank) scheduleClear(outPort, inPort, dataVC int, at sim.Cycle) {
 // at that port, meaning the push travels the reverse direction and already
 // carries the requester's response.
 func (fb *filterBank) lookup(inPort int, addr uint64, requester NodeID, now sim.Cycle) bool {
-	for i := 0; i < NumPorts; i++ {
-		for v := range fb.entries[inPort][i] {
-			e := &fb.entries[inPort][i][v]
-			if e.live(now) && e.addr == addr && e.dests.Has(requester) {
-				return true
-			}
+	if fb.dead(inPort, now) {
+		return false
+	}
+	base := inPort * NumPorts * fb.dataVCs
+	for k := 0; k < NumPorts*fb.dataVCs; k++ {
+		e := &fb.entries[base+k]
+		if e.live(now) && e.addr == addr && e.dests.Has(requester) {
+			return true
 		}
 	}
 	return false
@@ -85,12 +116,14 @@ func (fb *filterBank) lookup(inPort int, addr uint64, requester NodeID, now sim.
 // output port; OrdPush stalls an invalidation at switch allocation while this
 // holds, enforcing push-before-invalidation delivery order (§III-F).
 func (fb *filterBank) hasAddr(outPort int, addr uint64, now sim.Cycle) bool {
-	for i := 0; i < NumPorts; i++ {
-		for v := range fb.entries[outPort][i] {
-			e := &fb.entries[outPort][i][v]
-			if e.live(now) && e.addr == addr {
-				return true
-			}
+	if fb.dead(outPort, now) {
+		return false
+	}
+	base := outPort * NumPorts * fb.dataVCs
+	for k := 0; k < NumPorts*fb.dataVCs; k++ {
+		e := &fb.entries[base+k]
+		if e.live(now) && e.addr == addr {
+			return true
 		}
 	}
 	return false

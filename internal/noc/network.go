@@ -37,11 +37,17 @@ type niStream struct {
 type NI struct {
 	node      NodeID
 	net       *Network
+	h         *sim.Handle
 	queues    [stats.NumUnits][NumVNets][]*Packet
+	queued    int // total packets across all queues
 	endpoints [stats.NumUnits]Endpoint
 	stream    *niStream
-	delivery  []delivered
-	rr        int
+	// cur is the backing storage for stream: one injection is in flight at a
+	// time, so the stream state lives in the NI instead of a per-injection
+	// allocation.
+	cur      niStream
+	delivery []delivered
+	rr       int
 }
 
 // CanInject reports whether the unit's vnet queue has room for another
@@ -67,7 +73,34 @@ func (ni *NI) Inject(pkt *Packet, now sim.Cycle) {
 	pkt.InjectedAt = now
 	pkt.Src = ni.node
 	ni.queues[pkt.SrcUnit][pkt.VNet] = append(ni.queues[pkt.SrcUnit][pkt.VNet], pkt)
+	ni.queued++
+	ni.h.Wake()
 }
+
+// NewPacket returns a zeroed pool-backed packet for an endpoint to fill and
+// inject. Pool-backed packets rejoin the free list automatically when a
+// router releases them; the delivered copies are returned via Recycle.
+func (ni *NI) NewPacket() *Packet { return ni.net.getPacket() }
+
+// NewPayload pops a recycled packet payload from the network's payload free
+// list, or returns nil when it is empty. Payloads enter the list when the
+// last packet carrying them dies (see RefPayload).
+func (ni *NI) NewPayload() RefPayload {
+	pool := ni.net.payloadPool
+	if k := len(pool); k > 0 {
+		rp := pool[k-1]
+		pool[k-1] = nil
+		ni.net.payloadPool = pool[:k-1]
+		return rp
+	}
+	return nil
+}
+
+// Recycle returns a packet the endpoint has fully processed to the network's
+// free list. Only router-created replicas are pooled; caller-owned packets
+// pass through unharmed, so endpoints may call this unconditionally on every
+// delivered packet they do not retain.
+func (ni *NI) Recycle(pkt *Packet) { ni.net.putPacket(pkt) }
 
 // Tick delivers matured ejections, continues the current injection stream,
 // and starts a new one when the link is idle.
@@ -77,6 +110,27 @@ func (ni *NI) Tick(now sim.Cycle) {
 		ni.pick(now)
 	}
 	ni.pump(now)
+	ni.reschedule()
+}
+
+// reschedule reports quiescence to the engine: an NI with no queued packets
+// and no active stream sleeps until its earliest pending delivery (forever if
+// none). Inject and scheduleDelivery wake it.
+func (ni *NI) reschedule() {
+	if ni.stream != nil || ni.queued != 0 {
+		return
+	}
+	if len(ni.delivery) == 0 {
+		ni.h.Sleep()
+		return
+	}
+	min := ni.delivery[0].readyAt
+	for _, d := range ni.delivery[1:] {
+		if d.readyAt < min {
+			min = d.readyAt
+		}
+	}
+	ni.h.SleepUntil(min)
 }
 
 func (ni *NI) deliver(now sim.Cycle) {
@@ -100,17 +154,38 @@ func (ni *NI) deliver(now sim.Cycle) {
 	ni.delivery = kept
 }
 
+// laneUnit and laneVNet decompose an injection arbitration lane index into
+// its (unit, vnet) pair. pick runs on every NI tick with an idle link, and
+// the div/mod decomposition showed up in profiles.
+var laneUnit [int(stats.NumUnits) * NumVNets]stats.Unit
+var laneVNet [int(stats.NumUnits) * NumVNets]int
+
+func init() {
+	for l := range laneUnit {
+		laneUnit[l] = stats.Unit(l / NumVNets)
+		laneVNet[l] = l % NumVNets
+	}
+}
+
 // pick selects the next packet to inject, round-robin over (unit, vnet)
 // queues, subject to a free local-router VC. Under OrdPush, an invalidation
 // at the head of a control queue is held while a same-line push from the
 // same tile is still queued or streaming, preserving push-before-
 // invalidation order from the very first link.
 func (ni *NI) pick(now sim.Cycle) {
-	lanes := int(stats.NumUnits) * NumVNets
+	if ni.queued == 0 {
+		return
+	}
+	lanes := len(laneUnit)
+	lane := ni.rr
 	for k := 0; k < lanes; k++ {
-		lane := (ni.rr + k) % lanes
-		unit := stats.Unit(lane / NumVNets)
-		vnet := lane % NumVNets
+		if k > 0 {
+			if lane++; lane == lanes {
+				lane = 0
+			}
+		}
+		unit := laneUnit[lane]
+		vnet := laneVNet[lane]
 		q := ni.queues[unit][vnet]
 		if len(q) == 0 {
 			continue
@@ -127,8 +202,14 @@ func (ni *NI) pick(now sim.Cycle) {
 		}
 		vc.reserved = true
 		r.claim(vc)
-		ni.queues[unit][vnet] = q[1:]
-		ni.stream = &niStream{pkt: pkt, vc: vc}
+		// Dequeue by copying down so the backing array is reused instead of
+		// sliding toward reallocation (queues are at most InjQueueDepth long).
+		copy(q, q[1:])
+		q[len(q)-1] = nil
+		ni.queues[unit][vnet] = q[:len(q)-1]
+		ni.queued--
+		ni.cur = niStream{pkt: pkt, vc: vc}
+		ni.stream = &ni.cur
 		ni.net.st.Net.InjectedPackets[pkt.SrcUnit][pkt.Class]++
 		ni.rr = (lane + 1) % lanes
 		return
@@ -183,6 +264,11 @@ func (ni *NI) pump(now sim.Cycle) {
 		s.vc.pkt = s.pkt
 		s.vc.headAt = now + 1
 		s.vc.reserved = false
+		r := ni.net.routers[ni.node]
+		r.unrouted++
+		if s.vc.headAt < r.minHeadAt {
+			r.minHeadAt = s.vc.headAt
+		}
 	}
 	if s.sent == s.pkt.Size {
 		ni.stream = nil
@@ -191,6 +277,7 @@ func (ni *NI) pump(now sim.Cycle) {
 
 func (ni *NI) scheduleDelivery(pkt *Packet, at sim.Cycle) {
 	ni.delivery = append(ni.delivery, delivered{pkt: pkt, readyAt: at})
+	ni.h.WakeAt(at)
 }
 
 // Network is the complete mesh: routers, NIs, and accounting.
@@ -201,6 +288,51 @@ type Network struct {
 	routers   []*Router
 	nis       []*NI
 	nextPktID uint64
+	// pktPool / streamPool recycle the per-replica allocations on the router
+	// hot path. Only objects born from the pools are returned to them (the
+	// pooled flag), so externally created packets are never clobbered while a
+	// caller still holds a reference.
+	pktPool    []*Packet
+	streamPool []*stream
+	// payloadPool recycles reference-counted packet payloads (protocol
+	// messages); a payload rejoins the list when its last packet dies.
+	payloadPool []RefPayload
+}
+
+func (n *Network) getPacket() *Packet {
+	if k := len(n.pktPool); k > 0 {
+		p := n.pktPool[k-1]
+		n.pktPool[k-1] = nil
+		n.pktPool = n.pktPool[:k-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+func (n *Network) putPacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	if rp, ok := p.Payload.(RefPayload); ok && rp.Release() {
+		n.payloadPool = append(n.payloadPool, rp)
+	}
+	*p = Packet{pooled: true}
+	n.pktPool = append(n.pktPool, p)
+}
+
+func (n *Network) getStream() *stream {
+	if k := len(n.streamPool); k > 0 {
+		s := n.streamPool[k-1]
+		n.streamPool[k-1] = nil
+		n.streamPool = n.streamPool[:k-1]
+		return s
+	}
+	return &stream{}
+}
+
+func (n *Network) putStream(s *stream) {
+	*s = stream{}
+	n.streamPool = append(n.streamPool, s)
 }
 
 // New builds a mesh network and registers its components with the engine.
@@ -220,10 +352,20 @@ func New(cfg Config, eng *sim.Engine, st *stats.All) (*Network, error) {
 		n.nis[i] = &NI{node: NodeID(i), net: n}
 	}
 	for i := 0; i < nodes; i++ {
-		eng.Register(n.nis[i])
+		for o := 0; o < NumPorts; o++ {
+			if o == PortLocal {
+				continue
+			}
+			if nb := cfg.neighbour(NodeID(i), o); nb >= 0 {
+				n.routers[i].nbr[o] = n.routers[nb]
+			}
+		}
 	}
 	for i := 0; i < nodes; i++ {
-		eng.Register(n.routers[i])
+		n.nis[i].h = eng.Register(n.nis[i])
+	}
+	for i := 0; i < nodes; i++ {
+		n.routers[i].h = eng.Register(n.routers[i])
 	}
 	return n, nil
 }

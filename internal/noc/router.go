@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"pushmulticast/internal/sim"
 )
@@ -47,6 +48,7 @@ type stream struct {
 	vcIdx   int // absolute VC index at the input port
 	outPort int
 	downVC  *inputVC // nil when outPort == PortLocal
+	downR   *Router  // router owning downVC
 	sent    int
 }
 
@@ -57,6 +59,7 @@ type stream struct {
 type Router struct {
 	id  NodeID
 	net *Network
+	h   *sim.Handle
 	in  [NumPorts][]inputVC
 	// outStream / inLock serialize the switch at packet granularity: one
 	// replica owns an output port (and its input port) until its tail
@@ -71,6 +74,37 @@ type Router struct {
 	// buffer. scratch is reused for iteration snapshots.
 	occ     []*inputVC
 	scratch []*inputVC
+	// unrouted counts VCs holding a head that stage 1 has not routed yet;
+	// when zero the stage-1 scans are skipped entirely.
+	unrouted int
+	// candMask[o] marks the occ positions of allocatable VCs with a replica
+	// pending for output port o — a VC draining a replica through the switch
+	// is excluded until its stream completes, since no other replica of it
+	// can place meanwhile. Allocation iterates set bits in round-robin
+	// position order instead of scanning occ (Validate caps a router at 64
+	// VCs so one word suffices). candV counts the same candidates by vnet so
+	// allocation can prove a port unplaceable (every candidate vnet's
+	// downstream VC pool exhausted) in O(1), and invCand counts the
+	// invalidation candidates whose stalled-cycle accounting happens
+	// mid-scan and therefore forbids that shortcut.
+	candMask [NumPorts]uint64
+	candV    [NumPorts][NumVNets]int16
+	invCand  [NumPorts]int16
+	// minHeadAt lower-bounds the earliest arrival among unrouted heads still
+	// in link transit; stage 1 skips its scan entirely before that cycle.
+	// Head writes lower it, stage-1 scans recompute it exactly.
+	minHeadAt sim.Cycle
+	// freeCnt[p][v] counts free input VCs per (port, vnet), so exhausted
+	// downstream pools are rejected without scanning the VC array.
+	freeCnt [NumPorts][NumVNets]int16
+	// nbr caches the adjacent router behind each output port (nil at mesh
+	// edges and for the local port).
+	nbr [NumPorts]*Router
+	// dmask[mode][o] is the set of destinations this router forwards through
+	// output port o under YX (mode 0) or XY (mode 1) dimension-order routing.
+	// Route computation reduces to one AND per port against the packet's
+	// destination set.
+	dmask [2][NumPorts]DestSet
 }
 
 func newRouter(id NodeID, net *Network) *Router {
@@ -82,6 +116,15 @@ func newRouter(id NodeID, net *Network) *Router {
 			vc := &r.in[p][i]
 			vc.port, vc.idx, vc.occPos = p, i, -1
 		}
+		for v := 0; v < NumVNets; v++ {
+			r.freeCnt[p][v] = int16(net.cfg.VCsPerVNet)
+		}
+	}
+	for mode := 0; mode < 2; mode++ {
+		for d := 0; d < net.cfg.Nodes(); d++ {
+			p := net.cfg.nextPort(id, NodeID(d), mode == 1)
+			r.dmask[mode][p] = r.dmask[mode][p].Add(NodeID(d))
+		}
 	}
 	if net.cfg.FilterEnabled || net.cfg.OrdPushInvStall {
 		r.filters = newFilterBank(net.cfg.VCsPerVNet)
@@ -89,24 +132,65 @@ func newRouter(id NodeID, net *Network) *Router {
 	return r
 }
 
-// claim registers a VC as occupied (reserved or holding a packet).
+// claim registers a VC as occupied (reserved or holding a packet) and wakes
+// the router: claims come from the local NI and from upstream routers, both
+// of which may find this router asleep.
 func (r *Router) claim(vc *inputVC) {
+	r.h.Wake()
 	if vc.occPos >= 0 {
 		return
 	}
 	vc.occPos = len(r.occ)
 	r.occ = append(r.occ, vc)
+	r.freeCnt[vc.port][vc.idx/r.net.cfg.VCsPerVNet]--
 }
 
-// release resets a VC and drops it from the occupied list.
+// release resets a VC, drops it from the occupied list, and recycles the
+// held packet: at this point every replica carries its own copy, so the
+// buffered packet is dead.
 func (r *Router) release(vc *inputVC) {
+	// Candidate accounting must read the packet's vnet/inv flags and the
+	// VC's still-valid occ position, so it runs before the packet is
+	// recycled (putPacket zeroes the struct) and before the occ swap below
+	// hands the position to another VC. A VC with an active stream was
+	// already removed from the counts at placement.
+	if vc.pkt != nil {
+		if vc.active == nil && vc.pendingPorts > 0 {
+			bit := uint64(1) << uint(vc.occPos)
+			for o := 0; o < NumPorts; o++ {
+				if !vc.pending[o].Empty() {
+					r.candMask[o] &^= bit
+					r.candV[o][vc.pkt.VNet]--
+					if vc.pkt.IsInv {
+						r.invCand[o]--
+					}
+				}
+			}
+		}
+		if !vc.routed {
+			r.unrouted--
+		}
+		r.net.putPacket(vc.pkt)
+	}
 	if vc.occPos >= 0 {
 		last := len(r.occ) - 1
 		moved := r.occ[last]
 		r.occ[vc.occPos] = moved
 		moved.occPos = vc.occPos
 		r.occ = r.occ[:last]
+		if moved != vc {
+			// The swap moved the tail VC into the freed position; follow it
+			// with any candidate bits it held at its old position.
+			bit := uint64(1) << uint(last)
+			nbit := uint64(1) << uint(vc.occPos)
+			for o := 0; o < NumPorts; o++ {
+				if r.candMask[o]&bit != 0 {
+					r.candMask[o] = r.candMask[o]&^bit | nbit
+				}
+			}
+		}
 		vc.occPos = -1
+		r.freeCnt[vc.port][vc.idx/r.net.cfg.VCsPerVNet]++
 	}
 	vc.pkt = nil
 	vc.reserved = false
@@ -114,6 +198,13 @@ func (r *Router) release(vc *inputVC) {
 	vc.pending = [NumPorts]DestSet{}
 	vc.pendingPorts = 0
 	vc.active = nil
+	// Credit wake: the freed buffer is new downstream space for the adjacent
+	// upstream router, which may be asleep blocked on exactly this VC pool.
+	if vc.port != PortLocal {
+		if nb := r.nbr[vc.port]; nb != nil {
+			nb.h.Wake()
+		}
+	}
 }
 
 // vcRange returns the [lo, hi) input-VC index range of a vnet.
@@ -124,6 +215,9 @@ func (r *Router) vcRange(vnet int) (int, int) {
 
 // freeVC returns a free input VC for the vnet at the given port, or nil.
 func (r *Router) freeVC(port, vnet int) *inputVC {
+	if r.freeCnt[port][vnet] == 0 {
+		return nil
+	}
 	lo, hi := r.vcRange(vnet)
 	for i := lo; i < hi; i++ {
 		if r.in[port][i].free() {
@@ -138,7 +232,77 @@ func (r *Router) freeVC(port, vnet int) *inputVC {
 func (r *Router) Tick(now sim.Cycle) {
 	r.stage1(now)
 	r.allocate(now)
+	streaming := false
+	for o := 0; o < NumPorts; o++ {
+		if r.outStream[o] != nil {
+			streaming = true
+			break
+		}
+	}
 	r.traverse(now)
+	r.reschedule(now, streaming)
+}
+
+// reschedule decides whether the router can skip cycles. An empty occupied
+// list means full quiescence (a streaming VC stays occupied until its tail
+// departs, so no streams remain either; filter entries expire lazily and
+// need no ticking). A non-empty one still allows sleeping when every held
+// packet is blocked on an event that wakes the router: a future head
+// arrival (slept-until), an upstream head write (the sender schedules our
+// wake), or a downstream buffer freeing (its release wakes us).
+func (r *Router) reschedule(now sim.Cycle, streaming bool) {
+	if len(r.occ) == 0 {
+		r.h.Sleep()
+		return
+	}
+	if streaming {
+		// Flits moved or ports were held this cycle; output and input locks
+		// may have freed mid-tick, so allocation must re-run next cycle.
+		return
+	}
+	next := sim.NeverWake
+	for _, vc := range r.occ {
+		if vc.pkt == nil {
+			// Reserved for an in-flight head: the upstream router's head
+			// write schedules our wake at the head's arrival cycle.
+			continue
+		}
+		if r.net.cfg.OrdPushInvStall && vc.pkt.IsInv && vc.routed {
+			// StalledInvCycles accrues once per ticked cycle while an
+			// invalidation waits behind a live registered push; sleeping
+			// would skip those counts. Filter registrations happen only
+			// during this router's own ticks (route → register), so if no
+			// live entry matches now, none can appear while we sleep and
+			// no counts are missed; liveness only decays with time.
+			for o := 0; o < NumPorts; o++ {
+				if !vc.pending[o].Empty() && r.filters.hasAddr(o, vc.pkt.Addr, now) {
+					return
+				}
+			}
+		}
+		if !vc.routed {
+			if vc.headAt < next {
+				next = vc.headAt // stage 1 runs in the head's arrival cycle
+			}
+			continue
+		}
+		if vc.active != nil {
+			return // draining stream (unreachable when !streaming); stay awake
+		}
+		if t := vc.headAt + 1; t > now {
+			if t < next {
+				next = t // stage-2 eligibility
+			}
+			continue
+		}
+		// Allocation-eligible but not placed: blocked on an exhausted
+		// downstream VC pool; the downstream router's release wakes us.
+	}
+	if next == sim.NeverWake {
+		r.h.Sleep()
+	} else {
+		r.h.SleepUntil(next)
+	}
 }
 
 // stage1 runs buffer-write/route-compute for heads that arrived by now.
@@ -146,10 +310,34 @@ func (r *Router) Tick(now sim.Cycle) {
 // case (push and request arriving in the same cycle) resolves in the push's
 // favour, as in Fig 7a.
 func (r *Router) stage1(now sim.Cycle) {
-	if len(r.occ) == 0 {
-		return
+	if r.unrouted == 0 || now < r.minHeadAt {
+		return // nothing unrouted, or every unrouted head still in transit
 	}
-	snap := append(r.scratch[:0], r.occ...)
+	// Collect the unrouted heads — typically a handful even under load — so
+	// the two routing passes below scan only them instead of walking every
+	// occupied VC twice. The snapshot also insulates iteration from occ
+	// mutations (route's stationary filtering releases VCs).
+	snap := r.scratch[:0]
+	seen, want := 0, r.unrouted
+	minNext := sim.NeverWake
+	for _, vc := range r.occ {
+		if vc.pkt != nil && !vc.routed {
+			// Heads still in link transit (headAt in the future) count toward
+			// unrouted but cannot route yet; leave them out of the snapshot.
+			if now >= vc.headAt {
+				snap = append(snap, vc)
+			} else if vc.headAt < minNext {
+				minNext = vc.headAt
+			}
+			if seen++; seen == want {
+				break
+			}
+		}
+	}
+	// Everything counted by unrouted was just visited, so minNext is the
+	// exact earliest in-transit arrival (releases can only leave it stale
+	// low, which merely costs one wasted scan).
+	r.minHeadAt = minNext
 	r.scratch = snap
 	// Pass 1: route pushes and everything non-filterable; register filters.
 	for _, vc := range snap {
@@ -178,15 +366,29 @@ func (r *Router) stage1(now sim.Cycle) {
 // the filter registration and stationary-filtering actions.
 func (r *Router) route(vc *inputVC, port, vcIdx int, now sim.Cycle) {
 	pkt := vc.pkt
-	out := r.net.cfg.routeDests(r.id, pkt.Dests, routingXY(pkt.VNet))
+	mode := 0
+	if routingXY(pkt.VNet) {
+		mode = 1
+	}
+	var out [NumPorts]DestSet
+	for o := 0; o < NumPorts; o++ {
+		out[o] = pkt.Dests & r.dmask[mode][o]
+	}
 	vc.pending = out
 	vc.pendingPorts = 0
+	bit := uint64(1) << uint(vc.occPos)
 	for o := 0; o < NumPorts; o++ {
 		if !out[o].Empty() {
 			vc.pendingPorts++
+			r.candMask[o] |= bit
+			r.candV[o][pkt.VNet]++
+			if pkt.IsInv {
+				r.invCand[o]++
+			}
 		}
 	}
 	vc.routed = true
+	r.unrouted--
 	if vc.pendingPorts == 0 {
 		panic(fmt.Sprintf("noc: router %d routed packet with no outputs: %v", r.id, pkt))
 	}
@@ -243,76 +445,122 @@ func (r *Router) allocate(now sim.Cycle) {
 	if len(r.occ) == 0 {
 		return
 	}
-	// Per-cycle memo of downstream VC availability: under congestion many
-	// waiting packets share an exhausted (output port, vnet) pool, and
-	// re-probing it for each candidate would dominate the simulation.
-	var memo [NumPorts][NumVNets]int8 // 0 unknown, 1 available, -1 none
 	for o := 0; o < NumPorts; o++ {
-		if r.outStream[o] != nil {
+		if r.outStream[o] != nil || r.candMask[o] == 0 {
 			continue
 		}
-		r.allocateOutput(o, now, &memo)
+		r.allocateOutput(o, now)
 	}
 }
 
-func (r *Router) allocateOutput(o int, now sim.Cycle, memo *[NumPorts][NumVNets]int8) {
+func (r *Router) allocateOutput(o int, now sim.Cycle) {
+	if o != PortLocal && r.invCand[o] == 0 {
+		// Exact fast-fail under congestion: when every vnet with candidates
+		// for this port has an exhausted downstream VC pool, no scan
+		// iteration could place a replica (each would stop at the same
+		// freeVC check). Invalidation candidates force the full scan because
+		// their stalled-cycle accounting is a mid-scan side effect.
+		down := r.nbr[o]
+		ip := opposite[o]
+		placeable := false
+		for v := 0; v < NumVNets; v++ {
+			if r.candV[o][v] != 0 && down.freeCnt[ip][v] != 0 {
+				placeable = true
+				break
+			}
+		}
+		if !placeable {
+			return
+		}
+	}
 	total := len(r.occ)
-	start := r.rr[o]
-	for k := 0; k < total; k++ {
-		idx := (start + k) % total
-		vc := r.occ[idx]
-		p := vc.port
-		if vc.pkt == nil || !vc.routed || vc.active != nil || vc.pending[o].Empty() {
-			continue
-		}
-		if r.inLock[p] != nil {
-			continue
-		}
-		// Stage-2 eligibility: stage 1 ran in the head's arrival cycle.
-		if now < vc.headAt+1 {
-			continue
-		}
-		pkt := vc.pkt
-		// OrdPush ordering: stall an invalidation while a same-line push is
-		// still registered at this output port.
-		if pkt.IsInv && r.net.cfg.OrdPushInvStall && r.filters != nil &&
-			r.filters.hasAddr(o, pkt.Addr, now) {
-			r.net.st.Net.StalledInvCycles++
-			continue
-		}
-		var down *inputVC
-		if o != PortLocal {
-			if memo[o][pkt.VNet] < 0 {
-				continue // downstream pool known exhausted this cycle
+	// Iterate the candidate bitmask in round-robin position order: the set
+	// bits at or above the arbitration pointer first, then the wrapped-around
+	// bits below it. This visits exactly the VCs the old linear occ scan
+	// visited, in the same order, without touching non-candidates (a set bit
+	// already implies a routed packet with pending[o] != 0 and no active
+	// stream). Nothing before placement mutates the mask, so the snapshot
+	// stays exact; placement returns.
+	start := r.rr[o] % total
+	below := uint64(1)<<uint(start) - 1
+	m := r.candMask[o]
+	for _, mm := range [2]uint64{m &^ below, m & below} {
+		for ; mm != 0; mm &= mm - 1 {
+			idx := bits.TrailingZeros64(mm)
+			vc := r.occ[idx]
+			p := vc.port
+			if r.inLock[p] != nil {
+				continue
 			}
-			nb := r.net.cfg.neighbour(r.id, o)
-			if nb < 0 {
-				panic(fmt.Sprintf("noc: router %d routed %v to edge port %s", r.id, pkt, PortName(o)))
+			// Stage-2 eligibility: stage 1 ran in the head's arrival cycle.
+			if now < vc.headAt+1 {
+				continue
 			}
-			downRouter := r.net.routers[nb]
-			down = downRouter.freeVC(opposite[o], pkt.VNet)
-			if down == nil {
-				memo[o][pkt.VNet] = -1
-				continue // no free downstream VC this cycle
+			pkt := vc.pkt
+			// OrdPush ordering: stall an invalidation while a same-line push is
+			// still registered at this output port.
+			if pkt.IsInv && r.net.cfg.OrdPushInvStall && r.filters != nil &&
+				r.filters.hasAddr(o, pkt.Addr, now) {
+				r.net.st.Net.StalledInvCycles++
+				continue
 			}
-			down.reserved = true
-			downRouter.claim(down)
+			var down *inputVC
+			var downRouter *Router
+			if o != PortLocal {
+				downRouter = r.nbr[o]
+				if downRouter == nil {
+					panic(fmt.Sprintf("noc: router %d routed %v to edge port %s", r.id, pkt, PortName(o)))
+				}
+				down = downRouter.freeVC(opposite[o], pkt.VNet)
+				if down == nil {
+					continue // no free downstream VC this cycle
+				}
+				down.reserved = true
+				downRouter.claim(down)
+			}
+			replica := r.net.getPacket()
+			*replica = *pkt
+			replica.pooled = true
+			if rp, ok := pkt.Payload.(RefPayload); ok {
+				rp.AddRef()
+			}
+			replica.Dests = vc.pending[o]
+			if vc.pendingPorts > 1 {
+				r.net.st.Net.MulticastReplicas++
+			}
+			s := r.net.getStream()
+			*s = stream{
+				vc: vc, replica: replica, inPort: p, vcIdx: vc.idx, outPort: o,
+				downVC: down, downR: downRouter,
+			}
+			bit := uint64(1) << uint(idx)
+			vc.active = s
+			vc.pending[o] = 0
+			vc.pendingPorts--
+			r.candMask[o] &^= bit
+			r.candV[o][pkt.VNet]--
+			if pkt.IsInv {
+				r.invCand[o]--
+			}
+			// The VC streams until the replica's tail departs; its remaining
+			// pending ports cannot place meanwhile, so drop them from the
+			// candidate counts (sendFlit restores them at stream completion).
+			if vc.pendingPorts > 0 {
+				for op := 0; op < NumPorts; op++ {
+					if !vc.pending[op].Empty() {
+						r.candMask[op] &^= bit
+						r.candV[op][pkt.VNet]--
+						if pkt.IsInv {
+							r.invCand[op]--
+						}
+					}
+				}
+			}
+			r.outStream[o] = s
+			r.inLock[p] = s
+			r.rr[o] = (idx + 1) % total
+			return
 		}
-		replica := *pkt
-		replica.Dests = vc.pending[o]
-		if vc.pendingPorts > 1 {
-			r.net.st.Net.MulticastReplicas++
-		}
-		s := &stream{
-			vc: vc, replica: &replica, inPort: p, vcIdx: vc.idx, outPort: o, downVC: down,
-		}
-		vc.active = s
-		vc.pending[o] = 0
-		vc.pendingPorts--
-		r.outStream[o] = s
-		r.inLock[p] = s
-		r.rr[o] = (idx + 1) % total
-		return
 	}
 }
 
@@ -340,9 +588,16 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 	if s.sent == 1 && s.downVC != nil {
 		// Head flit: write into the reserved downstream buffer; it is
 		// visible to the downstream stage 1 after switch + link traversal.
+		// The downstream router may have slept through the reservation, so
+		// schedule its wake for the head's arrival cycle.
 		s.downVC.pkt = pkt
 		s.downVC.headAt = now + 2
 		s.downVC.reserved = false
+		s.downR.unrouted++
+		if s.downVC.headAt < s.downR.minHeadAt {
+			s.downR.minHeadAt = s.downVC.headAt
+		}
+		s.downR.h.WakeAt(s.downVC.headAt)
 	}
 	if s.sent < pkt.Size {
 		return
@@ -352,6 +607,21 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 	r.outStream[s.outPort] = nil
 	r.inLock[s.inPort] = nil
 	s.vc.active = nil
+	// The VC's remaining pending ports become allocatable again now that the
+	// stream is done; restore them to the candidate counts.
+	if s.vc.pendingPorts > 0 {
+		orig := s.vc.pkt
+		bit := uint64(1) << uint(s.vc.occPos)
+		for op := 0; op < NumPorts; op++ {
+			if !s.vc.pending[op].Empty() {
+				r.candMask[op] |= bit
+				r.candV[op][orig.VNet]++
+				if orig.IsInv {
+					r.invCand[op]++
+				}
+			}
+		}
+	}
 	if pkt.IsPush && r.filters != nil {
 		dataVC := s.vcIdx - VNetData*r.net.cfg.VCsPerVNet
 		r.filters.scheduleClear(s.outPort, s.inPort, dataVC, now+2)
@@ -362,4 +632,5 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 	if s.outPort == PortLocal {
 		r.net.nis[r.id].scheduleDelivery(pkt, now+2)
 	}
+	r.net.putStream(s)
 }

@@ -114,6 +114,25 @@ type Packet struct {
 
 	// InjectedAt is stamped by the NI for latency accounting.
 	InjectedAt sim.Cycle
+
+	// pooled marks packets born from the network's free list (router-created
+	// replicas); only those are ever recycled, so externally created packets
+	// stay valid for as long as their creator holds them.
+	pooled bool
+}
+
+// RefPayload is implemented by packet payloads managed through the
+// network's payload free list. The network adds a reference whenever a
+// router copies a packet into a replica and drops one whenever a packet
+// dies (release or endpoint recycle); a payload whose last carrier died is
+// returned to the list for NI.NewPayload to hand out again. Attaching a
+// payload to its first packet must account for that packet's reference
+// (coherence.Msg does this in FillPacket).
+type RefPayload interface {
+	// AddRef records one more packet carrying this payload.
+	AddRef()
+	// Release drops one carrier and reports whether none remain.
+	Release() bool
 }
 
 // String implements fmt.Stringer for diagnostics.
@@ -214,6 +233,12 @@ func (c Config) Validate() error {
 	}
 	if c.VCsPerVNet <= 0 {
 		return fmt.Errorf("noc: VCsPerVNet must be positive, got %d", c.VCsPerVNet)
+	}
+	if NumPorts*NumVNets*c.VCsPerVNet > 64 {
+		// The router tracks per-port allocation candidates in a 64-bit mask
+		// over its occupied-VC list, which bounds the VCs per router.
+		return fmt.Errorf("noc: %d VCs per router exceed the 64-VC router occupancy limit (VCsPerVNet <= %d)",
+			NumPorts*NumVNets*c.VCsPerVNet, 64/(NumPorts*NumVNets))
 	}
 	switch c.LinkWidthBits {
 	case 64, 128, 256, 512:

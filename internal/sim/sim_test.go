@@ -73,3 +73,132 @@ func TestEngineFinishedImmediately(t *testing.T) {
 		t.Fatalf("end=%d err=%v, want 0,nil", end, err)
 	}
 }
+
+func TestWakeHeapTieBreaksOnRegistrationOrder(t *testing.T) {
+	eng := NewEngine(0, 0)
+	var hs []*Handle
+	for i := 0; i < 5; i++ {
+		hs = append(hs, eng.Register(TickFunc(func(Cycle) {})))
+	}
+	// Insert in reverse registration order so heap arrival order cannot mask
+	// a broken tie-break.
+	for i := len(hs) - 1; i >= 0; i-- {
+		hs[i].SleepUntil(10)
+	}
+	for want := 0; want < len(hs); want++ {
+		if got := eng.wheap[0].idx; got != want {
+			t.Fatalf("heap pop %d: got handle idx %d", want, got)
+		}
+		eng.heapRemove(0)
+	}
+}
+
+func TestWakeHeapOrdersByWakeCycleThenIndex(t *testing.T) {
+	eng := NewEngine(0, 0)
+	var hs []*Handle
+	for i := 0; i < 6; i++ {
+		hs = append(hs, eng.Register(TickFunc(func(Cycle) {})))
+	}
+	wakes := []Cycle{30, 10, 30, 20, 10, 20}
+	for i, h := range hs {
+		h.SleepUntil(wakes[i])
+	}
+	// Expected pop order: primary key wakeAt ascending, ties by idx ascending.
+	want := []int{1, 4, 3, 5, 0, 2}
+	for k, wi := range want {
+		h := eng.wheap[0]
+		if h.idx != wi || h.wakeAt != wakes[wi] {
+			t.Fatalf("pop %d: got (idx=%d, at=%d), want (idx=%d, at=%d)",
+				k, h.idx, h.wakeAt, wi, wakes[wi])
+		}
+		eng.heapRemove(0)
+	}
+}
+
+func TestSleepUntilSkipsIdleCycles(t *testing.T) {
+	eng := NewEngine(0, 0)
+	var at []Cycle
+	var h *Handle
+	h = eng.Register(TickFunc(func(now Cycle) {
+		at = append(at, now)
+		eng.Progress()
+		if now < 100 {
+			h.SleepUntil(now + 10)
+		}
+	}))
+	end, err := eng.Run(func() bool { return len(at) > 0 && at[len(at)-1] >= 100 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end != 101 {
+		t.Fatalf("end = %d, want 101", end)
+	}
+	if len(at) != 11 {
+		t.Fatalf("ticked %d times, want 11 (every 10th cycle): %v", len(at), at)
+	}
+	for i, c := range at {
+		if c != Cycle(i*10) {
+			t.Fatalf("tick %d at cycle %d, want %d", i, c, i*10)
+		}
+	}
+	if eng.Ticks() != 11 {
+		t.Fatalf("Ticks = %d, want 11", eng.Ticks())
+	}
+}
+
+func TestWakeAtEarlierOverridesLater(t *testing.T) {
+	eng := NewEngine(0, 0)
+	var at []Cycle
+	h := eng.Register(TickFunc(func(now Cycle) { at = append(at, now); eng.Progress() }))
+	h.Sleep()
+	h.WakeAt(50)
+	h.WakeAt(80) // later than the scheduled wake: must not delay it
+	h.WakeAt(30) // earlier: must pull the wake forward
+	end, err := eng.Run(func() bool { return len(at) >= 1 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at[0] != 30 || end != 31 {
+		t.Fatalf("first tick at %d (end %d), want 30 (31)", at[0], end)
+	}
+}
+
+func TestWakeCancelsScheduledWake(t *testing.T) {
+	eng := NewEngine(0, 0)
+	h := eng.Register(TickFunc(func(Cycle) {}))
+	h.SleepUntil(100)
+	if !h.asleep || len(eng.wheap) != 1 {
+		t.Fatalf("SleepUntil did not enqueue: asleep=%v heap=%d", h.asleep, len(eng.wheap))
+	}
+	h.Wake()
+	if h.asleep || len(eng.wheap) != 0 {
+		t.Fatalf("Wake left stale state: asleep=%v heap=%d", h.asleep, len(eng.wheap))
+	}
+}
+
+func TestSleepUntilNextCycleStaysAwake(t *testing.T) {
+	eng := NewEngine(0, 0)
+	h := eng.Register(TickFunc(func(Cycle) {}))
+	// Waking at now+1 skips no ticks, so the handle stays awake rather than
+	// paying for a heap round-trip.
+	h.SleepUntil(1)
+	if h.asleep || len(eng.wheap) != 0 {
+		t.Fatalf("next-cycle sleep should stay awake: asleep=%v heap=%d", h.asleep, len(eng.wheap))
+	}
+}
+
+func TestDenseModeIgnoresQuiescence(t *testing.T) {
+	eng := NewEngine(0, 0)
+	eng.SetDense(true)
+	n := 0
+	h := eng.Register(TickFunc(func(Cycle) { n++ }))
+	h.Sleep()
+	eng.Step()
+	eng.Step()
+	if n != 2 {
+		t.Fatalf("dense mode ticked %d times over 2 steps, want 2", n)
+	}
+	if eng.Ticks() != 2 {
+		t.Fatalf("Ticks = %d, want 2", eng.Ticks())
+	}
+}

@@ -197,6 +197,43 @@ type Core struct {
 	StallCycles  uint64 // cycles the window was full
 }
 
+// GapReservoirCap bounds the sample count each sharer pair's gap reservoir
+// retains; beyond it, Algorithm R keeps a uniform subsample.
+const GapReservoirCap = 2048
+
+// GapReservoir holds a bounded uniform sample of gap observations. Below
+// GapReservoirCap it records everything (so small-scale quantiles are exact);
+// past the cap it applies reservoir sampling (Algorithm R) driven by a
+// deterministic LCG, keeping memory fixed on long full-scale traces while
+// every observation — early or late — retains equal selection probability.
+type GapReservoir struct {
+	// Samples is the retained sample set, in retention order (not sorted).
+	Samples []uint64
+	// Seen counts every observation offered, retained or not.
+	Seen uint64
+	rng  uint64
+}
+
+// NewGapReservoir returns an empty reservoir; seed decorrelates the sampling
+// streams of different reservoirs while keeping runs reproducible.
+func NewGapReservoir(seed uint64) *GapReservoir {
+	return &GapReservoir{rng: seed*2654435761 + 1}
+}
+
+// Observe offers one gap sample to the reservoir.
+func (r *GapReservoir) Observe(gap uint64) {
+	r.Seen++
+	if len(r.Samples) < GapReservoirCap {
+		r.Samples = append(r.Samples, gap)
+		return
+	}
+	// Knuth MMIX LCG: deterministic, so identical runs keep identical samples.
+	r.rng = r.rng*6364136223846793005 + 1442695040888963407
+	if j := r.rng % r.Seen; j < GapReservoirCap {
+		r.Samples[j] = gap
+	}
+}
+
 // All is the top-level stats bundle for one simulation run.
 type All struct {
 	Net   Network
@@ -204,13 +241,14 @@ type All struct {
 	Core  Core
 	// SharerGaps records, for traced shared lines, the cycle gap between
 	// consecutive accesses by distinct sharers (Fig 4). Keyed by the ordered
-	// sharer pair index (prev*64+next); values are gap samples.
-	SharerGaps map[int][]uint64
+	// sharer pair index (prev*64+next); each value is a bounded reservoir of
+	// gap samples.
+	SharerGaps map[int]*GapReservoir
 }
 
 // New returns an empty stats bundle.
 func New() *All {
-	return &All{SharerGaps: make(map[int][]uint64)}
+	return &All{SharerGaps: make(map[int]*GapReservoir)}
 }
 
 // MPKI returns misses-per-kilo-instruction given a miss count.

@@ -64,8 +64,43 @@ func TestMPKI(t *testing.T) {
 
 func TestNewInitializesGapMap(t *testing.T) {
 	a := New()
-	a.SharerGaps[5] = append(a.SharerGaps[5], 10)
-	if len(a.SharerGaps[5]) != 1 {
+	a.SharerGaps[5] = NewGapReservoir(5)
+	a.SharerGaps[5].Observe(10)
+	if len(a.SharerGaps[5].Samples) != 1 || a.SharerGaps[5].Seen != 1 {
 		t.Error("SharerGaps not usable")
+	}
+}
+
+func TestGapReservoirBoundedAndUniformish(t *testing.T) {
+	r := NewGapReservoir(7)
+	const n = 10 * GapReservoirCap
+	for i := uint64(0); i < n; i++ {
+		r.Observe(i)
+	}
+	if len(r.Samples) != GapReservoirCap {
+		t.Fatalf("reservoir size %d, want %d", len(r.Samples), GapReservoirCap)
+	}
+	if r.Seen != n {
+		t.Fatalf("Seen = %d, want %d", r.Seen, n)
+	}
+	// A uniform sample's mean should land near the population mean (n/2);
+	// truncation-style capping would pin it near GapReservoirCap/2 instead.
+	var sum float64
+	for _, v := range r.Samples {
+		sum += float64(v)
+	}
+	mean := sum / float64(len(r.Samples))
+	if mean < float64(n)*0.4 || mean > float64(n)*0.6 {
+		t.Errorf("sample mean %.0f far from population mean %d", mean, n/2)
+	}
+	// Determinism: a reservoir with the same seed and stream is identical.
+	r2 := NewGapReservoir(7)
+	for i := uint64(0); i < n; i++ {
+		r2.Observe(i)
+	}
+	for i := range r.Samples {
+		if r.Samples[i] != r2.Samples[i] {
+			t.Fatalf("sample %d differs between identical runs", i)
+		}
 	}
 }

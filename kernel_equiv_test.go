@@ -1,0 +1,86 @@
+package pushmulticast
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// equivSchemes are the scheme points the kernel cross-check covers: the
+// baseline, the bare push ablation, and the full OrdPush design.
+func equivSchemes() []Scheme {
+	return []Scheme{Baseline(), AblationPush(), OrdPush()}
+}
+
+// TestSparseDenseEquivalence is the wake-driven kernel's correctness
+// contract: for every tiny-scale workload and scheme, the sparse
+// (wake-driven) and dense (tick-everything) kernels must produce
+// byte-identical results — same cycle count, same full counter bundle. Any
+// divergence means a component slept through a cycle in which the dense
+// kernel would have made progress (a missed wake) or mis-reconstructed a
+// per-cycle counter.
+func TestSparseDenseEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cross-checking every workload is slow")
+	}
+	for _, sch := range equivSchemes() {
+		for _, wl := range Workloads() {
+			sch, wl := sch, wl
+			t.Run(sch.Name+"/"+wl.Name, func(t *testing.T) {
+				t.Parallel()
+				var sparse, dense Results
+				var sErr, dErr error
+				var wg sync.WaitGroup
+				wg.Add(2)
+				go func() {
+					defer wg.Done()
+					cfg := ScaledConfig(Default16()).WithScheme(sch)
+					sparse, sErr = RunWorkload(cfg, wl, ScaleTiny)
+				}()
+				go func() {
+					defer wg.Done()
+					cfg := ScaledConfig(Default16()).WithScheme(sch)
+					cfg.DenseKernel = true
+					dense, dErr = RunWorkload(cfg, wl, ScaleTiny)
+				}()
+				wg.Wait()
+				if sErr != nil || dErr != nil {
+					t.Fatalf("run failed: sparse=%v dense=%v", sErr, dErr)
+				}
+				if sparse.Cycles != dense.Cycles {
+					t.Errorf("cycle count diverged: sparse=%d dense=%d", sparse.Cycles, dense.Cycles)
+				}
+				if !reflect.DeepEqual(sparse.Stats, dense.Stats) {
+					t.Errorf("stats diverged:\nsparse: %+v\ndense:  %+v", sparse.Stats, dense.Stats)
+				}
+			})
+		}
+	}
+}
+
+// TestKernelDeterminism runs the same configuration twice and requires
+// fully identical Results (cycles and every counter): the wake-driven
+// scheduler must not introduce any ordering nondeterminism.
+func TestKernelDeterminism(t *testing.T) {
+	for _, sch := range equivSchemes() {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := ScaledConfig(Default16()).WithScheme(sch)
+			a, err := Run(cfg, "cachebw", ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg, "cachebw", ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cycles != b.Cycles {
+				t.Errorf("cycle count not deterministic: %d vs %d", a.Cycles, b.Cycles)
+			}
+			if !reflect.DeepEqual(a.Stats, b.Stats) {
+				t.Errorf("stats not deterministic:\nfirst:  %+v\nsecond: %+v", a.Stats, b.Stats)
+			}
+		})
+	}
+}

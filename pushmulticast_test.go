@@ -45,6 +45,16 @@ func TestQuantile(t *testing.T) {
 	if quantile(nil, 0.5) != 0 {
 		t.Error("empty quantile should be 0")
 	}
+	// Off-rank quantiles interpolate linearly instead of truncating down.
+	if got := quantile([]uint64{1, 3, 5, 9}, 0.5); got != 4 {
+		t.Errorf("median of {1,3,5,9} = %d, want interpolated 4", got)
+	}
+	if got := quantile([]uint64{1, 3, 5, 7, 9}, 0.99); got != 9 {
+		t.Errorf("P99 of {1..9} = %d, want 9 (rounded from 8.92)", got)
+	}
+	if got := quantile([]uint64{10, 20}, 0.75); got != 18 {
+		t.Errorf("P75 of {10,20} = %d, want 18", got)
+	}
 }
 
 func TestTableRendering(t *testing.T) {
