@@ -27,6 +27,7 @@ func main() {
 		list     = flag.Bool("list", false, "list workloads and exit")
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
 		dense    = flag.Bool("dense", false, "run on the dense reference kernel (tick every component every cycle; the wake-driven scheduler's equivalence oracle)")
+		parallel = flag.Int("parallel", 0, "parallel tick executor worker count (0 or 1 = serial kernel; results are byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -43,6 +44,7 @@ func main() {
 		os.Exit(1)
 	}
 	cfg.DenseKernel = *dense
+	cfg.ParallelWorkers = *parallel
 	sc, err := parseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)

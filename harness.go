@@ -22,8 +22,14 @@ type ExpOptions struct {
 	Cores int
 	// Workloads restricts the workload set (nil = figure default).
 	Workloads []string
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS).
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS, divided by
+	// SimWorkers when the parallel kernel is on so the host is not
+	// oversubscribed with Parallelism × SimWorkers goroutines).
 	Parallelism int
+	// SimWorkers runs each simulation on the parallel tick executor with
+	// this many workers (0 or 1 = serial kernel). Results are byte-identical
+	// either way.
+	SimWorkers int
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -32,6 +38,13 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+		if o.SimWorkers > 1 {
+			// Split host cores between concurrent matrix jobs and intra-sim
+			// workers instead of stacking the two levels of parallelism.
+			if o.Parallelism /= o.SimWorkers; o.Parallelism < 1 {
+				o.Parallelism = 1
+			}
+		}
 	}
 	return o
 }
@@ -48,6 +61,7 @@ func (o ExpOptions) baseConfig() Config {
 	if o.Scale != ScaleFull {
 		cfg = ScaledConfig(cfg)
 	}
+	cfg.ParallelWorkers = o.SimWorkers
 	return cfg
 }
 
@@ -71,6 +85,52 @@ func (o ExpOptions) pickWorkloads(def []Workload) ([]Workload, error) {
 type runKey struct {
 	scheme   string
 	workload string
+}
+
+// runMemo caches completed runs across the whole experiment campaign, keyed
+// by the full configuration plus workload and scale: several exp_* figures
+// share identical baseline runs, and the kernel's determinism guarantees a
+// cached Results is indistinguishable from a fresh one. Entries are shared
+// read-only — Results.Stats points at one bundle, and figure code must not
+// mutate it. Two goroutines racing on the same key may both simulate; the
+// duplicate write is harmless because both produce identical results.
+var runMemo struct {
+	sync.Mutex
+	m map[string]Results
+}
+
+func memoKey(cfg Config, wl Workload, sc Scale) string {
+	return fmt.Sprintf("%+v|%s|%d", cfg, wl.Name, sc)
+}
+
+// ClearRunMemo empties the campaign-level run memo (tests).
+func ClearRunMemo() {
+	runMemo.Lock()
+	runMemo.m = nil
+	runMemo.Unlock()
+}
+
+// memoizedRun returns the cached Results for an identical earlier run, or
+// simulates and caches. Failed runs are not cached.
+func memoizedRun(cfg Config, wl Workload, sc Scale) (Results, error) {
+	key := memoKey(cfg, wl, sc)
+	runMemo.Lock()
+	res, ok := runMemo.m[key]
+	runMemo.Unlock()
+	if ok {
+		return res, nil
+	}
+	res, err := RunWorkload(cfg, wl, sc)
+	if err != nil {
+		return Results{}, err
+	}
+	runMemo.Lock()
+	if runMemo.m == nil {
+		runMemo.m = make(map[string]Results)
+	}
+	runMemo.m[key] = res
+	runMemo.Unlock()
+	return res, nil
 }
 
 // matrix runs every (scheme, workload) pair concurrently, with cfgFor
@@ -114,36 +174,38 @@ func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Wo
 		defer mu.Unlock()
 		return failed
 	}
-	sem := make(chan struct{}, o.Parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		if stopped() {
-			break // a simulation already failed; launch nothing further
-		}
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			// Check before queuing for a semaphore slot: holding one just to
-			// discover the matrix is sinking would delay the jobs still
-			// draining ahead of us.
-			if stopped() {
-				return
-			}
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if stopped() {
-				return
-			}
-			res, err := RunWorkload(cfgFor(j.sch), j.wl, o.Scale)
-			if err != nil {
-				fail(fmt.Errorf("%s/%s: %w", j.sch.Name, j.wl.Name, err))
-				return
-			}
-			mu.Lock()
-			results[runKey{j.sch.Name, j.wl.Name}] = res
-			mu.Unlock()
-		}(j)
+	// A fixed pool of o.Parallelism workers pulls jobs off a channel: at most
+	// that many simulations (and goroutines) exist at once, instead of one
+	// goroutine per matrix cell parked on a semaphore.
+	workers := o.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	jobsCh := make(chan job)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobsCh {
+				if stopped() {
+					continue // a simulation already failed; drain the queue
+				}
+				res, err := memoizedRun(cfgFor(j.sch), j.wl, o.Scale)
+				if err != nil {
+					fail(fmt.Errorf("%s/%s: %w", j.sch.Name, j.wl.Name, err))
+					continue
+				}
+				mu.Lock()
+				results[runKey{j.sch.Name, j.wl.Name}] = res
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobsCh <- j
+	}
+	close(jobsCh)
 	wg.Wait()
 	if len(errs) > 0 {
 		return nil, errors.Join(errs...)

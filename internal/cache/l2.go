@@ -128,6 +128,9 @@ func (c *L2) ID() noc.NodeID { return c.id }
 func (c *L2) L1() *L1 { return c.l1 }
 
 // Receive implements noc.Endpoint.
+// Handle returns the L2 controller's scheduling handle (for lane assignment).
+func (c *L2) Handle() *sim.Handle { return c.h }
+
 func (c *L2) Receive(pkt *noc.Packet, now sim.Cycle) {
 	c.h.WakeAt(c.inq.push(pkt, now))
 }

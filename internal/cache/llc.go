@@ -137,6 +137,9 @@ func NewLLC(id noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine
 // ID returns the slice's tile.
 func (s *LLC) ID() noc.NodeID { return s.id }
 
+// Handle returns the LLC slice's scheduling handle (for lane assignment).
+func (s *LLC) Handle() *sim.Handle { return s.h }
+
 // Receive implements noc.Endpoint. Filterable read requests are checked
 // against the tile's not-yet-departed pushes on arrival as well as at
 // processing time; together with the in-network filters this covers every
@@ -436,12 +439,7 @@ func (s *LLC) traceSharerGap(line *Line, req noc.NodeID, now sim.Cycle) {
 	}
 	if t.lastReader != req {
 		key := int(t.lastReader)*64 + int(req)
-		r := s.st.SharerGaps[key]
-		if r == nil {
-			r = stats.NewGapReservoir(uint64(key))
-			s.st.SharerGaps[key] = r
-		}
-		r.Observe(uint64(now - t.lastAt))
+		s.st.ObserveGap(key, uint64(now-t.lastAt))
 	}
 	t.lastReader, t.lastAt = req, now
 }

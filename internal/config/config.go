@@ -220,6 +220,19 @@ type System struct {
 	// enforce it); dense mode exists as the cross-check oracle and for
 	// debugging suspected scheduling bugs.
 	DenseKernel bool
+
+	// ParallelWorkers sets the parallel tick executor's worker count: each
+	// cycle, tiles tick concurrently across this many goroutines with
+	// cross-tile effects staged and committed in registration order, so
+	// results stay byte-identical to a serial run. 0 or 1 selects the
+	// serial kernel.
+	ParallelWorkers int
+
+	// ParallelThreshold is the minimum awake-component count a cycle's
+	// parallel section needs before it is dispatched to the worker pool;
+	// smaller cycles run serially to dodge the barrier overhead. 0 selects
+	// sim.DefaultParallelThreshold.
+	ParallelThreshold int
 }
 
 // Tiles returns the tile count.

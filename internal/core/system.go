@@ -30,6 +30,10 @@ type System struct {
 	L2s   []*cache.L2
 	LLCs  []*cache.LLC
 	Mems  map[noc.NodeID]*memctrl.Ctrl
+
+	// laneSt holds the per-tile stats shards of the parallel executor (nil
+	// for serial runs); mergeLaneStats folds them into St in lane order.
+	laneSt []*stats.All
 }
 
 // Build wires a system running the given workload at the given scale.
@@ -42,6 +46,10 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 	st := stats.New()
 	eng := sim.NewEngine(200_000, 500_000_000)
 	eng.SetDense(cfg.DenseKernel)
+	parallel := cfg.ParallelWorkers > 1
+	if parallel {
+		eng.SetParallel(cfg.ParallelWorkers, cfg.ParallelThreshold)
+	}
 	net, err := noc.New(cfg.NoC, eng, st)
 	if err != nil {
 		return nil, err
@@ -49,15 +57,30 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 	s := &System{Cfg: cfg, Eng: eng, Net: net, St: st, Mems: make(map[noc.NodeID]*memctrl.Ctrl)}
 
 	tiles := cfg.Tiles()
+	// In parallel mode tile i forms execution lane i: its NI, L2, core, and
+	// LLC slice (plus a memory controller where present) tick on one worker
+	// and account into a private stats shard, merged in lane order later.
+	// Routers stay serial (see noc.Parallelize).
+	tileSt := func(int) *stats.All { return st }
+	if parallel {
+		s.laneSt = make([]*stats.All, tiles)
+		for i := range s.laneSt {
+			s.laneSt[i] = stats.New()
+			s.laneSt[i].DeferGaps = true
+		}
+		net.Parallelize(s.laneSt)
+		tileSt = func(i int) *stats.All { return s.laneSt[i] }
+	}
 	barrier := cpu.NewBarrier(tiles)
 	for i := 0; i < tiles; i++ {
 		id := noc.NodeID(i)
+		ts := tileSt(i)
 		var c *cpu.Core
-		l2 := cache.NewL2(id, &s.Cfg, net, eng, st, deferredRequestor{&c})
+		l2 := cache.NewL2(id, &s.Cfg, net, eng, ts, deferredRequestor{&c})
 		s.L2s = append(s.L2s, l2)
 		if wl.Build != nil {
 			stream := wl.Build(i, tiles, sc)
-			c = cpu.New(id, &s.Cfg, eng, st, l2, stream, barrier)
+			c = cpu.New(id, &s.Cfg, eng, ts, l2, stream, barrier)
 			if cfg.Scheme.L1Bingo {
 				c.L1Prefetcher = prefetch.NewBingo(l2, cfg.BingoRegionBytes, cfg.BingoPHTEntries, cfg.LineSize)
 			}
@@ -66,12 +89,46 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 		if cfg.Scheme.L2Stride {
 			prefetch.NewStride(l2, cfg.StrideStreams, cfg.StrideDegree)
 		}
-		s.LLCs = append(s.LLCs, cache.NewLLC(id, &s.Cfg, net, eng, st))
+		llc := cache.NewLLC(id, &s.Cfg, net, eng, ts)
+		s.LLCs = append(s.LLCs, llc)
+		if parallel {
+			l2.Handle().SetLane(i)
+			if c != nil {
+				c.Handle().SetLane(i)
+			}
+			llc.Handle().SetLane(i)
+		}
 	}
 	for _, mc := range cfg.MemControllers() {
-		s.Mems[mc] = memctrl.New(mc, &s.Cfg, net, eng, st)
+		m := memctrl.New(mc, &s.Cfg, net, eng, tileSt(int(mc)))
+		s.Mems[mc] = m
+		if parallel {
+			m.Handle().SetLane(int(mc))
+		}
+	}
+	if parallel && cfg.TraceSharerGaps {
+		// Sharer-gap reservoir sampling is order-sensitive; lanes defer their
+		// observations and the engine drains them into the primary bundle at
+		// every cycle's end, in lane order — the order a serial run's LLC
+		// ticks would have produced.
+		eng.SetOnCycleEnd(func(sim.Cycle) {
+			for _, ls := range s.laneSt {
+				ls.DrainGapsInto(st)
+			}
+		})
 	}
 	return s, nil
+}
+
+// mergeLaneStats folds the per-lane stats shards into the primary bundle in
+// lane order and zeroes the shards, so post-merge activity (a Drain after
+// Run) accrues freshly and a later merge cannot double-count.
+func (s *System) mergeLaneStats() {
+	for _, ls := range s.laneSt {
+		ls.DrainGapsInto(s.St)
+		s.St.Add(ls)
+		*ls = stats.All{SharerGaps: ls.SharerGaps, DeferGaps: true, GapLog: ls.GapLog[:0]}
+	}
 }
 
 // deferredRequestor lets the L2 be constructed before its core (the two
@@ -141,6 +198,8 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 		return true
 	}
 	end, err := s.Eng.Run(finished)
+	s.Eng.Close() // idle the worker pool; a later Drain respawns it on demand
+	s.mergeLaneStats()
 	if checkErr != nil {
 		return Results{}, checkErr
 	}
@@ -159,6 +218,10 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 // Drain runs the machine until the network and all controllers quiesce
 // (post-run cleanliness checks in tests).
 func (s *System) Drain(limit sim.Cycle) error {
+	defer func() {
+		s.Eng.Close()
+		s.mergeLaneStats()
+	}()
 	start := s.Eng.Now()
 	for !s.Quiescent() {
 		if s.Eng.Now()-start > limit {

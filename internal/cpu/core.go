@@ -8,6 +8,8 @@
 package cpu
 
 import (
+	"sync"
+
 	"pushmulticast/internal/cache"
 	"pushmulticast/internal/config"
 	"pushmulticast/internal/noc"
@@ -16,21 +18,29 @@ import (
 	"pushmulticast/internal/workload"
 )
 
-// Barrier synchronizes all cores; a generation counter releases waiters.
+// Barrier synchronizes all cores; a generation counter releases waiters. A
+// release becomes visible to every core — the last arriver included — the
+// cycle after it happens, independent of registration or tick order, so the
+// resume schedule is identical across the serial, dense, and parallel
+// kernels. The mutex makes arrivals from concurrent lanes safe; contention is
+// negligible (one arrival per core per barrier episode).
 type Barrier struct {
+	mu      sync.Mutex
 	n       int
 	arrived int
 	gen     uint64
+	relAt   sim.Cycle
 	waiters []*sim.Handle
 }
 
 // NewBarrier returns a barrier for n cores.
 func NewBarrier(n int) *Barrier { return &Barrier{n: n} }
 
-// arrive registers one arrival; the last arrival advances the generation and
-// wakes every parked waiter (the arriving core itself is still awake, so its
-// own wake is a no-op).
-func (b *Barrier) arrive(h *sim.Handle) uint64 {
+// arrive registers one arrival; the last arrival advances the generation,
+// records the release cycle, and wakes every parked waiter.
+func (b *Barrier) arrive(h *sim.Handle, now sim.Cycle) uint64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
 	gen := b.gen
 	b.arrived++
 	if h != nil {
@@ -39,6 +49,7 @@ func (b *Barrier) arrive(h *sim.Handle) uint64 {
 	if b.arrived == b.n {
 		b.arrived = 0
 		b.gen++
+		b.relAt = now
 		for i, w := range b.waiters {
 			w.Wake()
 			b.waiters[i] = nil
@@ -46,6 +57,18 @@ func (b *Barrier) arrive(h *sim.Handle) uint64 {
 		b.waiters = b.waiters[:0]
 	}
 	return gen
+}
+
+// status reports whether the generation a core arrived in has been released,
+// whether that release is visible yet (releases take effect the cycle after
+// they happen), and the release cycle.
+func (b *Barrier) status(gen uint64, now sim.Cycle) (released, visible bool, relAt sim.Cycle) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.gen == gen {
+		return false, false, 0
+	}
+	return true, now > b.relAt, b.relAt
 }
 
 // Prefetcher observes the core's demand accesses (the Bingo L1 prefetcher
@@ -151,9 +174,14 @@ func (c *Core) Tick(now sim.Cycle) {
 		return
 	}
 	if c.waiting {
-		if c.barrier.gen == c.myGen {
+		released, visible, relAt := c.barrier.status(c.myGen, now)
+		if !visible {
 			c.stalls++
-			c.park(now)
+			if released {
+				c.parkUntil(now, relAt+1)
+			} else {
+				c.park(now)
+			}
 			return
 		}
 		c.waiting = false
@@ -228,7 +256,7 @@ func (c *Core) Tick(now sim.Cycle) {
 				budget = 0
 				break
 			}
-			c.myGen = c.barrier.arrive(c.h)
+			c.myGen = c.barrier.arrive(c.h, now)
 			c.waiting = true
 			budget = 0
 		case workload.OpEnd:
@@ -249,9 +277,12 @@ func (c *Core) Tick(now sim.Cycle) {
 	case c.ended:
 		c.h.Sleep()
 	case c.waiting:
-		// Park only while the barrier is still pending: if this was the last
-		// arrival the generation already advanced and nothing would wake us.
-		if c.barrier.gen == c.myGen {
+		// If this was the last arrival the generation already advanced and
+		// nothing would wake us, so sleep only until the release turns
+		// visible next cycle; otherwise park until the release wakes us.
+		if released, _, relAt := c.barrier.status(c.myGen, now); released {
+			c.parkUntil(now, relAt+1)
+		} else {
 			c.park(now)
 		}
 	case issued == 0:
@@ -269,6 +300,17 @@ func (c *Core) park(now sim.Cycle) {
 	c.blockedAt = now
 	c.h.Sleep()
 }
+
+// parkUntil is park with a known wake cycle (a barrier release turning
+// visible), so no external Wake is needed.
+func (c *Core) parkUntil(now, at sim.Cycle) {
+	c.blocked = true
+	c.blockedAt = now
+	c.h.SleepUntil(at)
+}
+
+// Handle returns the core's scheduling handle (for lane assignment).
+func (c *Core) Handle() *sim.Handle { return c.h }
 
 func (c *Core) lineOf(addr uint64) uint64 {
 	return addr &^ uint64(c.cfg.LineSize-1)

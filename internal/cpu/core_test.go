@@ -157,13 +157,24 @@ func TestBarrierSynchronizesCores(t *testing.T) {
 
 func TestBarrierGenerations(t *testing.T) {
 	b := NewBarrier(2)
-	g0 := b.arrive(nil)
+	g0 := b.arrive(nil, 10)
 	if b.gen != 0 {
 		t.Fatal("generation advanced before all arrived")
 	}
-	g1 := b.arrive(nil)
+	if released, _, _ := b.status(g0, 10); released {
+		t.Fatal("status reports release before all arrived")
+	}
+	g1 := b.arrive(nil, 14)
 	if g0 != g1 || b.gen != 1 {
 		t.Fatalf("generation accounting wrong: %d %d gen=%d", g0, g1, b.gen)
+	}
+	// The release happens at cycle 14 and turns visible the cycle after.
+	if released, visible, relAt := b.status(g0, 14); !released || visible || relAt != 14 {
+		t.Fatalf("same-cycle status = (%v, %v, %d), want released but not visible at 14",
+			released, visible, relAt)
+	}
+	if _, visible, _ := b.status(g0, 15); !visible {
+		t.Fatal("release not visible the cycle after it happened")
 	}
 }
 

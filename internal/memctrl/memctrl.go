@@ -57,6 +57,9 @@ func New(node noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine,
 }
 
 // Receive implements noc.Endpoint.
+// Handle returns the controller's scheduling handle (for lane assignment).
+func (c *Ctrl) Handle() *sim.Handle { return c.h }
+
 func (c *Ctrl) Receive(pkt *noc.Packet, now sim.Cycle) {
 	c.inq = append(c.inq, pkt)
 	c.h.Wake()

@@ -35,9 +35,13 @@ type niStream struct {
 // per-vnet FIFO queues; and it demultiplexes ejected packets to endpoints by
 // destination unit.
 type NI struct {
-	node      NodeID
-	net       *Network
-	h         *sim.Handle
+	node NodeID
+	net  *Network
+	h    *sim.Handle
+	// st is the stats bundle this NI and its tile's components account into:
+	// the network-wide bundle in serial runs, the tile's lane shard in
+	// parallel runs (see Parallelize).
+	st        *stats.All
 	queues    [stats.NumUnits][NumVNets][]*Packet
 	queued    int // total packets across all queues
 	endpoints [stats.NumUnits]Endpoint
@@ -48,6 +52,15 @@ type NI struct {
 	cur      niStream
 	delivery []delivered
 	rr       int
+	// seq feeds this NI's packet IDs; combined with the node number so IDs
+	// stay unique and deterministic without a network-global counter.
+	seq uint64
+	// pktPool / payloadPool recycle packets and their reference-counted
+	// payloads tile-locally. The tile's router also draws its multicast
+	// replicas from here (routers run serially, so that is race-free), which
+	// keeps replicas recycling back to the pools they came from.
+	pktPool     []*Packet
+	payloadPool []RefPayload
 }
 
 // CanInject reports whether the unit's vnet queue has room for another
@@ -68,8 +81,8 @@ func (ni *NI) Inject(pkt *Packet, now sim.Cycle) {
 	if pkt.Filterable && pkt.Size != 1 {
 		panic("noc: filterable requests must be single-flit")
 	}
-	pkt.ID = ni.net.nextPktID
-	ni.net.nextPktID++
+	ni.seq++
+	pkt.ID = uint64(ni.node)<<32 | ni.seq
 	pkt.InjectedAt = now
 	pkt.Src = ni.node
 	ni.queues[pkt.SrcUnit][pkt.VNet] = append(ni.queues[pkt.SrcUnit][pkt.VNet], pkt)
@@ -80,27 +93,48 @@ func (ni *NI) Inject(pkt *Packet, now sim.Cycle) {
 // NewPacket returns a zeroed pool-backed packet for an endpoint to fill and
 // inject. Pool-backed packets rejoin the free list automatically when a
 // router releases them; the delivered copies are returned via Recycle.
-func (ni *NI) NewPacket() *Packet { return ni.net.getPacket() }
+func (ni *NI) NewPacket() *Packet { return ni.getPacket() }
 
-// NewPayload pops a recycled packet payload from the network's payload free
+// NewPayload pops a recycled packet payload from this tile's payload free
 // list, or returns nil when it is empty. Payloads enter the list when the
 // last packet carrying them dies (see RefPayload).
 func (ni *NI) NewPayload() RefPayload {
-	pool := ni.net.payloadPool
+	pool := ni.payloadPool
 	if k := len(pool); k > 0 {
 		rp := pool[k-1]
 		pool[k-1] = nil
-		ni.net.payloadPool = pool[:k-1]
+		ni.payloadPool = pool[:k-1]
 		return rp
 	}
 	return nil
 }
 
-// Recycle returns a packet the endpoint has fully processed to the network's
-// free list. Only router-created replicas are pooled; caller-owned packets
-// pass through unharmed, so endpoints may call this unconditionally on every
+// Recycle returns a packet the endpoint has fully processed to the tile's
+// free list. Only pool-born packets are pooled; caller-owned packets pass
+// through unharmed, so endpoints may call this unconditionally on every
 // delivered packet they do not retain.
-func (ni *NI) Recycle(pkt *Packet) { ni.net.putPacket(pkt) }
+func (ni *NI) Recycle(pkt *Packet) { ni.putPacket(pkt) }
+
+func (ni *NI) getPacket() *Packet {
+	if k := len(ni.pktPool); k > 0 {
+		p := ni.pktPool[k-1]
+		ni.pktPool[k-1] = nil
+		ni.pktPool = ni.pktPool[:k-1]
+		return p
+	}
+	return &Packet{pooled: true}
+}
+
+func (ni *NI) putPacket(p *Packet) {
+	if !p.pooled {
+		return
+	}
+	if rp, ok := p.Payload.(RefPayload); ok && rp.Release() {
+		ni.payloadPool = append(ni.payloadPool, rp)
+	}
+	*p = Packet{pooled: true}
+	ni.pktPool = append(ni.pktPool, p)
+}
 
 // Tick delivers matured ejections, continues the current injection stream,
 // and starts a new one when the link is idle.
@@ -144,7 +178,7 @@ func (ni *NI) deliver(now sim.Cycle) {
 		if ep == nil {
 			panic(fmt.Sprintf("noc: no endpoint for unit %v at node %d", d.pkt.DstUnit, ni.node))
 		}
-		st := &ni.net.st.Net
+		st := &ni.st.Net
 		st.EjectedPackets[d.pkt.DstUnit][d.pkt.Class]++
 		st.PacketLatencySum += uint64(now - d.pkt.InjectedAt)
 		st.PacketCount++
@@ -192,7 +226,7 @@ func (ni *NI) pick(now sim.Cycle) {
 		}
 		pkt := q[0]
 		if pkt.IsInv && ni.net.cfg.OrdPushInvStall && ni.pushPending(pkt.Addr) {
-			ni.net.st.Net.StalledInvCycles++
+			ni.st.Net.StalledInvCycles++
 			continue
 		}
 		r := ni.net.routers[ni.node]
@@ -210,7 +244,7 @@ func (ni *NI) pick(now sim.Cycle) {
 		ni.queued--
 		ni.cur = niStream{pkt: pkt, vc: vc}
 		ni.stream = &ni.cur
-		ni.net.st.Net.InjectedPackets[pkt.SrcUnit][pkt.Class]++
+		ni.st.Net.InjectedPackets[pkt.SrcUnit][pkt.Class]++
 		ni.rr = (lane + 1) % lanes
 		return
 	}
@@ -258,7 +292,7 @@ func (ni *NI) pump(now sim.Cycle) {
 		return
 	}
 	s.sent++
-	ni.net.st.Net.InjectedFlits[s.pkt.SrcUnit][s.pkt.Class]++
+	ni.st.Net.InjectedFlits[s.pkt.SrcUnit][s.pkt.Class]++
 	ni.net.eng.Progress()
 	if s.sent == 1 {
 		s.vc.pkt = s.pkt
@@ -282,42 +316,16 @@ func (ni *NI) scheduleDelivery(pkt *Packet, at sim.Cycle) {
 
 // Network is the complete mesh: routers, NIs, and accounting.
 type Network struct {
-	cfg       Config
-	eng       *sim.Engine
-	st        *stats.All
-	routers   []*Router
-	nis       []*NI
-	nextPktID uint64
-	// pktPool / streamPool recycle the per-replica allocations on the router
-	// hot path. Only objects born from the pools are returned to them (the
-	// pooled flag), so externally created packets are never clobbered while a
-	// caller still holds a reference.
-	pktPool    []*Packet
+	cfg     Config
+	eng     *sim.Engine
+	st      *stats.All
+	routers []*Router
+	nis     []*NI
+	// streamPool recycles the per-replica stream allocations on the router
+	// hot path; routers run serially, so one network-wide pool is race-free.
+	// Packet and payload pools are per-NI (tile-local) so parallel lanes
+	// never contend — see NI.pktPool.
 	streamPool []*stream
-	// payloadPool recycles reference-counted packet payloads (protocol
-	// messages); a payload rejoins the list when its last packet dies.
-	payloadPool []RefPayload
-}
-
-func (n *Network) getPacket() *Packet {
-	if k := len(n.pktPool); k > 0 {
-		p := n.pktPool[k-1]
-		n.pktPool[k-1] = nil
-		n.pktPool = n.pktPool[:k-1]
-		return p
-	}
-	return &Packet{pooled: true}
-}
-
-func (n *Network) putPacket(p *Packet) {
-	if !p.pooled {
-		return
-	}
-	if rp, ok := p.Payload.(RefPayload); ok && rp.Release() {
-		n.payloadPool = append(n.payloadPool, rp)
-	}
-	*p = Packet{pooled: true}
-	n.pktPool = append(n.pktPool, p)
 }
 
 func (n *Network) getStream() *stream {
@@ -349,7 +357,7 @@ func New(cfg Config, eng *sim.Engine, st *stats.All) (*Network, error) {
 	st.Net.LinkFlits = make([]uint64, nodes*4)
 	for i := 0; i < nodes; i++ {
 		n.routers[i] = newRouter(NodeID(i), n)
-		n.nis[i] = &NI{node: NodeID(i), net: n}
+		n.nis[i] = &NI{node: NodeID(i), net: n, st: st}
 	}
 	for i := 0; i < nodes; i++ {
 		for o := 0; o < NumPorts; o++ {
@@ -380,6 +388,18 @@ func (n *Network) Attach(node NodeID, unit stats.Unit, ep Endpoint) {
 
 // NI returns the network interface of a tile.
 func (n *Network) NI(node NodeID) *NI { return n.nis[node] }
+
+// Parallelize prepares the network for the parallel tick executor: NI i joins
+// lane i (ticking alongside its tile's endpoints) and accounts into that
+// tile's stats shard. laneStats must hold one bundle per tile. Routers stay
+// serial — credit release has same-cycle visibility across neighbours — and
+// keep accounting into the primary bundle.
+func (n *Network) Parallelize(laneStats []*stats.All) {
+	for i, ni := range n.nis {
+		ni.st = laneStats[i]
+		ni.h.SetLane(i)
+	}
+}
 
 // countLinkFlit accounts one flit traversing the inter-router link leaving
 // `node` through output port `port`.

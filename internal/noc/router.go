@@ -170,7 +170,7 @@ func (r *Router) release(vc *inputVC) {
 		if !vc.routed {
 			r.unrouted--
 		}
-		r.net.putPacket(vc.pkt)
+		r.net.nis[r.id].putPacket(vc.pkt)
 	}
 	if vc.occPos >= 0 {
 		last := len(r.occ) - 1
@@ -518,7 +518,7 @@ func (r *Router) allocateOutput(o int, now sim.Cycle) {
 				down.reserved = true
 				downRouter.claim(down)
 			}
-			replica := r.net.getPacket()
+			replica := r.net.nis[r.id].getPacket()
 			*replica = *pkt
 			replica.pooled = true
 			if rp, ok := pkt.Payload.(RefPayload); ok {

@@ -1,0 +1,284 @@
+// Parallel tick executor: multi-core execution of one simulation with a
+// deterministic staged commit.
+//
+// Handles tagged with a lane (SetLane) are grouped into parallel sections —
+// maximal runs of consecutive registrations carrying lane tags. Within a
+// section, each lane's handles tick sequentially in registration order on one
+// worker, and distinct lanes tick concurrently. Rule 1 of the kernel contract
+// (consume only items with readyAt <= now) makes intra-cycle tick results
+// order-independent, so the only cross-lane effects a tick may have are
+// Wake/WakeAt calls; while a section runs (Engine.staging) those are staged
+// per-handle and committed at the section barrier by a single registration-
+// order walk, making the schedule — and therefore every statistic — byte-
+// identical to a serial run. Untagged handles (routers, whose credit release
+// has same-cycle visibility to later-registered neighbors) stay on the
+// coordinating goroutine with unchanged serial semantics.
+//
+// Sections whose awake population is below the configured threshold fall back
+// to the exact serial walk, so tiny configurations pay no barrier overhead.
+package sim
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultParallelThreshold is the minimum number of awake handles a parallel
+// section needs before it is dispatched to the worker pool; below it the
+// per-section barrier costs more than the concurrency buys.
+const DefaultParallelThreshold = 24
+
+// storeMin atomically lowers *a to v (no-op when *a is already <= v). Wake
+// times only ever decrease within a section, so a CAS loop suffices.
+func storeMin(a *atomic.Uint64, v uint64) {
+	for {
+		old := a.Load()
+		if old <= v || a.CompareAndSwap(old, v) {
+			return
+		}
+	}
+}
+
+// segment is a maximal run of consecutively registered handles that either
+// all carry lane tags (parallel) or none do (serial).
+type segment struct {
+	start, end int // handle index range [start, end)
+	parallel   bool
+	// groups holds the segment's handles bucketed by lane (ascending lane
+	// order, registration order within a lane); nil for serial segments.
+	groups [][]*Handle
+}
+
+// parSection is the per-dispatch work descriptor shared with the worker pool.
+// The engine reuses a single instance (Engine.sec) across cycles.
+type parSection struct {
+	groups []([]*Handle)
+	next   atomic.Int64  // index of the next unclaimed group
+	ticks  atomic.Uint64 // ticks executed across all groups
+	now    Cycle
+	wg     sync.WaitGroup
+}
+
+// SetParallel enables the parallel executor with the given worker count and
+// awake-set threshold (0 selects DefaultParallelThreshold). workers <= 1
+// keeps the serial path. Must be called before the first Step.
+func (e *Engine) SetParallel(workers, threshold int) {
+	e.workers = workers
+	if threshold <= 0 {
+		threshold = DefaultParallelThreshold
+	}
+	e.threshold = threshold
+}
+
+// Parallel returns the configured worker count (0 or 1 means serial).
+func (e *Engine) Parallel() int { return e.workers }
+
+// SetOnCycleEnd installs a hook that runs on the coordinating goroutine at
+// the end of every parallel-mode cycle, after all sections have committed.
+// The engine uses it to drain per-lane deferred statistics in lane order.
+func (e *Engine) SetOnCycleEnd(fn func(now Cycle)) { e.onCycleEnd = fn }
+
+// Close shuts down the worker pool. Safe to call multiple times and on
+// engines that never went parallel. The engine must not Step afterwards.
+func (e *Engine) Close() {
+	if e.workCh != nil {
+		close(e.workCh)
+		e.workCh = nil
+	}
+}
+
+// ensureWorkers lazily spawns the worker pool: workers-1 helper goroutines
+// plus the coordinating goroutine itself make up the configured parallelism.
+func (e *Engine) ensureWorkers() {
+	if e.workCh != nil {
+		return
+	}
+	e.workCh = make(chan *parSection, e.workers)
+	for i := 0; i < e.workers-1; i++ {
+		go e.worker()
+	}
+}
+
+func (e *Engine) worker() {
+	for sec := range e.workCh {
+		e.runSectionWork(sec)
+	}
+}
+
+// buildSegments recomputes the segment list from the handles' lane tags.
+func (e *Engine) buildSegments() {
+	e.segs = e.segs[:0]
+	for i := 0; i < len(e.handles); {
+		par := e.handles[i].lane >= 0
+		j := i + 1
+		for j < len(e.handles) && (e.handles[j].lane >= 0) == par {
+			j++
+		}
+		seg := segment{start: i, end: j, parallel: par}
+		if par {
+			maxLane := 0
+			for _, h := range e.handles[i:j] {
+				if h.lane > maxLane {
+					maxLane = h.lane
+				}
+			}
+			groups := make([][]*Handle, maxLane+1)
+			for _, h := range e.handles[i:j] {
+				groups[h.lane] = append(groups[h.lane], h)
+			}
+			for _, g := range groups {
+				if len(g) > 0 {
+					seg.groups = append(seg.groups, g)
+				}
+			}
+		}
+		e.segs = append(e.segs, seg)
+		i = j
+	}
+	e.segsDirty = false
+}
+
+// sectionAwake counts the handles of seg that would tick this cycle.
+func (e *Engine) sectionAwake(seg *segment) int {
+	if e.dense {
+		return seg.end - seg.start
+	}
+	n := 0
+	for _, h := range e.handles[seg.start:seg.end] {
+		if !h.asleep {
+			n++
+		}
+	}
+	return n
+}
+
+// stepParallel is Step for engines with workers >= 2 and lane-tagged handles.
+// Serial segments and below-threshold parallel segments execute exactly the
+// serial walk, so any mix of dispatched and fallen-back sections remains
+// byte-identical to a fully serial run.
+func (e *Engine) stepParallel() {
+	if !e.dense {
+		for len(e.wheap) > 0 && e.wheap[0].wakeAt <= e.now {
+			h := e.wheap[0]
+			e.heapRemove(0)
+			h.asleep = false
+			h.wakeAt = NeverWake
+			e.asleepCount--
+		}
+	}
+	if e.dense || e.asleepCount < len(e.handles) {
+		if e.segsDirty {
+			e.buildSegments()
+		}
+		for i := range e.segs {
+			seg := &e.segs[i]
+			if seg.parallel && len(seg.groups) > 1 && e.sectionAwake(seg) >= e.threshold {
+				e.runSection(seg)
+				continue
+			}
+			for _, h := range e.handles[seg.start:seg.end] {
+				if e.dense || !h.asleep {
+					h.comp.Tick(e.now)
+					e.ticks++
+				}
+			}
+		}
+		if e.onCycleEnd != nil {
+			e.onCycleEnd(e.now)
+		}
+	}
+	e.now++
+}
+
+// runSection dispatches one parallel section to the worker pool and blocks
+// until every lane has ticked, then commits the staged effects in
+// registration order.
+func (e *Engine) runSection(seg *segment) {
+	e.ensureWorkers()
+	sec := &e.sec
+	sec.groups = seg.groups
+	sec.now = e.now
+	sec.next.Store(0)
+	sec.ticks.Store(0)
+	helpers := e.workers - 1
+	if max := len(seg.groups) - 1; helpers > max {
+		helpers = max
+	}
+	e.staging = true
+	sec.wg.Add(helpers + 1)
+	for i := 0; i < helpers; i++ {
+		e.workCh <- sec
+	}
+	e.runSectionWork(sec)
+	sec.wg.Wait()
+	e.staging = false
+	e.ticks += sec.ticks.Load()
+	e.commitStaged()
+}
+
+// runSectionWork claims lane groups off the section until none remain. Both
+// the coordinating goroutine and the pool workers run it.
+func (e *Engine) runSectionWork(sec *parSection) {
+	var ticks uint64
+	for {
+		i := int(sec.next.Add(1)) - 1
+		if i >= len(sec.groups) {
+			break
+		}
+		ticks += e.runGroup(sec.groups[i], sec.now)
+	}
+	if ticks > 0 {
+		sec.ticks.Add(ticks)
+	}
+	sec.wg.Done()
+}
+
+// runGroup ticks one lane's handles in registration order. A sleeping handle
+// whose staged wake is due ticks this cycle (matching the serial schedule,
+// where an earlier-registered producer's Wake is visible same-cycle); the
+// consumed wake is CAS-cleared so a concurrent cross-lane storeMin is never
+// lost, and flagged for commit to replay the wake against the settled state.
+func (e *Engine) runGroup(g []*Handle, now Cycle) uint64 {
+	var ticks uint64
+	for _, h := range g {
+		if h.asleep && !e.dense {
+			w := h.pendingWake.Load()
+			if Cycle(w) > now {
+				continue
+			}
+			for !h.pendingWake.CompareAndSwap(w, uint64(NeverWake)) {
+				w = h.pendingWake.Load()
+			}
+			h.wakeConsumed = true
+		}
+		h.comp.Tick(now)
+		ticks++
+	}
+	return ticks
+}
+
+// commitStaged replays the section's staged scheduling effects in
+// registration order — exactly the order a serial run would have applied
+// them. Per handle: a consumed wake first (the handle did tick, so it must
+// end up awake unless it re-slept), then the owner's staged sleep, then any
+// residual staged wake checked against the settled state.
+func (e *Engine) commitStaged() {
+	for _, h := range e.handles {
+		if h.wakeConsumed {
+			h.wakeConsumed = false
+			h.Wake()
+		}
+		if h.hasPendingSleep {
+			h.hasPendingSleep = false
+			h.sleep(h.pendingSleep)
+		}
+		if w := h.pendingWake.Load(); w != uint64(NeverWake) {
+			h.pendingWake.Store(uint64(NeverWake))
+			if c := Cycle(w); c <= e.now {
+				h.Wake()
+			} else {
+				h.WakeAt(c)
+			}
+		}
+	}
+}

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestStagedCommitMergeOrder pins the staged-commit contract: effects staged
+// during a parallel section apply at commit against the settled state, in
+// registration order, with the serial ordering rules — a wake consumed by a
+// live tick replays first, then the owner's sleep, then residual wakes.
+func TestStagedCommitMergeOrder(t *testing.T) {
+	eng := NewEngine(0, 0)
+	var hs []*Handle
+	for i := 0; i < 4; i++ {
+		h := eng.Register(TickFunc(func(Cycle) {}))
+		h.SetLane(i)
+		hs = append(hs, h)
+	}
+	for _, h := range hs {
+		h.Sleep()
+	}
+
+	eng.staging = true
+	hs[2].Wake()    // immediate wake staged from another lane
+	hs[0].WakeAt(5) // future wake staged
+	hs[1].Sleep()   // owner re-affirms sleep; no wake staged
+	hs[3].Sleep()   // owner sleeps...
+	hs[3].Wake()    // ...but a later-registered producer wakes it same cycle
+	eng.staging = false
+	eng.commitStaged()
+
+	if hs[2].asleep {
+		t.Error("staged Wake did not wake the handle at commit")
+	}
+	if !hs[0].asleep || hs[0].wakeAt != 5 {
+		t.Errorf("staged WakeAt(5) produced (asleep=%v, wakeAt=%d), want scheduled wake at 5",
+			hs[0].asleep, hs[0].wakeAt)
+	}
+	if !hs[1].asleep {
+		t.Error("handle with only a staged sleep ended up awake")
+	}
+	// Serial semantics: the owner slept during its tick, then the wake from a
+	// later-registered component landed — the handle must end the cycle awake.
+	if hs[3].asleep {
+		t.Error("residual wake after staged sleep did not win (commit applied them out of order)")
+	}
+}
+
+// TestStagedWakeSurvivesStagedSleep covers the barrier last-arriver shape: a
+// component stages its own sleep, and the same section stages a wake for it.
+// The unconditional staging in Wake/WakeAt (no awake fast-path) is what keeps
+// the wake from being dropped against the handle's pre-section awake state.
+func TestStagedWakeSurvivesStagedSleep(t *testing.T) {
+	eng := NewEngine(0, 0)
+	h := eng.Register(TickFunc(func(Cycle) {}))
+	h.SetLane(0)
+	// Awake going into the section (it ticks, then parks).
+	eng.staging = true
+	h.Sleep()
+	h.WakeAt(eng.now) // producer in another lane hands over work
+	eng.staging = false
+	eng.commitStaged()
+	if h.asleep {
+		t.Error("wake staged while the target was still (pre-section) awake was lost")
+	}
+}
+
+// TestConsumedWakeReplay checks the live-wake path: a sleeping handle whose
+// staged wake is due ticks within the section (same-lane registration-order
+// visibility), and commit materializes the awake state even though the wake
+// was consumed before the tick.
+func TestConsumedWakeReplay(t *testing.T) {
+	eng := NewEngine(0, 0)
+	eng.SetParallel(2, 1)
+	var producerTicked, consumerTicked []Cycle
+	var consumer *Handle
+	producer := eng.Register(TickFunc(func(now Cycle) {
+		producerTicked = append(producerTicked, now)
+		consumer.Wake()
+		eng.Progress()
+	}))
+	consumer = eng.Register(TickFunc(func(now Cycle) {
+		consumerTicked = append(consumerTicked, now)
+	}))
+	// Same lane: the consumer must see the earlier-registered producer's wake
+	// in the same cycle, exactly as the serial walk would deliver it.
+	producer.SetLane(0)
+	consumer.SetLane(0)
+	consumer.Sleep()
+	eng.Step()
+	defer eng.Close()
+	if len(consumerTicked) != 1 || consumerTicked[0] != 0 {
+		t.Fatalf("consumer ticks = %v, want a same-cycle tick at 0", consumerTicked)
+	}
+	// The consumer did not re-sleep during its tick, so it must be awake.
+	if consumer.asleep {
+		t.Error("consumer asleep after consuming a wake and not re-sleeping")
+	}
+}
+
+// The synthetic system below mirrors the real machine's structure — and
+// thereby the kernel's quiescence contract: lane-tagged endpoints exchange
+// readyAt-stamped items through a serial bus (the router analogue), consume
+// only matured items (rule 1), treat spurious ticks as no-ops, and sleep
+// exactly when every tick until the next maturation would be a no-op. Under
+// that contract the serial and parallel schedules must record identical
+// delivery traces.
+
+// msgItem is one in-flight synthetic message.
+type msgItem struct {
+	dst     int
+	ttl     int
+	readyAt Cycle
+}
+
+// epComp is a lane-tagged endpoint: it consumes matured inbox items,
+// forwards items with remaining ttl through the bus, and quiesces.
+type epComp struct {
+	id  int
+	n   int
+	h   *Handle
+	eng *Engine
+	bus *busComp
+	// inQ is written only by the bus (serial segment); outQ only by this
+	// endpoint (its own lane) and drained by the bus.
+	inQ, outQ []msgItem
+	log       []Cycle // cycle of every delivery, in consumption order
+}
+
+func (e *epComp) Tick(now Cycle) {
+	kept := e.inQ[:0]
+	for _, it := range e.inQ {
+		if it.readyAt > now {
+			kept = append(kept, it)
+			continue
+		}
+		e.log = append(e.log, now)
+		e.eng.Progress()
+		if it.ttl > 0 {
+			e.outQ = append(e.outQ, msgItem{dst: (e.id*7 + it.ttl*3 + 1) % e.n, ttl: it.ttl - 1})
+			e.bus.h.Wake()
+		}
+	}
+	e.inQ = kept
+	if len(e.inQ) == 0 {
+		e.h.Sleep()
+		return
+	}
+	min := e.inQ[0].readyAt
+	for _, it := range e.inQ[1:] {
+		if it.readyAt < min {
+			min = it.readyAt
+		}
+	}
+	e.h.SleepUntil(min)
+}
+
+// busComp is the serial transport: it moves endpoint output to destination
+// inboxes with a 2-cycle delay, waking each destination for the maturation
+// cycle.
+type busComp struct {
+	h   *Handle
+	eng *Engine
+	eps []*epComp
+}
+
+func (b *busComp) Tick(now Cycle) {
+	idle := true
+	for _, src := range b.eps {
+		for _, it := range src.outQ {
+			it.readyAt = now + 2
+			dst := b.eps[it.dst]
+			dst.inQ = append(dst.inQ, it)
+			dst.h.WakeAt(it.readyAt)
+			idle = false
+		}
+		src.outQ = src.outQ[:0]
+	}
+	if idle {
+		b.h.Sleep()
+	} else {
+		b.eng.Progress()
+	}
+}
+
+// buildBusSystem wires n endpoints (lane i each) and the serial bus, seeding
+// every endpoint with one self-addressed item of the given ttl. Total
+// deliveries at quiescence: n * (ttl + 1).
+func buildBusSystem(eng *Engine, n, ttl int) ([]*epComp, *busComp) {
+	bus := &busComp{eng: eng}
+	eps := make([]*epComp, n)
+	for i := range eps {
+		eps[i] = &epComp{id: i, n: n, eng: eng, bus: bus}
+		eps[i].inQ = append(eps[i].inQ, msgItem{dst: i, ttl: ttl})
+	}
+	bus.eps = eps
+	for i, e := range eps {
+		e.h = eng.Register(e)
+		e.h.SetLane(i)
+	}
+	bus.h = eng.Register(bus) // serial, after the endpoints — like routers
+	return eps, bus
+}
+
+// TestParallelMatchesSerialSchedule runs an identical synthetic system on
+// the serial and parallel kernels and requires every endpoint's delivery
+// trace — which cycle consumed which message — to match exactly.
+func TestParallelMatchesSerialSchedule(t *testing.T) {
+	const n, ttl = 8, 50
+	want := n * (ttl + 1)
+	run := func(eng *Engine) []*epComp {
+		eps, _ := buildBusSystem(eng, n, ttl)
+		delivered := func() int {
+			total := 0
+			for _, e := range eps {
+				total += len(e.log)
+			}
+			return total
+		}
+		if _, err := eng.Run(func() bool { return delivered() >= want }); err != nil {
+			t.Fatal(err)
+		}
+		return eps
+	}
+	serial := run(NewEngine(10_000, 0))
+	parEng := NewEngine(10_000, 0)
+	parEng.SetParallel(4, 1)
+	defer parEng.Close()
+	par := run(parEng)
+	for i := range serial {
+		if !reflect.DeepEqual(serial[i].log, par[i].log) {
+			t.Errorf("endpoint %d delivery trace diverged:\nserial:   %v\nparallel: %v",
+				i, serial[i].log, par[i].log)
+		}
+	}
+}
+
+// TestParallelThresholdFallback: below the awake-set threshold the engine
+// must take the serial fallback and never spawn workers.
+func TestParallelThresholdFallback(t *testing.T) {
+	eng := NewEngine(10_000, 0)
+	eng.SetParallel(4, 1000) // unreachable threshold
+	eps, _ := buildBusSystem(eng, 4, 20)
+	for eng.Now() < 500 {
+		eng.Step()
+	}
+	if eng.workCh != nil {
+		t.Error("worker pool spawned despite every section falling below the threshold")
+	}
+	total := 0
+	for _, e := range eps {
+		total += len(e.log)
+	}
+	if want := 4 * 21; total != want {
+		t.Fatalf("fallback path delivered %d messages, want %d", total, want)
+	}
+	eng.Close() // must be a no-op without a pool
+}

@@ -42,6 +42,7 @@ package sim
 import (
 	"errors"
 	"fmt"
+	"sync/atomic"
 )
 
 // Cycle is a simulation timestamp in core clock cycles.
@@ -84,12 +85,46 @@ type Handle struct {
 	// heapPos is this handle's index in the engine's wake heap, -1 when the
 	// handle is not enqueued.
 	heapPos int
+
+	// lane is the handle's parallel-execution lane, -1 for serial-only
+	// handles (see SetLane).
+	lane int
+	// pendingWake is the staged wake time accumulated (as a minimum) while a
+	// parallel section runs; NeverWake when none. It is the only handle field
+	// written cross-lane during a section, hence atomic.
+	pendingWake atomic.Uint64
+	// pendingSleep/hasPendingSleep stage the owning component's last
+	// Sleep/SleepUntil of the section; only the owner writes them.
+	pendingSleep    Cycle
+	hasPendingSleep bool
+	// wakeConsumed marks that the lane executor ticked this sleeping handle
+	// because its staged wake was due, so commit must replay the wake before
+	// the staged sleep (serial order: wake, tick, sleep).
+	wakeConsumed bool
+}
+
+// SetLane tags the handle with a parallel-execution lane. Handles sharing a
+// lane tick sequentially in registration order on one worker; handles in
+// different lanes of the same section may tick concurrently, so everything a
+// component touches during its tick must be confined to its lane (or routed
+// through the staged Wake/WakeAt/stats paths). A maximal run of consecutive
+// registrations with lanes forms one parallel section; untagged handles
+// execute serially on the coordinating goroutine with unchanged semantics.
+func (h *Handle) SetLane(lane int) {
+	h.lane = lane
+	h.eng.hasLanes = h.eng.hasLanes || lane >= 0
+	h.eng.segsDirty = true
 }
 
 // Wake marks the component runnable from the current cycle on. Waking an
 // already-awake component is a cheap no-op, so producers call it
-// unconditionally when handing work over.
+// unconditionally when handing work over. During a parallel section the wake
+// is staged and applied at the section barrier in registration order.
 func (h *Handle) Wake() {
+	if h.eng.staging {
+		storeMin(&h.pendingWake, uint64(h.eng.now))
+		return
+	}
 	if !h.asleep {
 		return
 	}
@@ -106,6 +141,13 @@ func (h *Handle) Wake() {
 // buy a no-op tick). An awake component or an earlier scheduled wake is left
 // untouched; a c at or before the current cycle degenerates to Wake.
 func (h *Handle) WakeAt(c Cycle) {
+	if h.eng.staging {
+		// The awake/earlier-wake fast path is unsafe here: the target may
+		// have staged a sleep this section. Stage unconditionally; commit
+		// re-applies the checks against the settled state.
+		storeMin(&h.pendingWake, uint64(c))
+		return
+	}
 	if !h.asleep || h.wakeAt <= c {
 		return
 	}
@@ -135,6 +177,13 @@ func (h *Handle) sleep(c Cycle) {
 	if h.eng.dense {
 		return // dense reference mode ticks everything every cycle
 	}
+	if h.eng.staging {
+		// Only the owning component sleeps its own handle, and only during
+		// its tick; last call of the tick wins, replayed at commit.
+		h.pendingSleep = c
+		h.hasPendingSleep = true
+		return
+	}
 	// A sleep that would wake next cycle skips no ticks — the component runs
 	// at c either way — but costs a heap push now and a heap pop in the next
 	// Step. Staying awake is behaviorally identical and cheaper.
@@ -162,15 +211,32 @@ func (h *Handle) sleep(c Cycle) {
 // Engine drives the simulation. The zero value is not usable; construct with
 // NewEngine.
 type Engine struct {
-	now          Cycle
-	handles      []*Handle
-	asleepCount  int
-	wheap        []*Handle // min-heap on (wakeAt, registration order)
-	dense        bool
-	lastProgress Cycle
+	now         Cycle
+	handles     []*Handle
+	asleepCount int
+	wheap       []*Handle // min-heap on (wakeAt, registration order)
+	dense       bool
+	// lastProgress is atomic because components report progress from worker
+	// goroutines during parallel sections; the load-check-store in Progress
+	// keeps the hot path to one uncontended load per call.
+	lastProgress atomic.Uint64
 	watchdog     Cycle
 	maxCycles    Cycle
 	ticks        uint64
+
+	// Parallel executor state (see parallel.go). workers <= 1 or no lane
+	// tags leaves Step on the single-threaded path untouched.
+	workers   int
+	threshold int
+	hasLanes  bool
+	staging   bool
+	segs      []segment
+	segsDirty bool
+	workCh    chan *parSection
+	sec       parSection
+	// onCycleEnd, when set, runs after the last section of every parallel
+	// Step (the per-cycle ordered drain of deferred stats).
+	onCycleEnd func(now Cycle)
 }
 
 // NewEngine returns a wake-driven engine with the given watchdog window and
@@ -192,8 +258,10 @@ func (e *Engine) Dense() bool { return e.dense }
 // Register adds a component to the tick list and returns its scheduling
 // handle. Components are ticked in registration order and start awake.
 func (e *Engine) Register(t Ticker) *Handle {
-	h := &Handle{eng: e, comp: t, idx: len(e.handles), wakeAt: NeverWake, heapPos: -1}
+	h := &Handle{eng: e, comp: t, idx: len(e.handles), wakeAt: NeverWake, heapPos: -1, lane: -1}
+	h.pendingWake.Store(uint64(NeverWake))
 	e.handles = append(e.handles, h)
+	e.segsDirty = true
 	return h
 }
 
@@ -208,7 +276,11 @@ func (e *Engine) Ticks() uint64 { return e.ticks }
 // Progress records that a component made forward progress this cycle (moved a
 // flit, retired an instruction, completed a transaction, ...). It feeds the
 // deadlock watchdog.
-func (e *Engine) Progress() { e.lastProgress = e.now }
+func (e *Engine) Progress() {
+	if e.lastProgress.Load() != uint64(e.now) {
+		e.lastProgress.Store(uint64(e.now))
+	}
+}
 
 // Step advances the simulation by exactly one cycle: due sleepers are woken,
 // then every awake component is ticked in registration order. A component
@@ -217,6 +289,10 @@ func (e *Engine) Progress() { e.lastProgress = e.now }
 // dense behavior because the woken component's tick this cycle would have
 // been a no-op (rule 1: the handed-over work is readyAt-stamped).
 func (e *Engine) Step() {
+	if e.workers >= 2 && e.hasLanes {
+		e.stepParallel()
+		return
+	}
 	if e.dense {
 		e.ticks += uint64(len(e.handles))
 		for _, h := range e.handles {
@@ -254,8 +330,8 @@ func (e *Engine) Run(finished func() bool) (Cycle, error) {
 		if e.maxCycles != 0 && e.now >= e.maxCycles {
 			return e.now, fmt.Errorf("%w at cycle %d", ErrMaxCycles, e.now)
 		}
-		if e.watchdog != 0 && e.now-e.lastProgress > e.watchdog {
-			return e.now, fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, e.lastProgress, e.now)
+		if e.watchdog != 0 && e.now-Cycle(e.lastProgress.Load()) > e.watchdog {
+			return e.now, fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, Cycle(e.lastProgress.Load()), e.now)
 		}
 		if !e.dense && len(e.handles) > 0 && e.asleepCount == len(e.handles) {
 			if !e.fastForward() {
@@ -264,8 +340,8 @@ func (e *Engine) Run(finished func() bool) (Cycle, error) {
 			if e.maxCycles != 0 && e.now >= e.maxCycles {
 				return e.now, fmt.Errorf("%w at cycle %d", ErrMaxCycles, e.now)
 			}
-			if e.watchdog != 0 && e.now-e.lastProgress > e.watchdog {
-				return e.now, fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, e.lastProgress, e.now)
+			if e.watchdog != 0 && e.now-Cycle(e.lastProgress.Load()) > e.watchdog {
+				return e.now, fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, Cycle(e.lastProgress.Load()), e.now)
 			}
 		}
 		e.Step()
@@ -283,7 +359,7 @@ func (e *Engine) fastForward() bool {
 		target = e.wheap[0].wakeAt
 	}
 	if e.watchdog != 0 {
-		if fire := e.lastProgress + e.watchdog + 1; fire < target {
+		if fire := Cycle(e.lastProgress.Load()) + e.watchdog + 1; fire < target {
 			target = fire
 		}
 	}

@@ -2,8 +2,11 @@
 // subsystems: traffic classes, network/link counters, cache counters, and the
 // push-usage breakdown used to reproduce the paper's evaluation figures.
 //
-// Counters are plain integers mutated by the single simulation goroutine; no
-// synchronization is needed or provided.
+// Counters are plain integers with no synchronization. A bundle is only ever
+// mutated by one goroutine at a time: the simulation thread in serial runs,
+// or — in parallel runs — one lane's worker per shard, with shards merged
+// into the primary bundle via Add after the run (and gap observations drained
+// in lane order each cycle via DrainGapsInto).
 package stats
 
 // Class is the traffic category a packet is accounted under. The categories
@@ -234,6 +237,12 @@ func (r *GapReservoir) Observe(gap uint64) {
 	}
 }
 
+// GapObs is one deferred sharer-gap observation (see All.DeferGaps).
+type GapObs struct {
+	Key int
+	Gap uint64
+}
+
 // All is the top-level stats bundle for one simulation run.
 type All struct {
 	Net   Network
@@ -244,11 +253,107 @@ type All struct {
 	// sharer pair index (prev*64+next); each value is a bounded reservoir of
 	// gap samples.
 	SharerGaps map[int]*GapReservoir
+	// DeferGaps switches ObserveGap from feeding SharerGaps directly to
+	// appending to GapLog. Per-lane stats shards of the parallel executor set
+	// it so reservoir sampling state — which is order-sensitive — only ever
+	// advances on the primary bundle, via DrainGapsInto in lane order.
+	DeferGaps bool
+	// GapLog is the deferred observation buffer used when DeferGaps is set.
+	GapLog []GapObs
 }
 
 // New returns an empty stats bundle.
 func New() *All {
 	return &All{SharerGaps: make(map[int]*GapReservoir)}
+}
+
+// ObserveGap records one sharer-gap sample: directly into the keyed
+// reservoir, or into GapLog when DeferGaps is set.
+func (a *All) ObserveGap(key int, gap uint64) {
+	if a.DeferGaps {
+		a.GapLog = append(a.GapLog, GapObs{Key: key, Gap: gap})
+		return
+	}
+	r := a.SharerGaps[key]
+	if r == nil {
+		r = NewGapReservoir(uint64(key))
+		a.SharerGaps[key] = r
+	}
+	r.Observe(gap)
+}
+
+// DrainGapsInto replays this bundle's deferred gap log into dst's reservoirs
+// (in log order) and clears the log.
+func (a *All) DrainGapsInto(dst *All) {
+	for _, o := range a.GapLog {
+		dst.ObserveGap(o.Key, o.Gap)
+	}
+	a.GapLog = a.GapLog[:0]
+}
+
+// Add accumulates src's counters into a. It covers every counter field of
+// Network, Cache, and Core (merge_test.go checks completeness by reflection);
+// SharerGaps and the deferral fields are excluded — gap observations merge
+// through DrainGapsInto, which preserves reservoir sampling order.
+func (a *All) Add(src *All) {
+	if need := len(src.Net.LinkFlits) - len(a.Net.LinkFlits); need > 0 {
+		a.Net.LinkFlits = append(a.Net.LinkFlits, make([]uint64, need)...)
+	}
+	for i, v := range src.Net.LinkFlits {
+		a.Net.LinkFlits[i] += v
+	}
+	for i, v := range src.Net.TotalFlitsByClass {
+		a.Net.TotalFlitsByClass[i] += v
+	}
+	for u := range src.Net.InjectedFlits {
+		for c, v := range src.Net.InjectedFlits[u] {
+			a.Net.InjectedFlits[u][c] += v
+		}
+	}
+	for u := range src.Net.EjectedFlits {
+		for c, v := range src.Net.EjectedFlits[u] {
+			a.Net.EjectedFlits[u][c] += v
+		}
+	}
+	for u := range src.Net.InjectedPackets {
+		for c, v := range src.Net.InjectedPackets[u] {
+			a.Net.InjectedPackets[u][c] += v
+		}
+	}
+	for u := range src.Net.EjectedPackets {
+		for c, v := range src.Net.EjectedPackets[u] {
+			a.Net.EjectedPackets[u][c] += v
+		}
+	}
+	a.Net.FilteredRequests += src.Net.FilteredRequests
+	a.Net.StalledInvCycles += src.Net.StalledInvCycles
+	a.Net.MulticastReplicas += src.Net.MulticastReplicas
+	a.Net.PacketLatencySum += src.Net.PacketLatencySum
+	a.Net.PacketCount += src.Net.PacketCount
+
+	a.Cache.L1Accesses += src.Cache.L1Accesses
+	a.Cache.L1Misses += src.Cache.L1Misses
+	a.Cache.L2Accesses += src.Cache.L2Accesses
+	a.Cache.L2Misses += src.Cache.L2Misses
+	a.Cache.L2Evictions += src.Cache.L2Evictions
+	a.Cache.LLCAccesses += src.Cache.LLCAccesses
+	a.Cache.LLCMisses += src.Cache.LLCMisses
+	a.Cache.LLCEvictions += src.Cache.LLCEvictions
+	for i, v := range src.Cache.PushOutcomes {
+		a.Cache.PushOutcomes[i] += v
+	}
+	a.Cache.PushesTriggered += src.Cache.PushesTriggered
+	a.Cache.PushDestinations += src.Cache.PushDestinations
+	a.Cache.PausedPushRequests += src.Cache.PausedPushRequests
+	a.Cache.CoalescedRequests += src.Cache.CoalescedRequests
+	a.Cache.MemReads += src.Cache.MemReads
+	a.Cache.MemWrites += src.Cache.MemWrites
+
+	a.Core.Instructions += src.Core.Instructions
+	a.Core.Cycles += src.Core.Cycles
+	a.Core.Loads += src.Core.Loads
+	a.Core.Stores += src.Core.Stores
+	a.Core.StallCycles += src.Core.StallCycles
 }
 
 // MPKI returns misses-per-kilo-instruction given a miss count.

@@ -1,6 +1,7 @@
 package pushmulticast
 
 import (
+	"fmt"
 	"reflect"
 	"sync"
 	"testing"
@@ -12,13 +13,36 @@ func equivSchemes() []Scheme {
 	return []Scheme{Baseline(), AblationPush(), OrdPush()}
 }
 
-// TestSparseDenseEquivalence is the wake-driven kernel's correctness
-// contract: for every tiny-scale workload and scheme, the sparse
-// (wake-driven) and dense (tick-everything) kernels must produce
-// byte-identical results — same cycle count, same full counter bundle. Any
-// divergence means a component slept through a cycle in which the dense
-// kernel would have made progress (a missed wake) or mis-reconstructed a
-// per-cycle counter.
+// withParallel configures the parallel tick executor with a threshold of 1
+// so even tiny-scale cycles take the staged-commit path (the default
+// threshold would route most of them to the serial fallback, testing
+// nothing).
+func withParallel(cfg Config, workers int) Config {
+	cfg.ParallelWorkers = workers
+	cfg.ParallelThreshold = 1
+	return cfg
+}
+
+// checkIdentical asserts two runs produced byte-identical results.
+func checkIdentical(t *testing.T, aName, bName string, a, b Results) {
+	t.Helper()
+	if a.Cycles != b.Cycles {
+		t.Errorf("cycle count diverged: %s=%d %s=%d", aName, a.Cycles, bName, b.Cycles)
+	}
+	if !reflect.DeepEqual(a.Stats, b.Stats) {
+		t.Errorf("stats diverged:\n%s: %+v\n%s:  %+v", aName, a.Stats, bName, b.Stats)
+	}
+}
+
+// TestSparseDenseEquivalence is the kernel's correctness contract, run
+// three ways: for every tiny-scale workload and scheme, the sparse
+// (wake-driven), dense (tick-everything), and parallel (staged-commit
+// multi-worker) kernels must produce byte-identical results — same cycle
+// count, same full counter bundle. A sparse/dense divergence means a
+// component slept through a cycle in which the dense kernel would have made
+// progress (a missed wake) or mis-reconstructed a per-cycle counter; a
+// parallel divergence means a cross-lane effect escaped the staged-commit
+// path.
 func TestSparseDenseEquivalence(t *testing.T) {
 	if testing.Short() {
 		t.Skip("cross-checking every workload is slow")
@@ -28,10 +52,10 @@ func TestSparseDenseEquivalence(t *testing.T) {
 			sch, wl := sch, wl
 			t.Run(sch.Name+"/"+wl.Name, func(t *testing.T) {
 				t.Parallel()
-				var sparse, dense Results
-				var sErr, dErr error
+				var sparse, dense, par Results
+				var sErr, dErr, pErr error
 				var wg sync.WaitGroup
-				wg.Add(2)
+				wg.Add(3)
 				go func() {
 					defer wg.Done()
 					cfg := ScaledConfig(Default16()).WithScheme(sch)
@@ -43,18 +67,76 @@ func TestSparseDenseEquivalence(t *testing.T) {
 					cfg.DenseKernel = true
 					dense, dErr = RunWorkload(cfg, wl, ScaleTiny)
 				}()
+				go func() {
+					defer wg.Done()
+					cfg := withParallel(ScaledConfig(Default16()).WithScheme(sch), 4)
+					par, pErr = RunWorkload(cfg, wl, ScaleTiny)
+				}()
 				wg.Wait()
-				if sErr != nil || dErr != nil {
-					t.Fatalf("run failed: sparse=%v dense=%v", sErr, dErr)
+				if sErr != nil || dErr != nil || pErr != nil {
+					t.Fatalf("run failed: sparse=%v dense=%v parallel=%v", sErr, dErr, pErr)
 				}
-				if sparse.Cycles != dense.Cycles {
-					t.Errorf("cycle count diverged: sparse=%d dense=%d", sparse.Cycles, dense.Cycles)
-				}
-				if !reflect.DeepEqual(sparse.Stats, dense.Stats) {
-					t.Errorf("stats diverged:\nsparse: %+v\ndense:  %+v", sparse.Stats, dense.Stats)
-				}
+				checkIdentical(t, "sparse", "dense", sparse, dense)
+				checkIdentical(t, "sparse", "parallel", sparse, par)
 			})
 		}
+	}
+}
+
+// TestParallelEquivalence is the short-mode-capable slice of the three-way
+// oracle: serial sparse vs parallel across all equivalence schemes on two
+// contrasting workloads (high-sharing cachebw, irregular bfs) at 16 cores,
+// and — outside short mode — at 64 cores as well, where parallel sections
+// span 64 lanes.
+func TestParallelEquivalence(t *testing.T) {
+	coreCounts := []int{16}
+	if !testing.Short() {
+		coreCounts = append(coreCounts, 64)
+	}
+	for _, cores := range coreCounts {
+		for _, sch := range equivSchemes() {
+			for _, wlName := range []string{"cachebw", "bfs"} {
+				cores, sch, wlName := cores, sch, wlName
+				t.Run(fmt.Sprintf("%dc/%s/%s", cores, sch.Name, wlName), func(t *testing.T) {
+					t.Parallel()
+					base := Default16()
+					if cores == 64 {
+						base = Default64()
+					}
+					serial, err := Run(ScaledConfig(base).WithScheme(sch), wlName, ScaleTiny)
+					if err != nil {
+						t.Fatal(err)
+					}
+					par, err := Run(withParallel(ScaledConfig(base).WithScheme(sch), 4), wlName, ScaleTiny)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkIdentical(t, "serial", "parallel", serial, par)
+				})
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism runs the parallel kernel twice on the same
+// configuration and requires fully identical Results: worker scheduling
+// must never leak into simulation outcomes.
+func TestParallelDeterminism(t *testing.T) {
+	for _, sch := range equivSchemes() {
+		sch := sch
+		t.Run(sch.Name, func(t *testing.T) {
+			t.Parallel()
+			cfg := withParallel(ScaledConfig(Default16()).WithScheme(sch), 4)
+			a, err := Run(cfg, "cachebw", ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := Run(cfg, "cachebw", ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			checkIdentical(t, "first", "second", a, b)
+		})
 	}
 }
 
