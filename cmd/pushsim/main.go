@@ -28,6 +28,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit results as JSON")
 		dense    = flag.Bool("dense", false, "run on the dense reference kernel (tick every component every cycle; the wake-driven scheduler's equivalence oracle)")
 		parallel = flag.Int("parallel", 0, "parallel tick executor worker count (0 or 1 = serial kernel; results are byte-identical either way)")
+		chk      = flag.Bool("check", false, "enable the runtime invariant checker (coherence, directory superset, inclusion, filter soundness, OrdPush ordering, VC conservation); violations abort with a trace dump")
+		traceN   = flag.Int("trace", 0, "retain the last N trace events and dump them on a checker violation, deadlock, or panic (0 = off unless -check, which keeps a default tail)")
 	)
 	flag.Parse()
 
@@ -45,6 +47,8 @@ func main() {
 	}
 	cfg.DenseKernel = *dense
 	cfg.ParallelWorkers = *parallel
+	cfg.Check = *chk
+	cfg.TraceN = *traceN
 	sc, err := parseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
@@ -83,6 +87,11 @@ type jsonResult struct {
 	Coalesced    uint64            `json:"coalesced_requests"`
 	MemReads     uint64            `json:"mem_reads"`
 	MemWrites    uint64            `json:"mem_writes"`
+	// TraceHash/TraceEvents identify the full causal event history when
+	// -check or -trace is on (omitted otherwise, keeping checker-off output
+	// unchanged). Two runs with equal values produced identical histories.
+	TraceHash   string `json:"trace_hash,omitempty"`
+	TraceEvents uint64 `json:"trace_events,omitempty"`
 }
 
 func reportJSON(res pushmulticast.Results) error {
@@ -106,6 +115,10 @@ func reportJSON(res pushmulticast.Results) error {
 	}
 	if st.Cache.PushesTriggered > 0 {
 		out.PushAvgDests = float64(st.Cache.PushDestinations) / float64(st.Cache.PushesTriggered)
+	}
+	if res.TraceEvents > 0 {
+		out.TraceHash = fmt.Sprintf("%#x", res.TraceHash)
+		out.TraceEvents = res.TraceEvents
 	}
 	for c := stats.Class(0); c < stats.NumClasses; c++ {
 		if v := st.Net.TotalFlitsByClass[c]; v > 0 {
@@ -204,5 +217,8 @@ func report(res pushmulticast.Results) {
 	}
 	if st.Cache.CoalescedRequests > 0 {
 		fmt.Printf("coalesced reqs  %d\n", st.Cache.CoalescedRequests)
+	}
+	if res.TraceEvents > 0 {
+		fmt.Printf("event history   %d events, hash %#x\n", res.TraceEvents, res.TraceHash)
 	}
 }

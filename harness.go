@@ -30,6 +30,10 @@ type ExpOptions struct {
 	// this many workers (0 or 1 = serial kernel). Results are byte-identical
 	// either way.
 	SimWorkers int
+	// Check enables the runtime invariant checker on every simulation in
+	// the campaign (tier-1 tests and short campaigns; leave off for
+	// benchmarking — the checker adds per-cycle work).
+	Check bool
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -62,6 +66,7 @@ func (o ExpOptions) baseConfig() Config {
 		cfg = ScaledConfig(cfg)
 	}
 	cfg.ParallelWorkers = o.SimWorkers
+	cfg.Check = o.Check
 	return cfg
 }
 
@@ -243,6 +248,15 @@ func geomean(vals []float64) float64 {
 func quantile(sorted []uint64, q float64) uint64 {
 	if len(sorted) == 0 {
 		return 0
+	}
+	// Clamp the quantile to [0, 1]; a NaN q (e.g. 0/0 from an upstream
+	// ratio) would otherwise flow through int(NaN), whose value is
+	// platform-dependent.
+	if math.IsNaN(q) || q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
 	}
 	pos := q * float64(len(sorted)-1)
 	lo := int(pos)

@@ -58,5 +58,8 @@ func (l *L1) Invalidate(lineAddr uint64) {
 // Present reports whether the line is cached.
 func (l *L1) Present(lineAddr uint64) bool { return l.arr.Lookup(lineAddr) != nil }
 
+// ForEach visits every valid line (inclusion checks and tests).
+func (l *L1) ForEach(f func(*Line)) { l.arr.ForEach(f) }
+
 // Stats returns accesses and misses.
 func (l *L1) Stats() (accesses, misses uint64) { return l.accesses, l.misses }

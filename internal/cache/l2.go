@@ -710,6 +710,20 @@ func (c *L2) acceptPush(m *coherence.Msg, now sim.Cycle, speculative bool) (stat
 // ForEachLine exposes the L2 array to coherence checkers and tests.
 func (c *L2) ForEachLine(f func(*Line)) { c.arr.ForEach(f) }
 
+// ReadOutstanding reports whether a read transaction for the line is still
+// waiting on data (IS_D or IS_D_I). The filter-soundness checker uses it:
+// a filtered request whose issuer is no longer waiting was already served.
+func (c *L2) ReadOutstanding(lineAddr uint64) bool {
+	if line := c.arr.Lookup(lineAddr); line != nil {
+		return line.State == StateISD || line.State == StateISDI
+	}
+	return false
+}
+
+// IncomingDataPending exposes the fill-queue snoop to the checker: a
+// shared-data fill for the line is sitting in the input queue.
+func (c *L2) IncomingDataPending(lineAddr uint64) bool { return c.incomingDataPending(lineAddr) }
+
 // OutstandingTransactions reports whether any MSHR or writeback entry is
 // open (quiescence checks).
 func (c *L2) OutstandingTransactions() bool { return len(c.mshr) != 0 || len(c.wb) != 0 }

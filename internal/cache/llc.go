@@ -8,6 +8,7 @@ import (
 	"pushmulticast/internal/noc"
 	"pushmulticast/internal/sim"
 	"pushmulticast/internal/stats"
+	"pushmulticast/internal/trace"
 )
 
 // epKind identifies a directory episode (a multi-message transaction that
@@ -88,6 +89,10 @@ type LLC struct {
 	// multicast would be pure redundancy. The unicast keeps the rare
 	// dropped-push case correct.
 	recent [recentPushEntries]recentPush
+	// tr is this slice's trace shard (nil when tracing is off). Writes
+	// happen from the slice's own tick and from Receive (the tile's NI
+	// tick) — both on the tile's lane.
+	tr *trace.Shard
 }
 
 // recentPush is one recent-push table entry.
@@ -148,6 +153,8 @@ func (s *LLC) Receive(pkt *noc.Packet, now sim.Cycle) {
 	if pkt.Filterable && s.cfg.Scheme.Filter {
 		if m := pkt.Payload.(*coherence.Msg); s.pushCovering(m.Addr, m.Requester) {
 			s.st.Net.FilteredRequests++
+			s.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterHome, Node: int32(s.id),
+				Addr: m.Addr, ID: pkt.ID, A: int32(m.Requester)})
 			s.out.ni.Recycle(pkt)
 			return
 		}
@@ -279,6 +286,8 @@ func (s *LLC) handleGetS(pkt *noc.Packet, m *coherence.Msg, now sim.Cycle) {
 	// would prune it one cycle later.
 	if s.cfg.Scheme.Filter && s.pushCovering(m.Addr, m.Requester) {
 		s.st.Net.FilteredRequests++
+		s.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterHome, Node: int32(s.id),
+			Addr: m.Addr, ID: pkt.ID, A: int32(m.Requester)})
 		return
 	}
 	line := s.arr.Lookup(m.Addr)
@@ -349,6 +358,8 @@ func (s *LLC) triggerPush(line *Line, req noc.NodeID, now sim.Cycle) {
 	}
 	s.st.Cache.PushesTriggered++
 	s.st.Cache.PushDestinations += uint64(dests.Count())
+	s.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KPushTrigger, Node: int32(s.id),
+		Addr: line.Tag, Aux: uint64(dests), A: int32(req)})
 	s.recordRecentPush(line.Tag, dests, now)
 	if s.cfg.Scheme.Multicast {
 		s.send(&coherence.Msg{
@@ -728,6 +739,8 @@ func (s *LLC) handleMemData(m *coherence.Msg, now sim.Cycle) {
 			if !dests.Empty() {
 				s.st.Cache.PushesTriggered++
 				s.st.Cache.PushDestinations += uint64(dests.Count())
+				s.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KPushTrigger, Node: int32(s.id),
+					Addr: line.Tag, Aux: uint64(dests), A: -1})
 				s.recordRecentPush(line.Tag, dests, now)
 				// Requester -1: every copy is speculative; no destination
 				// treats this push as its demand response.
@@ -749,6 +762,38 @@ func (s *LLC) handleMemData(m *coherence.Msg, now sim.Cycle) {
 
 // ForEachLine exposes the slice's array for coherence checkers and tests.
 func (s *LLC) ForEachLine(f func(*Line)) { s.arr.ForEach(f) }
+
+// SetTraceShard installs the slice's trace shard.
+func (s *LLC) SetTraceShard(tr *trace.Shard) { s.tr = tr }
+
+// DirectoryView returns the directory's conservative view of the line's
+// possible private holders, or ok=false when the line is absent. The view
+// merges the line's sharer vector with episode state: startEvictShared
+// zeroes Sharers while its invalidations are in flight (the pending-ack
+// set holds them), and an owner under recall lives only in the Owner
+// field. The sharers-superset invariant is phrased against this view —
+// any L2 actually holding the line must appear in it.
+func (s *LLC) DirectoryView(lineAddr uint64) (noc.DestSet, bool) {
+	line := s.arr.Lookup(lineAddr)
+	if line == nil {
+		return 0, false
+	}
+	view := line.Sharers
+	if line.State == StateLM || line.State == StateLMInv {
+		view = view.Add(line.Owner)
+	}
+	if ep := s.ep[lineAddr]; ep != nil {
+		view |= ep.pendingAcks
+		if ep.kind == epWrite {
+			view = view.Add(ep.writer)
+		}
+	}
+	return view, true
+}
+
+// PushQueued exposes pushCovering to the checker: a push embedding a
+// response for (addr, req) has not yet left this tile.
+func (s *LLC) PushQueued(addr uint64, req noc.NodeID) bool { return s.pushCovering(addr, req) }
 
 // OutstandingTransactions reports open episodes or fetches.
 func (s *LLC) OutstandingTransactions() bool {

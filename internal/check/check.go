@@ -1,0 +1,333 @@
+// Package check implements the runtime coherence-invariant checker: a
+// monitor component that registers on the simulation engine *after* every
+// other component, drains the structured event trace every cycle it is
+// woken, and periodically sweeps the machine's global state for protocol
+// invariant violations.
+//
+// The monitor validates two classes of property:
+//
+//   - Event-driven invariants, checked as trace events stream past: filter
+//     soundness (a filter bank or home slice never squashes a GetS whose
+//     answer is not already guaranteed in flight) and OrdPush ordering (an
+//     invalidation never overtakes an earlier push to the same line from
+//     the same source — the property the ordered-push protocol exists to
+//     provide).
+//   - Structural invariants, swept every CheckEvery cycles over a global
+//     snapshot: SWMR and data-value coherence (delegated to the core
+//     package's checker via a callback, avoiding an import cycle), the
+//     directory sharers-superset property, L1 ⊆ L2 inclusion, and per-VC
+//     credit/occupancy conservation in every router.
+//
+// The first violation is sticky: Err() reports it with the cycle it was
+// detected, and the run loop in core aborts and dumps the trace tail.
+package check
+
+import (
+	"errors"
+	"fmt"
+
+	"pushmulticast/internal/cache"
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/trace"
+)
+
+// ErrViolation wraps every invariant violation the monitor detects.
+var ErrViolation = errors.New("invariant checker violation")
+
+// DefaultCheckEvery is the structural sweep period when the config leaves
+// CheckEvery at zero.
+const DefaultCheckEvery = 64
+
+// pktTrack follows one multicast packet (push or invalidation) from
+// injection until every replica has been delivered.
+type pktTrack struct {
+	addr uint64
+	src  int32
+	seq  uint64      // per-source injection serial
+	left noc.DestSet // destinations not yet delivered
+}
+
+// Monitor is the invariant checker. It implements sim.Ticker and must be
+// registered last so that, within any cycle, it ticks after every emitter
+// — this is what makes the trace drain order deterministic across the
+// serial, dense, and parallel kernels.
+type Monitor struct {
+	cfg       *config.System
+	net       *noc.Network
+	l2s       []*cache.L2
+	llcs      []*cache.LLC
+	coherence func() error // core's SWMR/data-value snapshot checker
+	tr        *trace.Tracer
+
+	h          *sim.Handle
+	checkEvery sim.Cycle
+	nextScan   sim.Cycle
+
+	// Sticky first violation.
+	err error
+
+	// OrdPush ordering state: per-source injection serials and the set of
+	// in-flight pushes and invalidations, keyed by packet ID (multicast
+	// replicas share their parent's ID).
+	ordered bool
+	seq     []uint64
+	pushes  map[uint64]*pktTrack
+	invs    map[uint64]*pktTrack
+
+	// scratch maps L2 tags to states during the inclusion sweep.
+	scratch map[uint64]cache.State
+}
+
+// New builds a monitor. coherence is the core package's global snapshot
+// checker (passed as a callback so check does not import core). tr must be
+// the tracer every component's shard feeds.
+func New(cfg *config.System, net *noc.Network, l2s []*cache.L2, llcs []*cache.LLC,
+	coherence func() error, tr *trace.Tracer) *Monitor {
+	m := &Monitor{
+		cfg:       cfg,
+		net:       net,
+		l2s:       l2s,
+		llcs:      llcs,
+		coherence: coherence,
+		tr:        tr,
+		scratch:   make(map[uint64]cache.State),
+	}
+	m.checkEvery = sim.Cycle(cfg.CheckEvery)
+	if m.checkEvery <= 0 {
+		m.checkEvery = DefaultCheckEvery
+	}
+	if cfg.Check && cfg.Scheme.Push && cfg.Scheme.Protocol == config.ProtoOrdPush {
+		m.ordered = true
+		m.seq = make([]uint64, cfg.Tiles())
+		m.pushes = make(map[uint64]*pktTrack)
+		m.invs = make(map[uint64]*pktTrack)
+	}
+	return m
+}
+
+// Register installs the monitor on the engine. Call it after every other
+// component has been registered: the engine ticks components in
+// registration order, so registering last guarantees the monitor drains
+// the trace after all of a cycle's emissions. The handle carries no lane
+// tag, so the parallel kernel runs it in the trailing serial segment.
+func (m *Monitor) Register(eng *sim.Engine) {
+	m.h = eng.Register(m)
+	m.tr.SetHandle(m.h)
+	if m.cfg.Check {
+		m.nextScan = m.checkEvery
+		m.h.SleepUntil(m.nextScan)
+	} else {
+		m.h.Sleep()
+	}
+}
+
+// Err returns the first violation detected, or nil.
+func (m *Monitor) Err() error { return m.err }
+
+func (m *Monitor) fail(cycle uint64, format string, args ...any) {
+	if m.err != nil {
+		return
+	}
+	m.err = fmt.Errorf("%w at cycle %d: %s", ErrViolation, cycle, fmt.Sprintf(format, args...))
+}
+
+// Tick drains the trace (folding the cycle's events into the history hash
+// and ring) and, on scan boundaries, sweeps the structural invariants.
+func (m *Monitor) Tick(now sim.Cycle) {
+	if m.cfg.Check && m.err == nil {
+		m.tr.Drain(m.checkEvent)
+	} else {
+		m.tr.Drain(nil)
+	}
+	if !m.cfg.Check {
+		m.h.Sleep() // emissions wake us; nothing periodic to do
+		return
+	}
+	if now >= m.nextScan {
+		if m.err == nil {
+			m.scan(now)
+		}
+		m.nextScan = now + m.checkEvery
+	}
+	m.h.SleepUntil(m.nextScan)
+}
+
+// checkEvent validates the event-driven invariants on one trace record.
+func (m *Monitor) checkEvent(e trace.Event) {
+	if m.err != nil {
+		return
+	}
+	switch e.Kind {
+	case trace.KFilterHit, trace.KFilterStationary, trace.KFilterHome:
+		m.checkFilterSoundness(e)
+	case trace.KInject:
+		if m.ordered {
+			m.trackInject(e)
+		}
+	case trace.KDeliver:
+		if m.ordered {
+			m.trackDeliver(e)
+		}
+	}
+}
+
+// checkFilterSoundness asserts that squashing the requester's GetS was
+// legal: the data it wants must already be headed its way (a covering push
+// in flight in the mesh, a push queued at the home slice, or data already
+// pending at its own L2), or the requester must no longer have a read
+// outstanding for the line (its MSHR entry was satisfied or cancelled, so
+// the squashed request was a stale duplicate). This is the liveness side
+// of lazy filter de-registration: a stale entry that survives past its
+// registration's usefulness must never eat a request that still needs an
+// answer.
+func (m *Monitor) checkFilterSoundness(e trace.Event) {
+	req := noc.NodeID(e.A)
+	if int(req) < 0 || int(req) >= len(m.l2s) {
+		m.fail(e.Cycle, "filter event with bad requester: %s", e)
+		return
+	}
+	l2 := m.l2s[req]
+	if m.net.PushInFlight(e.Addr, req) {
+		return
+	}
+	if l2.IncomingDataPending(e.Addr) {
+		return
+	}
+	if e.Kind == trace.KFilterHome && m.llcs[e.Node].PushQueued(e.Addr, req) {
+		return
+	}
+	if !l2.ReadOutstanding(e.Addr) {
+		return
+	}
+	m.fail(e.Cycle, "unsound filter squash: requester %d still awaits line %#x with no covering push in flight (%s)",
+		req, e.Addr, e)
+}
+
+// trackInject assigns the packet its per-source injection serial and
+// starts tracking pushes and invalidations.
+func (m *Monitor) trackInject(e trace.Event) {
+	m.seq[e.Node]++
+	switch {
+	case e.B&trace.FlagPush != 0:
+		m.pushes[e.ID] = &pktTrack{addr: e.Addr, src: e.Node, seq: m.seq[e.Node], left: noc.DestSet(e.Aux)}
+	case e.B&trace.FlagInv != 0:
+		m.invs[e.ID] = &pktTrack{addr: e.Addr, src: e.Node, seq: m.seq[e.Node], left: noc.DestSet(e.Aux)}
+	}
+}
+
+// trackDeliver retires delivered replicas and asserts the OrdPush ordering
+// invariant: an invalidation delivered at a tile must not leave behind an
+// undelivered push to the same line, from the same source, injected
+// earlier — if it does, the invalidation overtook the push and the stale
+// data will be installed after the line was invalidated.
+func (m *Monitor) trackDeliver(e trace.Event) {
+	at := noc.NodeID(e.Node)
+	switch {
+	case e.B&trace.FlagPush != 0:
+		if p, ok := m.pushes[e.ID]; ok {
+			p.left = p.left.Remove(at)
+			if p.left.Empty() {
+				delete(m.pushes, e.ID)
+			}
+		}
+	case e.B&trace.FlagInv != 0:
+		inv, ok := m.invs[e.ID]
+		if !ok {
+			return // injected before tracking began; nothing to order against
+		}
+		for id, p := range m.pushes {
+			if p.addr == inv.addr && p.src == inv.src && p.seq < inv.seq && p.left.Has(at) {
+				m.fail(e.Cycle, "OrdPush ordering violated: inv (src %d seq %d) delivered at tile %d before push id %#x (seq %d) to line %#x",
+					inv.src, inv.seq, at, id, p.seq, p.addr)
+				return
+			}
+		}
+		inv.left = inv.left.Remove(at)
+		if inv.left.Empty() {
+			delete(m.invs, e.ID)
+		}
+	}
+}
+
+// scan sweeps the structural invariants over a global snapshot.
+func (m *Monitor) scan(now sim.Cycle) {
+	cyc := uint64(now)
+	if err := m.coherence(); err != nil {
+		m.fail(cyc, "%v", err)
+		return
+	}
+	if err := m.net.CheckConservation(now); err != nil {
+		m.fail(cyc, "%v", err)
+		return
+	}
+	m.scanSharersSuperset(cyc)
+	if m.err == nil {
+		m.scanInclusion(cyc)
+	}
+}
+
+// scanSharersSuperset asserts that every private copy is visible to its
+// home directory: for each L2 line in S, M, or SM_D, the home slice's
+// conservative directory view (sharer vector ∪ owner ∪ in-flight episode
+// state) contains that L2's tile. A line the directory has lost track of
+// can never be invalidated or pushed to — the silent-sharer bug class.
+func (m *Monitor) scanSharersSuperset(cyc uint64) {
+	for _, l2 := range m.l2s {
+		id := l2.ID()
+		l2.ForEachLine(func(l *cache.Line) {
+			if m.err != nil {
+				return
+			}
+			switch l.State {
+			case cache.StateS, cache.StateM, cache.StateSMD:
+			default:
+				return
+			}
+			home := m.cfg.HomeSlice(l.Tag)
+			view, ok := m.llcs[home].DirectoryView(l.Tag)
+			if !ok {
+				m.fail(cyc, "line %#x cached %v at tile %d but absent from home slice %d",
+					l.Tag, l.State, id, home)
+				return
+			}
+			if !view.Has(id) {
+				m.fail(cyc, "directory not a sharer superset: line %#x cached %v at tile %d, home %d view %#x",
+					l.Tag, l.State, id, home, uint64(view))
+			}
+		})
+		if m.err != nil {
+			return
+		}
+	}
+}
+
+// scanInclusion asserts L1 ⊆ L2 per tile: every valid L1 line must be
+// backed by an L2 line in a state with readable or incoming data.
+func (m *Monitor) scanInclusion(cyc uint64) {
+	for i, l2 := range m.l2s {
+		for k := range m.scratch {
+			delete(m.scratch, k)
+		}
+		l2.ForEachLine(func(l *cache.Line) { m.scratch[l.Tag] = l.State })
+		l2.L1().ForEach(func(l *cache.Line) {
+			if m.err != nil {
+				return
+			}
+			st, ok := m.scratch[l.Tag]
+			if !ok {
+				m.fail(cyc, "inclusion violated: line %#x valid in L1 of tile %d but absent from its L2", l.Tag, i)
+				return
+			}
+			switch st {
+			case cache.StateS, cache.StateM, cache.StateSMD:
+			default:
+				m.fail(cyc, "inclusion violated: line %#x valid in L1 of tile %d but L2 holds it in %v", l.Tag, i, st)
+			}
+		})
+		if m.err != nil {
+			return
+		}
+	}
+}

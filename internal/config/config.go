@@ -233,6 +233,27 @@ type System struct {
 	// smaller cycles run serially to dodge the barrier overhead. 0 selects
 	// sim.DefaultParallelThreshold.
 	ParallelThreshold int
+
+	// Check enables the runtime invariant checker: the paper's protocol
+	// invariants (SWMR, L1⊆L2 inclusion, directory sharer-set superset,
+	// filter soundness, OrdPush push-before-invalidation ordering) and the
+	// NoC's structural conservation laws are asserted while the simulation
+	// runs, and any violation fails the run with a trace tail. Off by
+	// default: the checker costs throughput and is meant for tests and
+	// campaign runs, not benchmarking.
+	Check bool
+
+	// CheckEvery is the period, in cycles, of the checker's structural
+	// scans (global coherence, inclusion, directory view, NoC
+	// conservation); event-driven checks run every cycle regardless.
+	// 0 selects a default period.
+	CheckEvery int
+
+	// TraceN bounds the structured event-trace ring: the last TraceN
+	// events are retained and dumped on a checker violation, watchdog
+	// deadlock, or panic. 0 disables the trace unless Check is set, which
+	// keeps a default-sized ring so violations always carry context.
+	TraceN int
 }
 
 // Tiles returns the tile count.

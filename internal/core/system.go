@@ -8,8 +8,10 @@ package core
 import (
 	"errors"
 	"fmt"
+	"os"
 
 	"pushmulticast/internal/cache"
+	"pushmulticast/internal/check"
 	"pushmulticast/internal/config"
 	"pushmulticast/internal/cpu"
 	"pushmulticast/internal/memctrl"
@@ -17,6 +19,7 @@ import (
 	"pushmulticast/internal/prefetch"
 	"pushmulticast/internal/sim"
 	"pushmulticast/internal/stats"
+	"pushmulticast/internal/trace"
 	"pushmulticast/internal/workload"
 )
 
@@ -30,6 +33,11 @@ type System struct {
 	L2s   []*cache.L2
 	LLCs  []*cache.LLC
 	Mems  map[noc.NodeID]*memctrl.Ctrl
+
+	// Tracer and Checker are non-nil when the config enables tracing or
+	// invariant checking (cfg.TraceN / cfg.Check).
+	Tracer  *trace.Tracer
+	Checker *check.Monitor
 
 	// laneSt holds the per-tile stats shards of the parallel executor (nil
 	// for serial runs); mergeLaneStats folds them into St in lane order.
@@ -106,6 +114,29 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 			m.Handle().SetLane(int(mc))
 		}
 	}
+	if cfg.Check || cfg.TraceN > 0 {
+		ringN := cfg.TraceN
+		if ringN == 0 {
+			ringN = 256 // checker on without an explicit ring size: keep a useful tail
+		}
+		tr := trace.New(ringN)
+		// Shard creation order is the drain order and must be deterministic:
+		// NIs, routers (inside SetTracer), then LLC slices, then controllers.
+		net.SetTracer(tr)
+		for _, llc := range s.LLCs {
+			llc.SetTraceShard(tr.NewShard())
+		}
+		for _, mc := range cfg.MemControllers() {
+			s.Mems[mc].SetTraceShard(tr.NewShard())
+		}
+		s.Tracer = tr
+		// The monitor registers last: the engine ticks in registration order,
+		// so it drains the trace after every emitter within a cycle, in every
+		// kernel mode (its untagged handle runs in the parallel kernel's
+		// trailing serial segment).
+		s.Checker = check.New(&s.Cfg, net, s.L2s, s.LLCs, s.CheckCoherence, tr)
+		s.Checker.Register(eng)
+	}
 	if parallel && cfg.TraceSharerGaps {
 		// Sharer-gap reservoir sampling is order-sensitive; lanes defer their
 		// observations and the engine drains them into the primary bundle at
@@ -161,6 +192,13 @@ type Results struct {
 	// Cycles is the parallel-phase execution time: the cycle at which every
 	// core finished.
 	Cycles uint64
+	// TraceHash and TraceEvents summarize the full causal event history
+	// when tracing was enabled: the running FNV-1a hash over every trace
+	// event in deterministic drain order, and the event count. Two runs
+	// with equal (TraceHash, TraceEvents) produced identical histories —
+	// the serial/dense/parallel equivalence oracle.
+	TraceHash   uint64
+	TraceEvents uint64
 	// Stats is the full counter bundle.
 	Stats *stats.All
 }
@@ -182,8 +220,18 @@ var ErrCoherence = errors.New("coherence violation")
 // when nonzero, runs the coherence invariant checker every that many cycles
 // (tests); violations abort the run.
 func (s *System) Run(checkEvery uint64) (Results, error) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.DumpTrace()
+			panic(r)
+		}
+	}()
 	var checkErr error
 	finished := func() bool {
+		if s.Checker != nil && s.Checker.Err() != nil {
+			checkErr = s.Checker.Err()
+			return true
+		}
 		if checkEvery != 0 && uint64(s.Eng.Now())%checkEvery == 0 {
 			if err := s.CheckCoherence(); err != nil {
 				checkErr = err
@@ -200,10 +248,15 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 	end, err := s.Eng.Run(finished)
 	s.Eng.Close() // idle the worker pool; a later Drain respawns it on demand
 	s.mergeLaneStats()
+	if checkErr == nil && s.Checker != nil {
+		checkErr = s.Checker.Err()
+	}
 	if checkErr != nil {
+		s.DumpTrace()
 		return Results{}, checkErr
 	}
 	if err != nil {
+		s.DumpTrace()
 		return Results{}, fmt.Errorf("%s/%s: %w", s.Cfg.Scheme.Name, "run", err)
 	}
 	s.St.Core.Cycles = uint64(end)
@@ -212,7 +265,24 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 		s.St.Core.StallCycles += c.StallCycles()
 	}
 	res := Results{Scheme: s.Cfg.Scheme.Name, Cycles: uint64(end), Stats: s.St}
+	if s.Tracer != nil {
+		// A safety drain: the monitor ticks last within every cycle that
+		// emits, so this is normally a no-op and never reorders history.
+		s.Tracer.Drain(nil)
+		res.TraceHash = s.Tracer.Hash()
+		res.TraceEvents = s.Tracer.Events()
+	}
 	return res, nil
+}
+
+// DumpTrace writes the retained trace tail to stderr (violations,
+// deadlocks, panics). A no-op when tracing is off.
+func (s *System) DumpTrace() {
+	if s.Tracer == nil {
+		return
+	}
+	s.Tracer.Drain(nil)
+	s.Tracer.Dump(os.Stderr)
 }
 
 // Drain runs the machine until the network and all controllers quiesce

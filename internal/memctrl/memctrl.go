@@ -14,6 +14,7 @@ import (
 	"pushmulticast/internal/noc"
 	"pushmulticast/internal/sim"
 	"pushmulticast/internal/stats"
+	"pushmulticast/internal/trace"
 )
 
 // pendingResp is a read response waiting out the access latency.
@@ -39,6 +40,9 @@ type Ctrl struct {
 	// versions holds the memory image: the last written version per line
 	// (zero for never-written lines).
 	versions map[uint64]uint64
+	// tr is this controller's trace shard (nil when tracing is off);
+	// written only from the controller's own tick, on its tile's lane.
+	tr *trace.Shard
 }
 
 // New builds a controller at the given tile and attaches it to the network.
@@ -93,6 +97,8 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 		switch m.Type {
 		case coherence.MemRead:
 			c.st.Cache.MemReads++
+			c.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KMemRead, Node: int32(c.node),
+				Addr: m.Addr, ID: pkt.ID, A: int32(m.Requester)})
 			rm := c.newMsg()
 			*rm = coherence.Msg{Type: coherence.MemData, Addr: m.Addr,
 				Requester: m.Requester, Version: c.versions[m.Addr]}
@@ -103,6 +109,8 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 			})
 		case coherence.MemWrite:
 			c.st.Cache.MemWrites++
+			c.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KMemWrite, Node: int32(c.node),
+				Addr: m.Addr, ID: pkt.ID, A: int32(m.Requester)})
 			c.versions[m.Addr] = m.Version
 		default:
 			panic(fmt.Sprintf("memctrl %d: unexpected message %v", c.node, m))
@@ -161,6 +169,9 @@ func (c *Ctrl) newMsg() *coherence.Msg {
 	}
 	return &coherence.Msg{}
 }
+
+// SetTraceShard installs the controller's trace shard.
+func (c *Ctrl) SetTraceShard(tr *trace.Shard) { c.tr = tr }
 
 // Version exposes the memory image for checkers.
 func (c *Ctrl) Version(lineAddr uint64) uint64 { return c.versions[lineAddr] }

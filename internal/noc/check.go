@@ -1,0 +1,232 @@
+package noc
+
+import (
+	"fmt"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/trace"
+)
+
+// This file is the NoC's white-box surface for the runtime invariant
+// checker (internal/check): trace-shard wiring, the per-VC credit and
+// occupancy conservation audit, and the push-in-flight scan backing the
+// filter-soundness check. It lives inside the package because the
+// invariants are phrased over unexported router state (occ lists,
+// candidate masks, filter slots) that has no business being exported.
+
+// SetTracer installs trace shards on every NI and router. Shards are
+// created in a deterministic order (NIs 0..n-1, then routers 0..n-1);
+// that order is the tracer's drain order.
+func (n *Network) SetTracer(t *trace.Tracer) {
+	for _, ni := range n.nis {
+		ni.tr = t.NewShard()
+	}
+	for _, r := range n.routers {
+		r.tr = t.NewShard()
+	}
+}
+
+// pktFlags packs a packet's protocol-relevant flags into a trace event's
+// B field.
+func pktFlags(pkt *Packet) int32 {
+	var f int32
+	if pkt.IsPush {
+		f |= trace.FlagPush
+	}
+	if pkt.IsInv {
+		f |= trace.FlagInv
+	}
+	if pkt.Filterable {
+		f |= trace.FlagFilterable
+	}
+	return f
+}
+
+// CheckConservation audits every router's redundant bookkeeping against
+// ground truth: per-(port,vnet) credit counts, the occupied-VC list, the
+// unrouted-head counter, the allocation candidate mask/counters, the
+// switch stream cross-links, and the filter banks' liveness accounting.
+// Each of these is a derived structure the hot path trusts blindly; a
+// drifted one silently corrupts arbitration or filtering long before any
+// end-state counter notices. Returns the first violation found.
+func (n *Network) CheckConservation(now sim.Cycle) error {
+	for _, r := range n.routers {
+		if err := r.checkConservation(now); err != nil {
+			return fmt.Errorf("router %d: %w", r.id, err)
+		}
+	}
+	return nil
+}
+
+func (r *Router) checkConservation(now sim.Cycle) error {
+	vcs := r.net.cfg.VCsPerVNet
+	// Credit/occupancy conservation and occ-list consistency.
+	occupied := 0
+	unrouted := 0
+	for p := 0; p < NumPorts; p++ {
+		var free, held [NumVNets]int16
+		for i := range r.in[p] {
+			vc := &r.in[p][i]
+			v := i / vcs
+			if vc.free() {
+				free[v]++
+				if vc.occPos >= 0 {
+					return fmt.Errorf("free VC (%s,%d) still in occ list at %d", PortName(p), i, vc.occPos)
+				}
+				continue
+			}
+			held[v]++
+			occupied++
+			if vc.occPos < 0 || vc.occPos >= len(r.occ) || r.occ[vc.occPos] != vc {
+				return fmt.Errorf("occupied VC (%s,%d) has broken occ position %d", PortName(p), i, vc.occPos)
+			}
+			if vc.pkt != nil && !vc.routed {
+				unrouted++
+				if vc.headAt <= now {
+					return fmt.Errorf("unrouted head at (%s,%d) overdue: headAt=%d now=%d", PortName(p), i, vc.headAt, now)
+				}
+				if r.minHeadAt > vc.headAt {
+					return fmt.Errorf("minHeadAt=%d above unrouted head arrival %d at (%s,%d)", r.minHeadAt, vc.headAt, PortName(p), i)
+				}
+			}
+		}
+		for v := 0; v < NumVNets; v++ {
+			if r.freeCnt[p][v] != free[v] {
+				return fmt.Errorf("credit leak at (%s, vnet %d): freeCnt=%d actual free=%d", PortName(p), v, r.freeCnt[p][v], free[v])
+			}
+			if free[v]+held[v] != int16(vcs) {
+				return fmt.Errorf("VC conservation broken at (%s, vnet %d): %d free + %d held != %d", PortName(p), v, free[v], held[v], vcs)
+			}
+		}
+	}
+	if occupied != len(r.occ) {
+		return fmt.Errorf("occ list holds %d VCs but %d are occupied", len(r.occ), occupied)
+	}
+	if unrouted != r.unrouted {
+		return fmt.Errorf("unrouted counter %d but %d heads unrouted", r.unrouted, unrouted)
+	}
+	// Allocation candidate mask/counters: recompute from the occ list.
+	var candMask [NumPorts]uint64
+	var candV [NumPorts][NumVNets]int16
+	var invCand [NumPorts]int16
+	for pos, vc := range r.occ {
+		if vc.pkt == nil || !vc.routed || vc.active != nil {
+			continue
+		}
+		for o := 0; o < NumPorts; o++ {
+			if vc.pending[o].Empty() {
+				continue
+			}
+			candMask[o] |= uint64(1) << uint(pos)
+			candV[o][vc.pkt.VNet]++
+			if vc.pkt.IsInv {
+				invCand[o]++
+			}
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		if candMask[o] != r.candMask[o] {
+			return fmt.Errorf("candMask[%s]=%#x, expected %#x", PortName(o), r.candMask[o], candMask[o])
+		}
+		if invCand[o] != r.invCand[o] {
+			return fmt.Errorf("invCand[%s]=%d, expected %d", PortName(o), r.invCand[o], invCand[o])
+		}
+		for v := 0; v < NumVNets; v++ {
+			if candV[o][v] != r.candV[o][v] {
+				return fmt.Errorf("candV[%s][%d]=%d, expected %d", PortName(o), v, r.candV[o][v], candV[o][v])
+			}
+		}
+	}
+	// Switch stream cross-links.
+	for o := 0; o < NumPorts; o++ {
+		s := r.outStream[o]
+		if s == nil {
+			continue
+		}
+		if s.outPort != o || r.inLock[s.inPort] != s || s.vc.active != s || s.vc.pkt == nil {
+			return fmt.Errorf("broken stream links at output %s", PortName(o))
+		}
+	}
+	for p := 0; p < NumPorts; p++ {
+		if s := r.inLock[p]; s != nil && (s.inPort != p || r.outStream[s.outPort] != s) {
+			return fmt.Errorf("broken input lock at %s", PortName(p))
+		}
+	}
+	return r.checkFilters()
+}
+
+// checkFilters audits the filter bank's O(1) liveness accounting
+// (activeCnt, aliveUntil) against a scan of the entries; a drifted count
+// makes dead() lie, which either filters requests a cleared registration
+// no longer covers or silently disables the filter.
+func (r *Router) checkFilters() error {
+	fb := r.filters
+	if fb == nil {
+		return nil
+	}
+	perPort := NumPorts * fb.dataVCs
+	for p := 0; p < NumPorts; p++ {
+		active := 0
+		for k := 0; k < perPort; k++ {
+			e := &fb.entries[p*perPort+k]
+			if !e.valid {
+				continue
+			}
+			if !e.clearPending {
+				active++
+			} else if e.clearAt > fb.aliveUntil[p] {
+				return fmt.Errorf("filter entry at %s outlives aliveUntil: clearAt=%d aliveUntil=%d", PortName(p), e.clearAt, fb.aliveUntil[p])
+			}
+		}
+		if active != fb.activeCnt[p] {
+			return fmt.Errorf("filter activeCnt[%s]=%d, expected %d", PortName(p), fb.activeCnt[p], active)
+		}
+	}
+	return nil
+}
+
+// PushInFlight reports whether a push embedding a response for
+// (addr, requester) is anywhere in the network: queued or streaming at an
+// NI, buffered or streaming in a router, or riding out a delivery link.
+// The filter-soundness check uses it: a filtered request is legal only
+// while the covering push can still reach the requester (or already has).
+func (n *Network) PushInFlight(addr uint64, requester NodeID) bool {
+	for _, ni := range n.nis {
+		if ni.PushCovering(addr, requester) {
+			return true
+		}
+		for _, d := range ni.delivery {
+			if d.pkt.IsPush && d.pkt.Addr == addr && d.pkt.Dests.Has(requester) {
+				return true
+			}
+		}
+	}
+	for _, r := range n.routers {
+		for p := 0; p < NumPorts; p++ {
+			if s := r.outStream[p]; s != nil && s.replica.IsPush &&
+				s.replica.Addr == addr && s.replica.Dests.Has(requester) {
+				return true
+			}
+			for i := range r.in[p] {
+				vc := &r.in[p][i]
+				pkt := vc.pkt
+				if pkt == nil || !pkt.IsPush || pkt.Addr != addr {
+					continue
+				}
+				if !vc.routed {
+					// Original destination set still intact.
+					if pkt.Dests.Has(requester) {
+						return true
+					}
+					continue
+				}
+				for o := 0; o < NumPorts; o++ {
+					if vc.pending[o].Has(requester) {
+						return true
+					}
+				}
+			}
+		}
+	}
+	return false
+}

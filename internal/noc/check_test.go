@@ -1,0 +1,190 @@
+package noc
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// TestCheckConservationCleanAfterTraffic routes unicast, multicast, and
+// filtered traffic through a mesh and asserts the conservation audit finds
+// nothing once the network quiesces: every credit returned, every occ-list
+// entry released, every filter count back to a consistent state.
+func TestCheckConservationCleanAfterTraffic(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.FilterEnabled = true
+	eng, net, cols := testNet(t, cfg)
+	var dests DestSet
+	for _, d := range []NodeID{0, 3, 7, 9, 12, 15} {
+		dests = dests.Add(d)
+	}
+	push := &Packet{
+		VNet: VNetData, Class: stats.ClassPushData,
+		SrcUnit: stats.UnitLLC, DstUnit: stats.UnitL2,
+		Dests: dests, Addr: 0x1000, Size: cfg.DataPacketSize(), IsPush: true,
+	}
+	net.NI(5).Inject(push, eng.Now())
+	uni := &Packet{
+		VNet: VNetReq, Class: stats.ClassReadRequest,
+		SrcUnit: stats.UnitL2, DstUnit: stats.UnitLLC,
+		Dests: OneDest(15), Addr: 0x40, Size: 1, Requester: 0,
+	}
+	net.NI(0).Inject(uni, eng.Now())
+	runUntil(t, eng, func() bool {
+		return len(cols[15].got) >= 1 && net.Quiescent()
+	})
+	if err := net.CheckConservation(eng.Now()); err != nil {
+		t.Fatalf("conservation audit failed on a clean network: %v", err)
+	}
+}
+
+// TestCheckConservationDetectsLeakedCredit corrupts one router's credit
+// counter — the exact drift a buggy release path would produce — and
+// requires the audit to report it.
+func TestCheckConservationDetectsLeakedCredit(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	_, net, _ := testNet(t, cfg)
+	net.routers[5].freeCnt[PortNorth][VNetData]--
+	err := net.CheckConservation(0)
+	if err == nil {
+		t.Fatal("leaked VC credit not detected")
+	}
+	if !strings.Contains(err.Error(), "credit leak") {
+		t.Fatalf("wrong diagnosis for a leaked credit: %v", err)
+	}
+}
+
+// TestCheckConservationDetectsFilterCountDrift corrupts a filter bank's
+// O(1) liveness counter, which would make dead() lie to every lookup, and
+// requires the audit to catch the drift.
+func TestCheckConservationDetectsFilterCountDrift(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.FilterEnabled = true
+	_, net, _ := testNet(t, cfg)
+	fb := net.routers[3].filters
+	fb.register(PortEast, PortWest, 0, 0x1000, OneDest(2))
+	fb.activeCnt[PortEast]++ // drift: counter claims one more live entry than exists
+	err := net.CheckConservation(0)
+	if err == nil {
+		t.Fatal("filter activeCnt drift not detected")
+	}
+	if !strings.Contains(err.Error(), "activeCnt") {
+		t.Fatalf("wrong diagnosis for filter count drift: %v", err)
+	}
+}
+
+// TestFilterStaleClearBookkeeping is the regression test for the lazy
+// de-registration audit: a clear has no identity of its own, so a
+// register → scheduleClear → register → scheduleClear sequence must leave
+// the entry governed by the *latest* clear only, with the liveness
+// counters consistent at every step.
+func TestFilterStaleClearBookkeeping(t *testing.T) {
+	fb := newFilterBank(4)
+	assertActive := func(want int, when string) {
+		t.Helper()
+		if fb.activeCnt[PortNorth] != want {
+			t.Fatalf("%s: activeCnt=%d, want %d", when, fb.activeCnt[PortNorth], want)
+		}
+	}
+	fb.register(PortNorth, PortSouth, 0, 0xbeef00, OneDest(3))
+	assertActive(1, "after first register")
+	fb.scheduleClear(PortNorth, PortSouth, 0, 20)
+	assertActive(0, "after first clear scheduled")
+	// Re-registration before the clear matures resurrects the slot.
+	fb.register(PortNorth, PortSouth, 0, 0xaaaa00, OneDest(5))
+	assertActive(1, "after re-registration")
+	// The stale clear time (20) must not apply to the fresh entry.
+	if !fb.lookup(PortNorth, 0xaaaa00, 5, 25) {
+		t.Fatal("fresh entry killed by the stale scheduled clear")
+	}
+	fb.scheduleClear(PortNorth, PortSouth, 0, 40)
+	assertActive(0, "after second clear scheduled")
+	if !fb.lookup(PortNorth, 0xaaaa00, 5, 39) {
+		t.Fatal("entry dead before its own clear time")
+	}
+	if fb.lookup(PortNorth, 0xaaaa00, 5, 40) {
+		t.Fatal("entry alive at its clear time")
+	}
+	// Double-clear on the same slot must not decrement activeCnt twice.
+	fb.scheduleClear(PortNorth, PortSouth, 0, 45)
+	assertActive(0, "after redundant clear")
+	if fb.activeCnt[PortNorth] < 0 {
+		t.Fatal("activeCnt went negative on redundant clear")
+	}
+}
+
+// TestFilterBookkeepingFuzz drives the filter bank with a random
+// register/clear/advance sequence and, after every operation, audits the
+// O(1) liveness accounting against a full scan and cross-checks lookup and
+// hasAddr against brute-force reference scans. This is the model-based
+// audit of the live()/scheduleClear() interaction: any divergence between
+// the fast path (dead()) and ground truth surfaces as a wrong
+// lookup/hasAddr answer.
+func TestFilterBookkeepingFuzz(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	const dataVCs = 2
+	fb := newFilterBank(dataVCs)
+	addrs := []uint64{0x40, 0x80, 0xc0, 0x100}
+	now := sim.Cycle(0)
+	perPort := NumPorts * dataVCs
+
+	refLive := func(p int, f func(e *filterEntry) bool) bool {
+		for k := 0; k < perPort; k++ {
+			e := &fb.entries[p*perPort+k]
+			if e.live(now) && f(e) {
+				return true
+			}
+		}
+		return false
+	}
+
+	for i := 0; i < 20000; i++ {
+		now += sim.Cycle(rng.Intn(3))
+		outP, inP, vc := rng.Intn(NumPorts), rng.Intn(NumPorts), rng.Intn(dataVCs)
+		switch rng.Intn(3) {
+		case 0:
+			fb.register(outP, inP, vc, addrs[rng.Intn(len(addrs))], DestSet(rng.Uint64()&0xffff))
+		case 1:
+			fb.scheduleClear(outP, inP, vc, now+sim.Cycle(rng.Intn(5)))
+		}
+
+		// Counter audit: activeCnt is exactly the valid-without-pending-clear
+		// population; aliveUntil bounds every pending clear.
+		for p := 0; p < NumPorts; p++ {
+			active := 0
+			for k := 0; k < perPort; k++ {
+				e := &fb.entries[p*perPort+k]
+				if e.valid && !e.clearPending {
+					active++
+				}
+				if e.valid && e.clearPending && e.clearAt > fb.aliveUntil[p] {
+					t.Fatalf("op %d: pending clear at %d beyond aliveUntil[%s]=%d",
+						i, e.clearAt, PortName(p), fb.aliveUntil[p])
+				}
+			}
+			if fb.activeCnt[p] != active {
+				t.Fatalf("op %d: activeCnt[%s]=%d, scan says %d", i, PortName(p), fb.activeCnt[p], active)
+			}
+			// dead() must never claim a port dead while an entry is live.
+			if fb.dead(p, now) && refLive(p, func(*filterEntry) bool { return true }) {
+				t.Fatalf("op %d: dead(%s,%d) true with a live entry", i, PortName(p), now)
+			}
+		}
+
+		// Lookup / hasAddr against the reference scans.
+		addr := addrs[rng.Intn(len(addrs))]
+		req := NodeID(rng.Intn(16))
+		p := rng.Intn(NumPorts)
+		wantLookup := refLive(p, func(e *filterEntry) bool { return e.addr == addr && e.dests.Has(req) })
+		if got := fb.lookup(p, addr, req, now); got != wantLookup {
+			t.Fatalf("op %d: lookup(%s,%#x,%d,%d)=%v, reference says %v", i, PortName(p), addr, req, now, got, wantLookup)
+		}
+		wantHas := refLive(p, func(e *filterEntry) bool { return e.addr == addr })
+		if got := fb.hasAddr(p, addr, now); got != wantHas {
+			t.Fatalf("op %d: hasAddr(%s,%#x,%d)=%v, reference says %v", i, PortName(p), addr, now, got, wantHas)
+		}
+	}
+}

@@ -12,10 +12,11 @@ type filterEntry struct {
 	valid bool
 	addr  uint64
 	dests DestSet
-	// gen guards lazy clears: a scheduled clear only applies if the entry
-	// has not been re-registered since.
-	gen uint32
 	// clearAt, when clearPending, is the cycle at which the entry dies.
+	// Re-registration before that cycle resets clearPending, so a stale
+	// scheduled clear can never kill a fresh entry: the clear has no
+	// identity of its own, only the (clearPending, clearAt) pair, and
+	// register rewrites both.
 	clearPending bool
 	clearAt      sim.Cycle
 }
@@ -65,7 +66,6 @@ func (fb *filterBank) register(outPort, inPort, dataVC int, addr uint64, dests D
 	e.valid = true
 	e.addr = addr
 	e.dests = dests
-	e.gen++
 	e.clearPending = false
 }
 

@@ -5,6 +5,7 @@ import (
 
 	"pushmulticast/internal/sim"
 	"pushmulticast/internal/stats"
+	"pushmulticast/internal/trace"
 )
 
 // Endpoint is anything attached to a tile's network interface (an L2
@@ -61,6 +62,10 @@ type NI struct {
 	// keeps replicas recycling back to the pools they came from.
 	pktPool     []*Packet
 	payloadPool []RefPayload
+	// tr is this NI's trace shard (nil when tracing is off). All writes to
+	// it happen on the tile's lane: Inject runs from the tile's endpoints,
+	// deliver from the NI's own tick.
+	tr *trace.Shard
 }
 
 // CanInject reports whether the unit's vnet queue has room for another
@@ -85,6 +90,8 @@ func (ni *NI) Inject(pkt *Packet, now sim.Cycle) {
 	pkt.ID = uint64(ni.node)<<32 | ni.seq
 	pkt.InjectedAt = now
 	pkt.Src = ni.node
+	ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KInject, Node: int32(ni.node),
+		Addr: pkt.Addr, ID: pkt.ID, Aux: uint64(pkt.Dests), A: int32(pkt.DstUnit), B: pktFlags(pkt)})
 	ni.queues[pkt.SrcUnit][pkt.VNet] = append(ni.queues[pkt.SrcUnit][pkt.VNet], pkt)
 	ni.queued++
 	ni.h.Wake()
@@ -183,6 +190,8 @@ func (ni *NI) deliver(now sim.Cycle) {
 		st.PacketLatencySum += uint64(now - d.pkt.InjectedAt)
 		st.PacketCount++
 		ni.net.eng.Progress()
+		ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KDeliver, Node: int32(ni.node),
+			Addr: d.pkt.Addr, ID: d.pkt.ID, Aux: uint64(d.pkt.Dests), A: int32(d.pkt.DstUnit), B: pktFlags(d.pkt)})
 		ep.Receive(d.pkt, now)
 	}
 	ni.delivery = kept

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"pushmulticast/internal/sim"
+	"pushmulticast/internal/trace"
 )
 
 // inputVC is one virtual-channel buffer at a router input port. Virtual
@@ -105,6 +106,9 @@ type Router struct {
 	// Route computation reduces to one AND per port against the packet's
 	// destination set.
 	dmask [2][NumPorts]DestSet
+	// tr is this router's trace shard (nil when tracing is off); routers
+	// tick serially, so all writes to it are single-threaded.
+	tr *trace.Shard
 }
 
 func newRouter(id NodeID, net *Network) *Router {
@@ -355,6 +359,8 @@ func (r *Router) stage1(now sim.Cycle) {
 			r.filters.lookup(vc.port, vc.pkt.Addr, vc.pkt.Requester, now) {
 			r.net.st.Net.FilteredRequests++
 			r.net.eng.Progress()
+			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterHit, Node: int32(r.id),
+				Addr: vc.pkt.Addr, ID: vc.pkt.ID, A: int32(vc.pkt.Requester), B: int32(vc.port)})
 			r.release(vc)
 			continue
 		}
@@ -407,6 +413,8 @@ func (r *Router) route(vc *inputVC, port, vcIdx int, now sim.Cycle) {
 			}
 			// Filter Registration.
 			r.filters.register(o, port, dataVC, pkt.Addr, out[o])
+			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterReg, Node: int32(r.id),
+				Addr: pkt.Addr, ID: pkt.ID, Aux: uint64(out[o]), A: int32(o), B: int32(port)})
 			// Stationary Filtering: prune matched read requests already
 			// buffered (or arriving) at the input port facing the push's
 			// output direction; they travel the reverse path and their
@@ -433,6 +441,8 @@ func (r *Router) stationaryFilter(port int, addr uint64, dests DestSet, now sim.
 		if vc.pkt.Addr == addr && dests.Has(vc.pkt.Requester) {
 			r.net.st.Net.FilteredRequests++
 			r.net.eng.Progress()
+			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterStationary, Node: int32(r.id),
+				Addr: addr, ID: vc.pkt.ID, A: int32(vc.pkt.Requester), B: int32(port)})
 			r.release(vc)
 		}
 	}
@@ -625,6 +635,8 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 	if pkt.IsPush && r.filters != nil {
 		dataVC := s.vcIdx - VNetData*r.net.cfg.VCsPerVNet
 		r.filters.scheduleClear(s.outPort, s.inPort, dataVC, now+2)
+		r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterClear, Node: int32(r.id),
+			Addr: pkt.Addr, ID: pkt.ID, A: int32(s.outPort), B: int32(s.inPort)})
 	}
 	if s.vc.pendingPorts == 0 {
 		r.release(s.vc)

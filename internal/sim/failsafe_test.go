@@ -1,0 +1,80 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// futureSleeper reschedules itself to one fixed future cycle on every tick
+// — the shape of a component that keeps scheduling wakes without the
+// simulation ever finishing.
+type futureSleeper struct {
+	h  *Handle
+	at Cycle
+}
+
+func (s *futureSleeper) Tick(now Cycle) { s.h.SleepUntil(s.at) }
+
+// idler sleeps unconditionally.
+type idler struct{ h *Handle }
+
+func (s *idler) Tick(now Cycle) { s.h.Sleep() }
+
+// TestFailsafeCeilingWhenLimitsDisabled: NewEngine(0, 0) disables both the
+// watchdog and the explicit cycle limit; without the failsafe, Run on a
+// system that keeps scheduling wakes but never finishes would fast-forward
+// wake to wake forever. The engine must instead apply FailsafeMaxCycles
+// and fail with ErrMaxCycles.
+func TestFailsafeCeilingWhenLimitsDisabled(t *testing.T) {
+	eng := NewEngine(0, 0)
+	s := &futureSleeper{at: FailsafeMaxCycles + 5}
+	s.h = eng.Register(s)
+	end, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("Run = (%d, %v), want ErrMaxCycles", end, err)
+	}
+	if end < FailsafeMaxCycles {
+		t.Fatalf("run ended at cycle %d, before the failsafe ceiling %d", end, FailsafeMaxCycles)
+	}
+}
+
+// TestFailsafeBoundsFullyIdleRun: with both limits disabled and every
+// component asleep with no scheduled wake, fast-forward has no wake to
+// jump to; the failsafe ceiling must still bound the run instead of
+// reporting an unrecoverable spin.
+func TestFailsafeBoundsFullyIdleRun(t *testing.T) {
+	eng := NewEngine(0, 0)
+	s := &idler{}
+	s.h = eng.Register(s)
+	_, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("Run error = %v, want ErrMaxCycles", err)
+	}
+}
+
+// TestExplicitLimitsNotOverridden: the failsafe applies only when *both*
+// limits are disabled. An explicit cycle limit fires at its own value, and
+// a watchdog alone still detects the no-progress spin.
+func TestExplicitLimitsNotOverridden(t *testing.T) {
+	eng := NewEngine(0, 1000)
+	s := &futureSleeper{at: 5000}
+	s.h = eng.Register(s)
+	end, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Fatalf("Run error = %v, want ErrMaxCycles", err)
+	}
+	if end > 1001 {
+		t.Fatalf("explicit limit 1000 overridden: run ended at %d", end)
+	}
+
+	eng = NewEngine(50, 0)
+	s2 := &futureSleeper{at: 1 << 30}
+	s2.h = eng.Register(s2)
+	end, err = eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrDeadlock) {
+		t.Fatalf("watchdog-only run error = %v, want ErrDeadlock", err)
+	}
+	if end > 200 {
+		t.Fatalf("watchdog 50 fired at cycle %d, far beyond its window", end)
+	}
+}

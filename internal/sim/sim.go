@@ -239,10 +239,22 @@ type Engine struct {
 	onCycleEnd func(now Cycle)
 }
 
+// FailsafeMaxCycles is the hard cycle ceiling enforced when both the
+// watchdog and the explicit cycle limit are disabled. It is far beyond any
+// plausible simulation length; its only purpose is to guarantee Run
+// terminates.
+const FailsafeMaxCycles = Cycle(1) << 40
+
 // NewEngine returns a wake-driven engine with the given watchdog window and
 // cycle limit. A watchdog of 0 disables deadlock detection; a maxCycles of 0
-// means no cycle limit.
+// means no explicit cycle limit. Disabling both would let Run spin forever
+// on a system that keeps scheduling wakes without ever finishing, so in
+// that case the engine applies FailsafeMaxCycles as a hard ceiling; a run
+// reaching it fails with ErrMaxCycles.
 func NewEngine(watchdog, maxCycles Cycle) *Engine {
+	if watchdog == 0 && maxCycles == 0 {
+		maxCycles = FailsafeMaxCycles
+	}
 	return &Engine{watchdog: watchdog, maxCycles: maxCycles}
 }
 

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// TestGapReservoirShardedDeterminism fuzzes the parallel executor's gap
+// deferral protocol against the serial path: per-lane shards defer their
+// observations each "cycle" and drain into the primary bundle in lane
+// order — exactly what core does via SetOnCycleEnd. Reservoir sampling is
+// order-sensitive (each Observe advances the LCG), so the sharded replay
+// must reconstruct the serial observation order exactly; any divergence in
+// Samples or Seen means parallel runs would report different Fig 4
+// quantiles than serial ones.
+func TestGapReservoirShardedDeterminism(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const lanes = 4
+	const cycles = 4000
+	serial := New()
+	primary := New()
+	shards := make([]*All, lanes)
+	for i := range shards {
+		shards[i] = New()
+		shards[i].DeferGaps = true
+	}
+	for cycle := 0; cycle < cycles; cycle++ {
+		// Within a cycle, lane order is the serial tick order; the serial
+		// reference observes in that same (cycle, lane, emission) order.
+		for lane := 0; lane < lanes; lane++ {
+			for j := rng.Intn(3); j > 0; j-- {
+				key := rng.Intn(3)
+				gap := rng.Uint64() % 1000
+				serial.ObserveGap(key, gap)
+				shards[lane].ObserveGap(key, gap)
+			}
+		}
+		for _, sh := range shards {
+			sh.DrainGapsInto(primary)
+			if len(sh.GapLog) != 0 {
+				t.Fatal("drain left observations behind")
+			}
+		}
+	}
+	if len(primary.SharerGaps) != len(serial.SharerGaps) {
+		t.Fatalf("key sets differ: sharded %d, serial %d", len(primary.SharerGaps), len(serial.SharerGaps))
+	}
+	for k, want := range serial.SharerGaps {
+		got := primary.SharerGaps[k]
+		if got == nil {
+			t.Fatalf("key %d missing from sharded bundle", k)
+		}
+		if got.Seen != want.Seen {
+			t.Fatalf("key %d: Seen=%d sharded vs %d serial", k, got.Seen, want.Seen)
+		}
+		if want.Seen <= GapReservoirCap {
+			t.Fatalf("key %d saw only %d observations; raise the load to exercise Algorithm R", k, want.Seen)
+		}
+		if !reflect.DeepEqual(got.Samples, want.Samples) {
+			t.Fatalf("key %d: reservoir contents diverged between sharded and serial observation", k)
+		}
+	}
+}

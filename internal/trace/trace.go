@@ -1,0 +1,253 @@
+// Package trace provides a bounded, structured event trace for the
+// simulator: components emit fixed-size events into per-component shards,
+// and a single drain point (the invariant-checker monitor) flattens the
+// shards into a bounded ring buffer plus a running hash of the full event
+// history.
+//
+// The design has two consumers:
+//
+//   - Debugging: on a checker violation, watchdog deadlock, or panic, the
+//     last N events are dumped, turning "cycle 21262 differs" into a
+//     replayable causal history.
+//   - Equivalence: the running hash covers *every* event ever emitted, in a
+//     deterministic order, so comparing (hash, count) across the serial,
+//     dense, and parallel kernels compares full causal histories rather
+//     than end-state counters.
+//
+// Determinism contract: each shard is written by exactly one component
+// (one lane), shards are drained in creation order, and the monitor that
+// drains them is woken on every emission and registered last — so it runs
+// after all emitters within the same cycle, in every kernel mode. The
+// flattened order is therefore (cycle, shard creation order, intra-shard
+// program order), identical across serial, dense, and parallel runs.
+package trace
+
+import (
+	"fmt"
+	"io"
+
+	"pushmulticast/internal/sim"
+)
+
+// Kind identifies the type of a traced event.
+type Kind uint8
+
+// Event kinds. The A/B/Aux fields are kind-specific; see the comments.
+const (
+	// KInject: packet injected at an NI. Node = source tile, A = dest unit,
+	// B = flag bits, Aux = destination set.
+	KInject Kind = iota
+	// KDeliver: packet delivered by an NI to its local endpoint. Node =
+	// delivering tile, A = dest unit, B = flag bits, Aux = destination set
+	// at injection.
+	KDeliver
+	// KFilterReg: filter entry registered at a router for a passing request.
+	// Node = router, A = output port, B = input port.
+	KFilterReg
+	// KFilterClear: lazy de-registration scheduled after a push tail flit.
+	// Node = router, A = output port, B = input port.
+	KFilterClear
+	// KFilterHit: in-flight request squashed by a router filter entry.
+	// Node = router, A = requester tile.
+	KFilterHit
+	// KFilterStationary: request squashed by the stationary (local-port)
+	// filter. Node = router, A = requester tile.
+	KFilterStationary
+	// KFilterHome: request pruned at the home LLC slice because a covering
+	// push is queued or in flight. Node = home tile, A = requester tile.
+	KFilterHome
+	// KPushTrigger: home LLC slice triggered a push. Node = home tile,
+	// A = requester tile (or -1), Aux = destination set.
+	KPushTrigger
+	// KMemRead: memory controller performed a line read. Node = controller
+	// tile, A = requester tile.
+	KMemRead
+	// KMemWrite: memory controller performed a line writeback. Node =
+	// controller tile, A = requester tile.
+	KMemWrite
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{
+	KInject:          "inject",
+	KDeliver:         "deliver",
+	KFilterReg:       "filter-reg",
+	KFilterClear:     "filter-clear",
+	KFilterHit:       "filter-hit",
+	KFilterStationary: "filter-stationary",
+	KFilterHome:      "filter-home",
+	KPushTrigger:     "push-trigger",
+	KMemRead:         "mem-read",
+	KMemWrite:        "mem-write",
+}
+
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Flag bits packed into Event.B for KInject/KDeliver.
+const (
+	FlagPush       = 1 << iota // packet carries speculative push data
+	FlagInv                    // packet is an invalidation
+	FlagFilterable             // packet is a filterable request (GetS)
+)
+
+// Event is one fixed-size trace record.
+type Event struct {
+	Cycle uint64 // commit cycle of the emission
+	Addr  uint64 // line address, when meaningful
+	ID    uint64 // packet ID (shared by multicast replicas), when meaningful
+	Aux   uint64 // kind-specific (destination sets)
+	Kind  Kind
+	Node  int32 // emitting component's tile / router node
+	A     int32 // kind-specific
+	B     int32 // kind-specific
+}
+
+// String renders the event for trace dumps.
+func (e Event) String() string {
+	return fmt.Sprintf("cycle=%-8d %-17s node=%-3d addr=%#x a=%d b=%d id=%#x aux=%#x",
+		e.Cycle, e.Kind, e.Node, e.Addr, e.A, e.B, e.ID, e.Aux)
+}
+
+// Shard is a single-writer event buffer. Each traced component owns one
+// shard and appends to it only from its own lane, so no emission ever
+// races another. A nil *Shard is valid and makes Emit a no-op — tracing
+// is disabled by simply not installing shards.
+type Shard struct {
+	tr  *Tracer
+	buf []Event
+}
+
+// Emit records one event and wakes the drain monitor so the event is
+// folded into the global history this same cycle.
+func (s *Shard) Emit(e Event) {
+	if s == nil {
+		return
+	}
+	s.buf = append(s.buf, e)
+	s.tr.wakeMonitor()
+}
+
+// Tracer owns the shards, the bounded ring of recent events, and the
+// running history hash.
+type Tracer struct {
+	shards []*Shard
+	h      *sim.Handle // drain monitor's handle; woken on every emission
+	ring   []Event
+	next   int // ring write position
+	count  uint64
+	hash   uint64
+}
+
+// New returns a tracer retaining the last ringN events. ringN <= 0 keeps
+// no ring (hash and count still accumulate).
+func New(ringN int) *Tracer {
+	t := &Tracer{hash: fnvOffset}
+	if ringN > 0 {
+		t.ring = make([]Event, 0, ringN)
+	}
+	return t
+}
+
+// NewShard allocates a new single-writer shard. Creation order is the
+// drain order, so callers must create shards in a deterministic order.
+func (t *Tracer) NewShard() *Shard {
+	s := &Shard{tr: t}
+	t.shards = append(t.shards, s)
+	return s
+}
+
+// SetHandle installs the drain monitor's scheduler handle; every Emit
+// wakes it.
+func (t *Tracer) SetHandle(h *sim.Handle) { t.h = h }
+
+func (t *Tracer) wakeMonitor() {
+	if t.h != nil {
+		t.h.Wake()
+	}
+}
+
+// Drain flattens all shard buffers in creation order into the ring and
+// running hash, invoking fn (when non-nil) on each event. Shard buffers
+// keep their capacity.
+func (t *Tracer) Drain(fn func(Event)) {
+	for _, s := range t.shards {
+		for i := range s.buf {
+			e := s.buf[i]
+			t.record(e)
+			if fn != nil {
+				fn(e)
+			}
+		}
+		s.buf = s.buf[:0]
+	}
+}
+
+// FNV-1a 64-bit.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func (t *Tracer) mix(x uint64) {
+	h := t.hash
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime
+		x >>= 8
+	}
+	t.hash = h
+}
+
+func (t *Tracer) record(e Event) {
+	t.count++
+	t.mix(e.Cycle)
+	t.mix(e.Addr)
+	t.mix(e.ID)
+	t.mix(e.Aux)
+	t.mix(uint64(e.Kind)<<32 | uint64(uint32(e.Node)))
+	t.mix(uint64(uint32(e.A))<<32 | uint64(uint32(e.B)))
+	if cap(t.ring) == 0 {
+		return
+	}
+	if len(t.ring) < cap(t.ring) {
+		t.ring = append(t.ring, e)
+		return
+	}
+	t.ring[t.next] = e
+	t.next = (t.next + 1) % len(t.ring)
+}
+
+// Hash returns the running FNV-1a hash of every event drained so far.
+func (t *Tracer) Hash() uint64 { return t.hash }
+
+// Events returns the number of events drained so far.
+func (t *Tracer) Events() uint64 { return t.count }
+
+// Tail returns the retained events, oldest first.
+func (t *Tracer) Tail() []Event {
+	if len(t.ring) < cap(t.ring) {
+		out := make([]Event, len(t.ring))
+		copy(out, t.ring)
+		return out
+	}
+	out := make([]Event, 0, len(t.ring))
+	out = append(out, t.ring[t.next:]...)
+	out = append(out, t.ring[:t.next]...)
+	return out
+}
+
+// Dump writes the retained tail, oldest first, to w.
+func (t *Tracer) Dump(w io.Writer) {
+	tail := t.Tail()
+	fmt.Fprintf(w, "--- event trace tail: last %d of %d events ---\n", len(tail), t.count)
+	for _, e := range tail {
+		fmt.Fprintln(w, e.String())
+	}
+	fmt.Fprintf(w, "--- end trace (history hash %#x) ---\n", t.hash)
+}

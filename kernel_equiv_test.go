@@ -23,7 +23,20 @@ func withParallel(cfg Config, workers int) Config {
 	return cfg
 }
 
-// checkIdentical asserts two runs produced byte-identical results.
+// withCheck enables the invariant checker and the event trace. Beyond
+// validating protocol invariants on every run, this upgrades the
+// equivalence oracle: Results carries the hash and count of the full event
+// history, so the cross-kernel comparison covers every injection,
+// delivery, filter action, push trigger, and memory access in order — not
+// just end-state counters.
+func withCheck(cfg Config) Config {
+	cfg.Check = true
+	cfg.TraceN = 64
+	return cfg
+}
+
+// checkIdentical asserts two runs produced byte-identical results, down to
+// their full causal event histories.
 func checkIdentical(t *testing.T, aName, bName string, a, b Results) {
 	t.Helper()
 	if a.Cycles != b.Cycles {
@@ -31,6 +44,10 @@ func checkIdentical(t *testing.T, aName, bName string, a, b Results) {
 	}
 	if !reflect.DeepEqual(a.Stats, b.Stats) {
 		t.Errorf("stats diverged:\n%s: %+v\n%s:  %+v", aName, a.Stats, bName, b.Stats)
+	}
+	if a.TraceHash != b.TraceHash || a.TraceEvents != b.TraceEvents {
+		t.Errorf("event histories diverged: %s=(hash %#x, %d events) %s=(hash %#x, %d events)",
+			aName, a.TraceHash, a.TraceEvents, bName, b.TraceHash, b.TraceEvents)
 	}
 }
 
@@ -58,18 +75,18 @@ func TestSparseDenseEquivalence(t *testing.T) {
 				wg.Add(3)
 				go func() {
 					defer wg.Done()
-					cfg := ScaledConfig(Default16()).WithScheme(sch)
+					cfg := withCheck(ScaledConfig(Default16()).WithScheme(sch))
 					sparse, sErr = RunWorkload(cfg, wl, ScaleTiny)
 				}()
 				go func() {
 					defer wg.Done()
-					cfg := ScaledConfig(Default16()).WithScheme(sch)
+					cfg := withCheck(ScaledConfig(Default16()).WithScheme(sch))
 					cfg.DenseKernel = true
 					dense, dErr = RunWorkload(cfg, wl, ScaleTiny)
 				}()
 				go func() {
 					defer wg.Done()
-					cfg := withParallel(ScaledConfig(Default16()).WithScheme(sch), 4)
+					cfg := withCheck(withParallel(ScaledConfig(Default16()).WithScheme(sch), 4))
 					par, pErr = RunWorkload(cfg, wl, ScaleTiny)
 				}()
 				wg.Wait()
@@ -103,11 +120,11 @@ func TestParallelEquivalence(t *testing.T) {
 					if cores == 64 {
 						base = Default64()
 					}
-					serial, err := Run(ScaledConfig(base).WithScheme(sch), wlName, ScaleTiny)
+					serial, err := Run(withCheck(ScaledConfig(base).WithScheme(sch)), wlName, ScaleTiny)
 					if err != nil {
 						t.Fatal(err)
 					}
-					par, err := Run(withParallel(ScaledConfig(base).WithScheme(sch), 4), wlName, ScaleTiny)
+					par, err := Run(withCheck(withParallel(ScaledConfig(base).WithScheme(sch), 4)), wlName, ScaleTiny)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -126,7 +143,7 @@ func TestParallelDeterminism(t *testing.T) {
 		sch := sch
 		t.Run(sch.Name, func(t *testing.T) {
 			t.Parallel()
-			cfg := withParallel(ScaledConfig(Default16()).WithScheme(sch), 4)
+			cfg := withCheck(withParallel(ScaledConfig(Default16()).WithScheme(sch), 4))
 			a, err := Run(cfg, "cachebw", ScaleTiny)
 			if err != nil {
 				t.Fatal(err)
@@ -148,7 +165,7 @@ func TestKernelDeterminism(t *testing.T) {
 		sch := sch
 		t.Run(sch.Name, func(t *testing.T) {
 			t.Parallel()
-			cfg := ScaledConfig(Default16()).WithScheme(sch)
+			cfg := withCheck(ScaledConfig(Default16()).WithScheme(sch))
 			a, err := Run(cfg, "cachebw", ScaleTiny)
 			if err != nil {
 				t.Fatal(err)

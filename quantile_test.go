@@ -1,0 +1,52 @@
+package pushmulticast
+
+import (
+	"math"
+	"testing"
+)
+
+// TestQuantileEdgeCases pins down the interpolating quantile helper on the
+// degenerate inputs figure code can feed it: empty and single-sample sets,
+// the exact endpoints, out-of-range q, and NaN (a 0/0 ratio upstream).
+func TestQuantileEdgeCases(t *testing.T) {
+	tests := []struct {
+		name   string
+		sorted []uint64
+		q      float64
+		want   uint64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty q=0", nil, 0, 0},
+		{"single q=0", []uint64{42}, 0, 42},
+		{"single q=0.5", []uint64{42}, 0.5, 42},
+		{"single q=1", []uint64{42}, 1, 42},
+		{"q=0 picks min", []uint64{10, 20, 30}, 0, 10},
+		{"q=1 picks max", []uint64{10, 20, 30}, 1, 30},
+		{"q below range clamps", []uint64{10, 20, 30}, -0.5, 10},
+		{"q above range clamps", []uint64{10, 20, 30}, 1.5, 30},
+		{"NaN clamps to min", []uint64{10, 20, 30}, math.NaN(), 10},
+		{"median of odd set", []uint64{10, 20, 30}, 0.5, 20},
+		{"median interpolates", []uint64{10, 20}, 0.5, 15},
+		{"interpolation rounds", []uint64{0, 10}, 0.25, 3}, // 2.5 rounds up
+		{"p99 on small set", []uint64{1, 2, 3, 100}, 0.99, 97},
+	}
+	for _, tc := range tests {
+		if got := quantile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: quantile(%v, %v) = %d, want %d", tc.name, tc.sorted, tc.q, got, tc.want)
+		}
+	}
+}
+
+// TestQuantileMonotone asserts the estimator is monotone in q — a property
+// interpolation must preserve and clamping must not break.
+func TestQuantileMonotone(t *testing.T) {
+	sorted := []uint64{3, 7, 7, 11, 20, 41, 100, 250}
+	prev := uint64(0)
+	for q := -0.1; q <= 1.1; q += 0.01 {
+		v := quantile(sorted, q)
+		if v < prev {
+			t.Fatalf("quantile not monotone: q=%.2f gave %d after %d", q, v, prev)
+		}
+		prev = v
+	}
+}
