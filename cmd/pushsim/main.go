@@ -30,6 +30,8 @@ func main() {
 		parallel = flag.Int("parallel", 0, "parallel tick executor worker count (0 or 1 = serial kernel; results are byte-identical either way)")
 		chk      = flag.Bool("check", false, "enable the runtime invariant checker (coherence, directory superset, inclusion, filter soundness, OrdPush ordering, VC conservation); violations abort with a trace dump")
 		traceN   = flag.Int("trace", 0, "retain the last N trace events and dump them on a checker violation, deadlock, or panic (0 = off unless -check, which keeps a default tail)")
+		faults   = flag.Float64("faults", 0, "fault-injection intensity in [0,1]: generates a deterministic fault plan (link stalls, router slowdowns, VC jitter, injection spikes, filter drops); 0 = off")
+		faultSee = flag.Uint64("faultseed", 1, "seed for the generated fault plan (same seed + intensity = byte-identical fault schedule)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,10 @@ func main() {
 	cfg.ParallelWorkers = *parallel
 	cfg.Check = *chk
 	cfg.TraceN = *traceN
+	if *faults > 0 {
+		plan := pushmulticast.GenerateFaultPlan(cfg.Tiles(), *faultSee, *faults)
+		cfg.Faults = &plan
+	}
 	sc, err := parseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
@@ -92,6 +98,11 @@ type jsonResult struct {
 	// unchanged). Two runs with equal values produced identical histories.
 	TraceHash   string `json:"trace_hash,omitempty"`
 	TraceEvents uint64 `json:"trace_events,omitempty"`
+	// Fault-injection counters (omitted when -faults is off).
+	FaultWindows    uint64 `json:"fault_windows,omitempty"`
+	FaultJitter     uint64 `json:"fault_jitter_delay,omitempty"`
+	FaultFilterSupp uint64 `json:"fault_filter_suppressed,omitempty"`
+	InjRefused      uint64 `json:"inj_refused,omitempty"`
 }
 
 func reportJSON(res pushmulticast.Results) error {
@@ -120,6 +131,10 @@ func reportJSON(res pushmulticast.Results) error {
 		out.TraceHash = fmt.Sprintf("%#x", res.TraceHash)
 		out.TraceEvents = res.TraceEvents
 	}
+	out.FaultWindows = st.Net.FaultWindows
+	out.FaultJitter = st.Net.FaultJitterDelay
+	out.FaultFilterSupp = st.Net.FaultFilterSuppressed
+	out.InjRefused = st.Net.InjRefused
 	for c := stats.Class(0); c < stats.NumClasses; c++ {
 		if v := st.Net.TotalFlitsByClass[c]; v > 0 {
 			out.FlitsByClass[c.String()] = v
@@ -220,5 +235,9 @@ func report(res pushmulticast.Results) {
 	}
 	if res.TraceEvents > 0 {
 		fmt.Printf("event history   %d events, hash %#x\n", res.TraceEvents, res.TraceHash)
+	}
+	if st.Net.FaultWindows > 0 {
+		fmt.Printf("fault windows   %d (jitter delay %d cyc, filter hits suppressed %d, injections refused %d)\n",
+			st.Net.FaultWindows, st.Net.FaultJitterDelay, st.Net.FaultFilterSuppressed, st.Net.InjRefused)
 	}
 }

@@ -54,14 +54,21 @@ func Fig20(o ExpOptions) (*Fig20Result, error) {
 		base := res[runKey{Baseline().Name, wl.Name}]
 		row := Fig20Row{Workload: wl.Name, Speedup: map[string]float64{}}
 		for _, s := range ablationStages() {
-			sp := speedup(base, res[runKey{s.Name, wl.Name}])
+			sp, err := speedup(base, res[runKey{s.Name, wl.Name}])
+			if err != nil {
+				return nil, err
+			}
 			row.Speedup[s.Name] = sp
 			per[s.Name] = append(per[s.Name], sp)
 		}
 		out.Rows = append(out.Rows, row)
 	}
 	for name, sps := range per {
-		out.Geomean[name] = geomean(sps)
+		gm, err := geomean(sps)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out.Geomean[name] = gm
 	}
 	return out, nil
 }

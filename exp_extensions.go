@@ -49,11 +49,15 @@ func ExtInterplay(o ExpOptions) (*InterplayResult, error) {
 	out := &InterplayResult{}
 	for _, wl := range wls {
 		base := res[runKey{Baseline().Name, wl.Name}]
-		out.Rows = append(out.Rows, InterplayRow{
-			Workload: wl.Name,
-			OrdPush:  speedup(base, res[runKey{OrdPush().Name, wl.Name}]),
-			Combined: speedup(base, res[runKey{PushPrefetch().Name, wl.Name}]),
-		})
+		ord, err := speedup(base, res[runKey{OrdPush().Name, wl.Name}])
+		if err != nil {
+			return nil, err
+		}
+		comb, err := speedup(base, res[runKey{PushPrefetch().Name, wl.Name}])
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, InterplayRow{Workload: wl.Name, OrdPush: ord, Combined: comb})
 	}
 	return out, nil
 }
@@ -102,11 +106,23 @@ func ExtFutureDirections(o ExpOptions) (*FutureResult, error) {
 		base := res[runKey{Baseline().Name, wl.Name}]
 		pr := res[runKey{PredictivePush().Name, wl.Name}]
 		ord := res[runKey{OrdPush().Name, wl.Name}]
+		spOrd, err := speedup(base, ord)
+		if err != nil {
+			return nil, err
+		}
+		spPr, err := speedup(base, pr)
+		if err != nil {
+			return nil, err
+		}
+		spDeep, err := speedup(base, res[runKey{DeepPush().Name, wl.Name}])
+		if err != nil {
+			return nil, err
+		}
 		out.Rows = append(out.Rows, FutureRow{
 			Workload:        wl.Name,
-			OrdPush:         speedup(base, ord),
-			Predict:         speedup(base, pr),
-			DeepL1:          speedup(base, res[runKey{DeepPush().Name, wl.Name}]),
+			OrdPush:         spOrd,
+			Predict:         spPr,
+			DeepL1:          spDeep,
 			PredictorPushes: pr.Stats.Cache.PushesTriggered - ord.Stats.Cache.PushesTriggered,
 		})
 	}

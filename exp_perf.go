@@ -69,7 +69,10 @@ func Fig11(o ExpOptions) (*Fig11Result, error) {
 		}
 		for _, s := range perfSchemes() {
 			r := res[runKey{s.Name, wl.Name}]
-			sp := speedup(base, r)
+			sp, err := speedup(base, r)
+			if err != nil {
+				return nil, err
+			}
 			row.Speedup[s.Name] = sp
 			row.L2MPKI[s.Name] = r.L2MPKI()
 			per[s.Name] = append(per[s.Name], sp)
@@ -77,7 +80,11 @@ func Fig11(o ExpOptions) (*Fig11Result, error) {
 		out.Rows = append(out.Rows, row)
 	}
 	for name, sps := range per {
-		out.Geomean[name] = geomean(sps)
+		gm, err := geomean(sps)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out.Geomean[name] = gm
 		max := 0.0
 		for _, v := range sps {
 			if v > max {

@@ -74,7 +74,11 @@ func fig17(o ExpOptions, axis string, sweep []int, apply func(Config, int) Confi
 		for _, wl := range wls {
 			b := base[runKey{Baseline().Name, wl.Name}]
 			r := res[runKey{OrdPush().Name, wl.Name}]
-			out.Rows = append(out.Rows, Fig17Row{Workload: wl.Name, Param: v, Speedup: speedup(b, r)})
+			sp, err := speedup(b, r)
+			if err != nil {
+				return nil, err
+			}
+			out.Rows = append(out.Rows, Fig17Row{Workload: wl.Name, Param: v, Speedup: sp})
 		}
 	}
 	return out, nil
@@ -124,8 +128,12 @@ func Fig18(o ExpOptions) (*Fig18Result, error) {
 			for _, wl := range wls {
 				b := res[runKey{Baseline().Name, wl.Name}]
 				r := res[runKey{s.Name, wl.Name}]
+				sp, err := speedup(b, r)
+				if err != nil {
+					return nil, err
+				}
 				out.Rows = append(out.Rows, Fig18Row{
-					Scheme: s.Name, Workload: wl.Name, LinkBits: width, Speedup: speedup(b, r),
+					Scheme: s.Name, Workload: wl.Name, LinkBits: width, Speedup: sp,
 				})
 			}
 		}
@@ -205,8 +213,12 @@ func Fig19(o ExpOptions) (*Fig19Result, error) {
 			for _, wl := range wls {
 				b := res[runKey{Baseline().Name, wl.Name}]
 				r := res[runKey{s.Name, wl.Name}]
+				sp, err := speedup(b, r)
+				if err != nil {
+					return nil, err
+				}
 				out.Rows = append(out.Rows, Fig19Row{
-					Scheme: s.Name, Workload: wl.Name, CacheCfg: pt.name, Speedup: speedup(b, r),
+					Scheme: s.Name, Workload: wl.Name, CacheCfg: pt.name, Speedup: sp,
 				})
 			}
 		}

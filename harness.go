@@ -34,6 +34,9 @@ type ExpOptions struct {
 	// the campaign (tier-1 tests and short campaigns; leave off for
 	// benchmarking — the checker adds per-cycle work).
 	Check bool
+	// Faults, when non-nil, enables the deterministic fault-injection layer
+	// on every simulation in the campaign (see FaultPlan).
+	Faults *FaultPlan
 }
 
 func (o ExpOptions) withDefaults() ExpOptions {
@@ -67,6 +70,7 @@ func (o ExpOptions) baseConfig() Config {
 	}
 	cfg.ParallelWorkers = o.SimWorkers
 	cfg.Check = o.Check
+	cfg.Faults = o.Faults
 	return cfg
 }
 
@@ -97,18 +101,45 @@ type runKey struct {
 // share identical baseline runs, and the kernel's determinism guarantees a
 // cached Results is indistinguishable from a fresh one. Entries are shared
 // read-only — Results.Stats points at one bundle, and figure code must not
-// mutate it. Two goroutines racing on the same key may both simulate; the
-// duplicate write is harmless because both produce identical results.
+// mutate it. Each key is simulated exactly once: a goroutine arriving while
+// the run is in flight waits on the entry instead of duplicating the work.
 var runMemo struct {
 	sync.Mutex
-	m map[string]Results
+	m map[memoKey]*memoEntry
 }
 
-func memoKey(cfg Config, wl Workload, sc Scale) string {
-	return fmt.Sprintf("%+v|%s|%d", cfg, wl.Name, sc)
+// memoKey identifies a run. The fields are kept separate (instead of one
+// joined string) so no formatting artifact can alias two different runs —
+// notably, workload and scale stay distinct from the config text. The
+// fault-plan pointer is dereferenced into the key: formatting the pointer
+// itself would make the key an unstable address and alias all plans.
+type memoKey struct {
+	cfg      string
+	faults   string
+	workload string
+	scale    Scale
 }
 
-// ClearRunMemo empties the campaign-level run memo (tests).
+func newMemoKey(cfg Config, wl Workload, sc Scale) memoKey {
+	faults := ""
+	if cfg.Faults != nil {
+		faults = fmt.Sprintf("%+v", *cfg.Faults)
+	}
+	cfg.Faults = nil
+	return memoKey{cfg: fmt.Sprintf("%+v", cfg), faults: faults, workload: wl.Name, scale: sc}
+}
+
+// memoEntry is one in-flight or completed run; done closes when res/err are
+// final.
+type memoEntry struct {
+	done chan struct{}
+	res  Results
+	err  error
+}
+
+// ClearRunMemo empties the campaign-level run memo (tests). In-flight runs
+// complete normally and release their waiters; their entries are simply no
+// longer found by later lookups.
 func ClearRunMemo() {
 	runMemo.Lock()
 	runMemo.m = nil
@@ -116,26 +147,33 @@ func ClearRunMemo() {
 }
 
 // memoizedRun returns the cached Results for an identical earlier run, or
-// simulates and caches. Failed runs are not cached.
+// simulates and caches. Concurrent callers with the same key share one
+// simulation. Failed runs are not cached: the entry is dropped before its
+// waiters are released, so a later retry re-simulates.
 func memoizedRun(cfg Config, wl Workload, sc Scale) (Results, error) {
-	key := memoKey(cfg, wl, sc)
-	runMemo.Lock()
-	res, ok := runMemo.m[key]
-	runMemo.Unlock()
-	if ok {
-		return res, nil
-	}
-	res, err := RunWorkload(cfg, wl, sc)
-	if err != nil {
-		return Results{}, err
-	}
+	key := newMemoKey(cfg, wl, sc)
 	runMemo.Lock()
 	if runMemo.m == nil {
-		runMemo.m = make(map[string]Results)
+		runMemo.m = make(map[memoKey]*memoEntry)
 	}
-	runMemo.m[key] = res
+	if e, ok := runMemo.m[key]; ok {
+		runMemo.Unlock()
+		<-e.done
+		return e.res, e.err
+	}
+	e := &memoEntry{done: make(chan struct{})}
+	runMemo.m[key] = e
 	runMemo.Unlock()
-	return res, nil
+	e.res, e.err = RunWorkload(cfg, wl, sc)
+	if e.err != nil {
+		runMemo.Lock()
+		if runMemo.m[key] == e {
+			delete(runMemo.m, key)
+		}
+		runMemo.Unlock()
+	}
+	close(e.done)
+	return e.res, e.err
 }
 
 // matrix runs every (scheme, workload) pair concurrently, with cfgFor
@@ -218,27 +256,33 @@ func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Wo
 	return results, nil
 }
 
-// speedup returns baseline-cycles / scheme-cycles.
-func speedup(base, scheme Results) float64 {
-	if scheme.Cycles == 0 {
-		return 0
+// speedup returns baseline-cycles / scheme-cycles. A zero cycle count on
+// either side marks a broken run; it is reported as an error instead of
+// silently producing a 0 (or Inf) that would poison campaign geomeans.
+func speedup(base, scheme Results) (float64, error) {
+	if base.Cycles == 0 || scheme.Cycles == 0 {
+		return 0, fmt.Errorf("speedup %s/%s: zero cycle count (base %s=%d, scheme %s=%d)",
+			scheme.Scheme, scheme.Workload, base.Scheme, base.Cycles, scheme.Scheme, scheme.Cycles)
 	}
-	return float64(base.Cycles) / float64(scheme.Cycles)
+	return float64(base.Cycles) / float64(scheme.Cycles), nil
 }
 
-// geomean returns the geometric mean of positive values.
-func geomean(vals []float64) float64 {
+// geomean returns the geometric mean of the values. An empty slice or any
+// non-positive or non-finite value is an error: a single poisoned input
+// (0 from a broken run, NaN/Inf from a bad ratio) would otherwise corrupt
+// the campaign summary silently.
+func geomean(vals []float64) (float64, error) {
 	if len(vals) == 0 {
-		return 0
+		return 0, errors.New("geomean of no values")
 	}
 	sum := 0.0
 	for _, v := range vals {
-		if v <= 0 {
-			return 0
+		if v <= 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			return 0, fmt.Errorf("geomean: non-positive or non-finite input %v in %v", v, vals)
 		}
 		sum += math.Log(v)
 	}
-	return math.Exp(sum / float64(len(vals)))
+	return math.Exp(sum / float64(len(vals))), nil
 }
 
 // quantile returns the q-quantile (0..1) of sorted samples, linearly

@@ -1,0 +1,109 @@
+package pushmulticast
+
+import (
+	"sync"
+	"testing"
+
+	"pushmulticast/internal/workload"
+)
+
+// TestMemoSingleFlight races many goroutines at the same memo key and
+// requires exactly one simulation: every caller must get back the same
+// Results, sharing one Stats bundle by pointer. Run with -race, this is the
+// regression test for the unsynchronized map the memo used to be.
+func TestMemoSingleFlight(t *testing.T) {
+	ClearRunMemo()
+	t.Cleanup(ClearRunMemo)
+	wl, err := workload.ByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScaledConfig(Default16()).WithScheme(OrdPush())
+	const callers = 8
+	results := make([]Results, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			res, err := memoizedRun(cfg, wl, ScaleTiny)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}()
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if results[i].Stats != results[0].Stats {
+			t.Fatalf("caller %d got a distinct Stats bundle: the run was simulated more than once", i)
+		}
+	}
+}
+
+// TestMemoKeyDistinguishesRuns pins the key-collision fixes: scale, workload,
+// and the dereferenced fault plan must all separate entries — and a config
+// differing only in its fault-plan *pointer* must still hit the same entry.
+func TestMemoKeyDistinguishesRuns(t *testing.T) {
+	cfg := ScaledConfig(Default16()).WithScheme(OrdPush())
+	wlA, err := workload.ByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wlB, err := workload.ByName("bfs")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := newMemoKey(cfg, wlA, ScaleTiny)
+	if k := newMemoKey(cfg, wlA, ScaleQuick); k == base {
+		t.Error("scale not part of the memo key")
+	}
+	if k := newMemoKey(cfg, wlB, ScaleTiny); k == base {
+		t.Error("workload not part of the memo key")
+	}
+	planA := FaultPlan{Seed: 1, Faults: []Fault{{Kind: FaultRouterSlow, Node: 0, From: 1, To: 2, Factor: 2}}}
+	planB := FaultPlan{Seed: 2, Faults: planA.Faults}
+	cfgA, cfgB := cfg, cfg
+	cfgA.Faults, cfgB.Faults = &planA, &planB
+	kA := newMemoKey(cfgA, wlA, ScaleTiny)
+	if kB := newMemoKey(cfgB, wlA, ScaleTiny); kA == kB {
+		t.Error("fault plans with different contents share a memo key")
+	}
+	// Same plan contents behind a different pointer must alias (the key holds
+	// the dereferenced plan, not the address).
+	planC := planA
+	cfgC := cfg
+	cfgC.Faults = &planC
+	if kC := newMemoKey(cfgC, wlA, ScaleTiny); kA != kC {
+		t.Error("identical fault plans behind different pointers got distinct keys")
+	}
+}
+
+// TestMemoClearDuringFlight hammers memoizedRun while concurrently clearing
+// the memo: in-flight runs must complete and release their waiters even when
+// their entry vanishes underneath them (exercised under -race in CI).
+func TestMemoClearDuringFlight(t *testing.T) {
+	ClearRunMemo()
+	t.Cleanup(ClearRunMemo)
+	wl, err := workload.ByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ScaledConfig(Default16()).WithScheme(Baseline())
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := memoizedRun(cfg, wl, ScaleTiny); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	for i := 0; i < 10; i++ {
+		ClearRunMemo()
+	}
+	wg.Wait()
+}

@@ -169,12 +169,11 @@ func (o *outbox) drain(now sim.Cycle) {
 			kept = append(kept, p)
 			continue
 		}
-		if blocked[p.VNet] || !o.ni.CanInject(o.unit, p.VNet) {
+		if blocked[p.VNet] || !o.ni.Inject(p, now) {
 			blocked[p.VNet] = true
 			kept = append(kept, p)
 			continue
 		}
-		o.ni.Inject(p, now)
 	}
 	for i := len(kept); i < len(o.pkts); i++ {
 		o.pkts[i] = nil

@@ -130,6 +130,15 @@ func (m *Monitor) fail(cycle uint64, format string, args ...any) {
 	if m.err != nil {
 		return
 	}
+	// Under fault injection the checker stays fully armed — a legal fault
+	// plan must never violate an invariant — but a failure then means the
+	// graceful-degradation contract broke, which is a different bug hunt
+	// than a clean-run violation; annotate so the two are never confused.
+	if m.cfg.Faults != nil && len(m.cfg.Faults.Faults) > 0 {
+		m.err = fmt.Errorf("%w at cycle %d (fault injection active; degradation contract breached): %s",
+			ErrViolation, cycle, fmt.Sprintf(format, args...))
+		return
+	}
 	m.err = fmt.Errorf("%w at cycle %d: %s", ErrViolation, cycle, fmt.Sprintf(format, args...))
 }
 

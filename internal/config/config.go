@@ -7,6 +7,7 @@ package config
 import (
 	"fmt"
 
+	"pushmulticast/internal/fault"
 	"pushmulticast/internal/noc"
 )
 
@@ -254,6 +255,14 @@ type System struct {
 	// deadlock, or panic. 0 disables the trace unless Check is set, which
 	// keeps a default-sized ring so violations always carry context.
 	TraceN int
+
+	// Faults, when non-nil and non-empty, enables the deterministic
+	// fault-injection layer: the plan's seeded schedule of transient NoC
+	// faults is driven against the run, and the graceful-degradation
+	// contract (no panic, no deadlock, no invariant violation — only
+	// elevated latency) is expected to hold. The same plan replays
+	// byte-identically across the serial, dense, and parallel kernels.
+	Faults *fault.Plan
 }
 
 // Tiles returns the tile count.
@@ -286,6 +295,11 @@ func (s System) Validate() error {
 	if s.NoC.Width != s.MeshW || s.NoC.Height != s.MeshH {
 		return fmt.Errorf("config: NoC mesh %dx%d disagrees with system %dx%d",
 			s.NoC.Width, s.NoC.Height, s.MeshW, s.MeshH)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.Validate(s.Tiles()); err != nil {
+			return err
+		}
 	}
 	return s.NoC.Validate()
 }

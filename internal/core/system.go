@@ -14,6 +14,7 @@ import (
 	"pushmulticast/internal/check"
 	"pushmulticast/internal/config"
 	"pushmulticast/internal/cpu"
+	"pushmulticast/internal/fault"
 	"pushmulticast/internal/memctrl"
 	"pushmulticast/internal/noc"
 	"pushmulticast/internal/prefetch"
@@ -58,9 +59,21 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 	if parallel {
 		eng.SetParallel(cfg.ParallelWorkers, cfg.ParallelThreshold)
 	}
+	// The fault injector registers before every other component so its
+	// window-boundary wakes take effect in the same cycle (the engine ticks
+	// mid-step wakes only from earlier-registered components).
+	var inj *fault.Injector
+	if cfg.Faults != nil && len(cfg.Faults.Faults) > 0 {
+		inj = fault.NewInjector(*cfg.Faults, cfg.Tiles(), st)
+		inj.Register(eng)
+	}
 	net, err := noc.New(cfg.NoC, eng, st)
 	if err != nil {
 		return nil, err
+	}
+	if inj != nil {
+		net.SetFaults(inj)
+		inj.SetWaker(func(node int) { net.WakeTile(noc.NodeID(node)) })
 	}
 	s := &System{Cfg: cfg, Eng: eng, Net: net, St: st, Mems: make(map[noc.NodeID]*memctrl.Ctrl)}
 
@@ -257,6 +270,11 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 	}
 	if err != nil {
 		s.DumpTrace()
+		if s.Cfg.Faults != nil && len(s.Cfg.Faults.Faults) > 0 {
+			// An aborted fault run is a graceful-degradation contract breach,
+			// not (only) a protocol bug; say so up front.
+			return Results{}, fmt.Errorf("%s/%s (fault injection active): %w", s.Cfg.Scheme.Name, "run", err)
+		}
 		return Results{}, fmt.Errorf("%s/%s: %w", s.Cfg.Scheme.Name, "run", err)
 	}
 	s.St.Core.Cycles = uint64(end)
@@ -295,6 +313,9 @@ func (s *System) Drain(limit sim.Cycle) error {
 	start := s.Eng.Now()
 	for !s.Quiescent() {
 		if s.Eng.Now()-start > limit {
+			// A drain timeout is a stall diagnosis like a watchdog fire; the
+			// trace tail is the context that makes it debuggable.
+			s.DumpTrace()
 			return fmt.Errorf("system failed to drain within %d cycles", limit)
 		}
 		s.Eng.Step()

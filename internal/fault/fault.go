@@ -1,0 +1,283 @@
+// Package fault implements the deterministic fault-injection layer: a seeded
+// schedule of transient network faults (link stalls, router slowdowns, packet
+// delay jitter, injection-queue pressure spikes, and filter outages) applied
+// to the NoC through narrow hooks, plus the injector component that drives the
+// schedule off the simulation engine's wake heap.
+//
+// Every fault effect is a pure function of (plan, seed, cycle, component
+// identity, packet identity) — never of tick order, goroutine scheduling, or
+// host state — so a fault schedule replays byte-identically across the
+// serial, dense, and parallel kernels: same seed, same trace hash.
+//
+// The graceful-degradation contract: a valid plan may slow the simulated
+// machine down arbitrarily within its windows, but it can never make a run
+// panic, deadlock, or violate a coherence/ordering invariant. Faults only
+// delay or withhold resources transiently; no packet is ever dropped,
+// reordered against the OrdPush guarantees, or duplicated. The invariant
+// checker stays fully enabled under fault injection (the one structural check
+// a frozen router legitimately suspends is excused through FrozenIn).
+package fault
+
+import (
+	"fmt"
+	"math"
+
+	"pushmulticast/internal/noc"
+)
+
+// Kind enumerates the fault mechanisms.
+type Kind uint8
+
+// Fault kinds.
+const (
+	// LinkStall blocks new replica allocations onto one router output port
+	// for the window's duration. In-flight streams complete (links do not
+	// corrupt mid-packet); blocked traffic waits in upstream VCs.
+	LinkStall Kind = iota
+	// RouterSlow freezes a router's pipeline on all but every Factor-th
+	// cycle of the window, modeling a router running at 1/Factor frequency.
+	RouterSlow
+	// VCJitter adds a bounded pseudo-random delay to head-flit arrival on
+	// one router output link. Per-link arrival order is preserved (a
+	// monotonic clamp), so OrdPush's push-before-invalidation guarantee
+	// survives arbitrary jitter.
+	VCJitter
+	// InjSpike shrinks a tile NI's effective injection-queue depth to
+	// Factor entries, modeling endpoint-side congestion; sources feel
+	// backpressure and retry.
+	InjSpike
+	// FilterDrop takes a router's filter bank offline for lookups: pruning
+	// hits are suppressed (requests travel on redundantly). Registrations
+	// and the OrdPush invalidation stall are untouched — dropping those
+	// would break ordering, not degrade it.
+	FilterDrop
+
+	numKinds
+)
+
+var kindNames = [numKinds]string{"LinkStall", "RouterSlow", "VCJitter", "InjSpike", "FilterDrop"}
+
+// String names the kind.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return "Unknown"
+}
+
+// MaxOutageWindow caps the duration of a full-outage window (LinkStall,
+// RouterSlow): far below the engine's progress watchdog, so a legal plan can
+// stall traffic but never trip deadlock detection.
+const MaxOutageWindow = 10_000
+
+// MaxJitterCycles caps VCJitter's per-packet extra delay.
+const MaxJitterCycles = 64
+
+// Fault is one scheduled fault. Its first active window is [From, To) in
+// cycles; with a nonzero Period the window repeats every Period cycles
+// forever, which guarantees coverage regardless of run length.
+type Fault struct {
+	Kind Kind
+	// Node is the target tile (router and NI share the tile index).
+	Node int
+	// Port is the target output port for LinkStall and VCJitter
+	// (noc.PortNorth..PortLocal); -1 targets every port. Ignored otherwise.
+	Port int
+	// From and To bound the first active window: [From, To).
+	From, To uint64
+	// Period repeats the window every Period cycles (0 = one-shot).
+	Period uint64
+	// Factor is the RouterSlow duty divisor (the router runs one cycle in
+	// Factor, >= 2) or the InjSpike forced queue capacity (>= 1).
+	Factor int
+	// MaxJitter bounds VCJitter's extra delay in cycles (1..MaxJitterCycles).
+	MaxJitter int
+	// VNet restricts VCJitter to one virtual network; -1 jitters all.
+	VNet int
+}
+
+// activeAt reports whether the fault's window covers cycle c.
+func (f *Fault) activeAt(c uint64) bool {
+	if c < f.From {
+		return false
+	}
+	if f.Period == 0 {
+		return c < f.To
+	}
+	return (c-f.From)%f.Period < f.To-f.From
+}
+
+// startsAt reports whether a window of this fault opens exactly at cycle c.
+func (f *Fault) startsAt(c uint64) bool {
+	return f.activeAt(c) && (c == 0 || !f.activeAt(c-1))
+}
+
+// endsAt reports whether a window of this fault closed exactly at cycle c
+// (c is the first inactive cycle).
+func (f *Fault) endsAt(c uint64) bool {
+	return c > 0 && f.activeAt(c-1) && !f.activeAt(c)
+}
+
+// nextBoundary returns the earliest window start or end strictly after now,
+// or false when the fault is spent (one-shot, fully in the past).
+func (f *Fault) nextBoundary(now uint64) (uint64, bool) {
+	if now < f.From {
+		return f.From, true
+	}
+	dur := f.To - f.From
+	if f.Period == 0 {
+		if now < f.To {
+			return f.To, true
+		}
+		return 0, false
+	}
+	phase := (now - f.From) % f.Period
+	if phase < dur {
+		return now + (dur - phase), true // current window's end
+	}
+	return now + (f.Period - phase), true // next window's start
+}
+
+// activeWithin reports whether any cycle in [from, to] falls inside one of
+// the fault's windows.
+func (f *Fault) activeWithin(from, to uint64) bool {
+	if to < f.From {
+		return false
+	}
+	if from < f.From {
+		from = f.From
+	}
+	if f.Period == 0 {
+		return from < f.To
+	}
+	if to-from+1 >= f.Period {
+		return true
+	}
+	phase := (from - f.From) % f.Period
+	if phase < f.To-f.From {
+		return true
+	}
+	return from+(f.Period-phase) <= to
+}
+
+// Plan is a complete fault schedule: a seed (feeding the jitter hash) and the
+// fault list. The zero value (or an empty fault list) disables injection.
+type Plan struct {
+	// Seed feeds every pseudo-random fault decision; two runs with equal
+	// (Plan, workload, config) are byte-identical.
+	Seed uint64
+	// Faults is the schedule.
+	Faults []Fault
+}
+
+// Validate checks the plan against a machine with the given tile count. The
+// bounds are the documented intensities under which the graceful-degradation
+// contract holds: transient windows only, outages shorter than the progress
+// watchdog, and no fault that could drop or reorder protocol traffic.
+func (p *Plan) Validate(nodes int) error {
+	for i := range p.Faults {
+		f := &p.Faults[i]
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("fault: plan entry %d (%s): %s", i, f.Kind, fmt.Sprintf(format, args...))
+		}
+		if f.Kind >= numKinds {
+			return fail("unknown kind %d", f.Kind)
+		}
+		if f.Node < 0 || f.Node >= nodes {
+			return fail("node %d outside [0,%d)", f.Node, nodes)
+		}
+		if f.From >= f.To {
+			return fail("empty window [%d,%d)", f.From, f.To)
+		}
+		if f.Period != 0 && f.Period < f.To-f.From {
+			return fail("period %d shorter than window %d", f.Period, f.To-f.From)
+		}
+		switch f.Kind {
+		case LinkStall, RouterSlow:
+			if f.To-f.From > MaxOutageWindow {
+				return fail("outage window %d exceeds MaxOutageWindow %d", f.To-f.From, MaxOutageWindow)
+			}
+		}
+		switch f.Kind {
+		case LinkStall, VCJitter:
+			if f.Port < -1 || f.Port >= noc.NumPorts {
+				return fail("port %d outside [-1,%d)", f.Port, noc.NumPorts)
+			}
+		}
+		switch f.Kind {
+		case RouterSlow:
+			if f.Factor < 2 || f.Factor > 64 {
+				return fail("duty factor %d outside [2,64]", f.Factor)
+			}
+		case InjSpike:
+			if f.Factor < 1 {
+				return fail("forced queue capacity %d below 1", f.Factor)
+			}
+		case VCJitter:
+			if f.MaxJitter < 1 || f.MaxJitter > MaxJitterCycles {
+				return fail("max jitter %d outside [1,%d]", f.MaxJitter, MaxJitterCycles)
+			}
+			if f.VNet < -1 || f.VNet >= noc.NumVNets {
+				return fail("vnet %d outside [-1,%d)", f.VNet, noc.NumVNets)
+			}
+		}
+	}
+	return nil
+}
+
+// splitmix64 is the avalanche step behind every seeded fault decision:
+// deterministic, stateless, and uniform enough for schedule generation.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4B9FE
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// GeneratePlan builds a chaos-campaign plan for a machine with the given
+// tile count: intensity (clamped to [0,1]) scales the number of concurrent
+// fault processes per kind, and every parameter choice derives from the seed,
+// so equal (nodes, seed, intensity) always yields the identical plan. All
+// windows are periodic, guaranteeing fault coverage regardless of run length.
+// Intensity 0 returns an empty (injection-off) plan.
+func GeneratePlan(nodes int, seed uint64, intensity float64) Plan {
+	if math.IsNaN(intensity) || intensity <= 0 {
+		return Plan{Seed: seed}
+	}
+	if intensity > 1 {
+		intensity = 1
+	}
+	p := Plan{Seed: seed}
+	// At intensity 1, one fault process per kind per 4 tiles.
+	perKind := int(math.Ceil(intensity * float64(nodes) / 4))
+	x := splitmix64(seed ^ 0xFA017)
+	next := func(mod uint64) uint64 {
+		x = splitmix64(x)
+		return x % mod
+	}
+	for k := Kind(0); k < numKinds; k++ {
+		for i := 0; i < perKind; i++ {
+			f := Fault{
+				Kind: k,
+				Node: int(next(uint64(nodes))),
+				Port: int(next(noc.NumPorts)),
+				VNet: -1,
+			}
+			from := 100 + next(900)
+			dur := 100 + uint64(float64(next(900))*intensity)
+			f.From = from
+			f.To = from + dur
+			f.Period = f.To - f.From + 1500 + next(4000)
+			switch k {
+			case RouterSlow:
+				f.Factor = 2 + int(next(3))
+			case InjSpike:
+				f.Factor = 1 + int(next(2))
+			case VCJitter:
+				f.MaxJitter = 1 + int(next(8))
+			}
+			p.Faults = append(p.Faults, f)
+		}
+	}
+	return p
+}

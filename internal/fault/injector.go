@@ -1,0 +1,241 @@
+package fault
+
+import (
+	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// Injector drives a Plan against the network. It registers as the FIRST
+// engine component so that a tile it wakes at a window boundary ticks in the
+// same cycle (the engine ticks mid-step wakes from earlier-registered
+// components), and it implements noc.FaultHook so the NoC's hot paths can
+// consult the active schedule with one nil-check when injection is off.
+//
+// Scheduling: the injector sleeps until the next window boundary (start or
+// end) across all faults, so idle fast-forward stays exact. At a window end
+// it wakes the target tile — a router whose traffic was blocked by a
+// LinkStall may have gone to sleep "blocked on downstream" with no release
+// ever coming; the boundary wake restores the dense-mode placement cycle.
+// Spurious wakes at window starts are harmless in every kernel.
+type Injector struct {
+	plan  Plan
+	eng   *sim.Engine
+	st    *stats.All
+	h     *sim.Handle
+	nodes int
+	// next is the earliest upcoming window boundary; ^0 when the schedule is
+	// spent. Starting at 0 makes the first tick compute it, and the
+	// now>=next guard keeps dense mode's every-cycle ticks equivalent to the
+	// sparse kernel's boundary-only ticks.
+	next uint64
+	// wake wakes a tile (router + NI) at window boundaries; set by the
+	// builder after the network exists.
+	wake func(node int)
+
+	// Per-kind fault indexes for O(active faults at target) hook checks.
+	// stalls/jits are keyed node*NumPorts+port (Port == -1 expanded);
+	// slows/spikes/drops are keyed by node.
+	stalls [][]*Fault
+	jits   [][]*Fault
+	slows  [][]*Fault
+	spikes [][]*Fault
+	drops  [][]*Fault
+	// lastArr tracks the last granted head-arrival cycle per (node, output
+	// port), backing the monotonic clamp that keeps jittered links
+	// order-preserving (OrdPush's push-before-invalidation survives). It is
+	// only touched from router ticks, which run serially in every kernel.
+	lastArr []sim.Cycle
+}
+
+// NewInjector builds the injector for a validated plan on a machine with the
+// given tile count.
+func NewInjector(plan Plan, nodes int, st *stats.All) *Injector {
+	in := &Injector{
+		plan:    plan,
+		st:      st,
+		nodes:   nodes,
+		stalls:  make([][]*Fault, nodes*noc.NumPorts),
+		jits:    make([][]*Fault, nodes*noc.NumPorts),
+		slows:   make([][]*Fault, nodes),
+		spikes:  make([][]*Fault, nodes),
+		drops:   make([][]*Fault, nodes),
+		lastArr: make([]sim.Cycle, nodes*noc.NumPorts),
+	}
+	for i := range plan.Faults {
+		f := &plan.Faults[i]
+		switch f.Kind {
+		case LinkStall, VCJitter:
+			idx := &in.stalls
+			if f.Kind == VCJitter {
+				idx = &in.jits
+			}
+			if f.Port == -1 {
+				for p := 0; p < noc.NumPorts; p++ {
+					k := f.Node*noc.NumPorts + p
+					(*idx)[k] = append((*idx)[k], f)
+				}
+			} else {
+				k := f.Node*noc.NumPorts + f.Port
+				(*idx)[k] = append((*idx)[k], f)
+			}
+		case RouterSlow:
+			in.slows[f.Node] = append(in.slows[f.Node], f)
+		case InjSpike:
+			in.spikes[f.Node] = append(in.spikes[f.Node], f)
+		case FilterDrop:
+			in.drops[f.Node] = append(in.drops[f.Node], f)
+		}
+	}
+	return in
+}
+
+// Register adds the injector to the engine's tick list. It must be the first
+// registration so boundary wakes take effect in the same cycle.
+func (in *Injector) Register(eng *sim.Engine) {
+	in.eng = eng
+	in.h = eng.Register(in)
+}
+
+// SetWaker installs the tile-wake callback (router + NI of a node).
+func (in *Injector) SetWaker(wake func(node int)) { in.wake = wake }
+
+// Tick advances the schedule when a window boundary is due and re-sleeps
+// until the next one. Dense mode calls it every cycle; the guard makes those
+// extra calls no-ops, so both kernels process the identical boundary set.
+func (in *Injector) Tick(now sim.Cycle) {
+	if uint64(now) >= in.next {
+		in.onBoundary(uint64(now))
+	}
+	if in.next == ^uint64(0) {
+		in.h.Sleep()
+	} else {
+		in.h.SleepUntil(sim.Cycle(in.next))
+	}
+}
+
+func (in *Injector) onBoundary(c uint64) {
+	for i := range in.plan.Faults {
+		f := &in.plan.Faults[i]
+		if f.startsAt(c) {
+			in.st.Net.FaultWindows++
+			if in.wake != nil {
+				in.wake(f.Node)
+			}
+		} else if f.endsAt(c) {
+			// A router that slept "blocked on downstream" during the window
+			// needs this wake: nothing else fires when the fault lifts.
+			if in.wake != nil {
+				in.wake(f.Node)
+			}
+		}
+	}
+	next := ^uint64(0)
+	for i := range in.plan.Faults {
+		if b, ok := in.plan.Faults[i].nextBoundary(c); ok && b < next {
+			next = b
+		}
+	}
+	in.next = next
+}
+
+// --- noc.FaultHook ---
+
+// RouterFrozen reports whether a RouterSlow window holds the router's
+// pipeline this cycle (the router runs only every Factor-th cycle of the
+// window). Pure function of the cycle, so dense and sparse kernels freeze
+// the identical cycle set.
+func (in *Injector) RouterFrozen(node noc.NodeID, now sim.Cycle) bool {
+	for _, f := range in.slows[node] {
+		c := uint64(now)
+		if !f.activeAt(c) {
+			continue
+		}
+		start := f.From
+		if f.Period != 0 {
+			start = f.From + (c-f.From)/f.Period*f.Period
+		}
+		if (c-start)%uint64(f.Factor) != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// FrozenIn reports whether any RouterSlow window on the node overlaps
+// [from, to]; the conservation checker uses it to excuse unrouted heads a
+// frozen router legitimately left overdue.
+func (in *Injector) FrozenIn(node noc.NodeID, from, to sim.Cycle) bool {
+	for _, f := range in.slows[node] {
+		if f.activeWithin(uint64(from), uint64(to)) {
+			return true
+		}
+	}
+	return false
+}
+
+// LinkBlocked reports whether a LinkStall window blocks new replica
+// allocations onto the router's output port this cycle.
+func (in *Injector) LinkBlocked(node noc.NodeID, port int, now sim.Cycle) bool {
+	for _, f := range in.stalls[int(node)*noc.NumPorts+port] {
+		if f.activeAt(uint64(now)) {
+			return true
+		}
+	}
+	return false
+}
+
+// Arrival maps a head flit's base arrival cycle on (node, output port) to
+// its faulted arrival: active VCJitter windows add a delay derived purely
+// from (seed, packet ID, cycle), and the per-port monotonic clamp then keeps
+// arrivals in send order, so jitter can slow a link but never reorder it.
+// Runs only from router ticks (serial in every kernel), so the clamp state
+// and the stats write are single-threaded.
+func (in *Injector) Arrival(node noc.NodeID, port int, now, base sim.Cycle, pktID uint64, vnet int) sim.Cycle {
+	arr := base
+	key := int(node)*noc.NumPorts + port
+	for _, f := range in.jits[key] {
+		if f.activeAt(uint64(now)) && (f.VNet == -1 || f.VNet == vnet) {
+			h := splitmix64(in.plan.Seed ^ splitmix64(pktID) ^ uint64(now)*0x9E3779B97F4A7C15)
+			d := sim.Cycle(h % uint64(f.MaxJitter+1))
+			arr += d
+			in.st.Net.FaultJitterDelay += uint64(d)
+		}
+	}
+	if last := in.lastArr[key]; arr <= last {
+		arr = last + 1
+	}
+	in.lastArr[key] = arr
+	return arr
+}
+
+// InjQueueCap returns the node NI's effective injection-queue depth: the
+// configured depth, shrunk to the smallest active InjSpike capacity. It is
+// called from endpoint ticks, which run on lane goroutines in the parallel
+// kernel, so it must stay a pure read — no stats, no clamp state. Reading
+// eng.Now() is safe: the cycle is never written mid-section.
+func (in *Injector) InjQueueCap(node noc.NodeID, depth int) int {
+	now := uint64(in.eng.Now())
+	for _, f := range in.spikes[node] {
+		if f.activeAt(now) && f.Factor < depth {
+			depth = f.Factor
+		}
+	}
+	return depth
+}
+
+// SuppressFilterHit reports whether a FilterDrop window holds the router's
+// filter bank offline for lookups this cycle; the router then treats the hit
+// as a miss and routes the request on. Registrations and the OrdPush
+// invalidation stall are deliberately unaffected — suppressing pruning only
+// adds redundant traffic, while dropping ordering state could reorder
+// protocol messages. Runs only from router ticks (serial).
+func (in *Injector) SuppressFilterHit(node noc.NodeID, now sim.Cycle) bool {
+	for _, f := range in.drops[node] {
+		if f.activeAt(uint64(now)) {
+			in.st.Net.FaultFilterSuppressed++
+			return true
+		}
+	}
+	return false
+}

@@ -123,11 +123,10 @@ func (c *Ctrl) Tick(now sim.Cycle) {
 	// Drain outgoing responses.
 	keptOut := c.outbox[:0]
 	for _, p := range c.outbox {
-		if !c.ni.CanInject(stats.UnitMem, p.VNet) {
+		if !c.ni.Inject(p, now) {
 			keptOut = append(keptOut, p)
 			continue
 		}
-		c.ni.Inject(p, now)
 		c.eng.Progress()
 	}
 	for i := len(keptOut); i < len(c.outbox); i++ {

@@ -83,7 +83,13 @@ func (r *Router) checkConservation(now sim.Cycle) error {
 			if vc.pkt != nil && !vc.routed {
 				unrouted++
 				if vc.headAt <= now {
-					return fmt.Errorf("unrouted head at (%s,%d) overdue: headAt=%d now=%d", PortName(p), i, vc.headAt, now)
+					// A RouterSlow fault legitimately leaves heads unrouted
+					// past their arrival: the frozen router skipped the
+					// stage-1 cycles that would have routed them.
+					f := r.net.faults
+					if f == nil || !f.FrozenIn(r.id, vc.headAt, now) {
+						return fmt.Errorf("unrouted head at (%s,%d) overdue: headAt=%d now=%d", PortName(p), i, vc.headAt, now)
+					}
 				}
 				if r.minHeadAt > vc.headAt {
 					return fmt.Errorf("minHeadAt=%d above unrouted head arrival %d at (%s,%d)", r.minHeadAt, vc.headAt, PortName(p), i)
@@ -203,8 +209,11 @@ func (n *Network) PushInFlight(addr uint64, requester NodeID) bool {
 	}
 	for _, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {
-			if s := r.outStream[p]; s != nil && s.replica.IsPush &&
-				s.replica.Addr == addr && s.replica.Dests.Has(requester) {
+			// Streams read through their allocation-time snapshot: past the
+			// head flit the replica pointer is nil (ownership moved to the
+			// downstream VC, which the input-VC scan below covers).
+			if s := r.outStream[p]; s != nil && s.isPush &&
+				s.addr == addr && s.dests.Has(requester) {
 				return true
 			}
 			for i := range r.in[p] {

@@ -1,0 +1,47 @@
+package noc
+
+import "pushmulticast/internal/sim"
+
+// FaultHook is the network's view of the fault-injection layer
+// (internal/fault implements it). Every method must be a pure function of
+// (fault plan, cycle, component identity, packet identity) so that a fault
+// schedule replays byte-identically across the serial, dense, and parallel
+// kernels. All methods except InjQueueCap are called only from router ticks,
+// which run serially in every kernel; InjQueueCap is called from endpoint
+// ticks on lane goroutines and must therefore be read-only.
+type FaultHook interface {
+	// RouterFrozen reports that the router's pipeline is held this cycle
+	// (RouterSlow); the router skips its entire tick and stays awake.
+	RouterFrozen(node NodeID, now sim.Cycle) bool
+	// FrozenIn reports that the router was frozen at some cycle in
+	// [from, to]; the conservation audit uses it to excuse unrouted heads a
+	// frozen router legitimately left overdue.
+	FrozenIn(node NodeID, from, to sim.Cycle) bool
+	// LinkBlocked reports that the router's output port accepts no new
+	// replica allocation this cycle (LinkStall); in-flight streams finish.
+	LinkBlocked(node NodeID, port int, now sim.Cycle) bool
+	// Arrival maps a head flit's base arrival cycle on the router's output
+	// port to its (possibly jittered) faulted arrival. Implementations must
+	// keep per-port arrivals monotonic so links never reorder.
+	Arrival(node NodeID, port int, now, base sim.Cycle, pktID uint64, vnet int) sim.Cycle
+	// InjQueueCap returns the NI's effective injection-queue depth, at most
+	// the configured depth (InjSpike). Must be a pure read: it runs on lane
+	// goroutines in the parallel kernel.
+	InjQueueCap(node NodeID, depth int) int
+	// SuppressFilterHit reports that the router's filter bank is offline for
+	// lookups this cycle (FilterDrop); hits are treated as misses.
+	SuppressFilterHit(node NodeID, now sim.Cycle) bool
+}
+
+// SetFaults installs the fault hook. Must be called before the first tick;
+// a nil hook (the default) keeps every fault check off the hot paths.
+func (n *Network) SetFaults(h FaultHook) { n.faults = h }
+
+// WakeTile wakes a tile's router and NI. The fault injector calls it at
+// window boundaries: a router whose traffic a fault blocked may be asleep
+// with no other wake coming once the fault lifts. Spurious wakes are
+// harmless in every kernel (a quiescent component's tick is a no-op).
+func (n *Network) WakeTile(node NodeID) {
+	n.routers[node].h.Wake()
+	n.nis[node].h.Wake()
+}

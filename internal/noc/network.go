@@ -69,16 +69,24 @@ type NI struct {
 }
 
 // CanInject reports whether the unit's vnet queue has room for another
-// packet; controllers must check before calling Inject.
+// packet. The room may shrink transiently under an InjSpike fault, so a
+// CanInject-then-Inject pair is advisory, not a reservation; Inject itself
+// reports refusal.
 func (ni *NI) CanInject(unit stats.Unit, vnet int) bool {
-	return len(ni.queues[unit][vnet]) < ni.net.cfg.InjQueueDepth
+	depth := ni.net.cfg.InjQueueDepth
+	if f := ni.net.faults; f != nil {
+		depth = f.InjQueueCap(ni.node, depth)
+	}
+	return len(ni.queues[unit][vnet]) < depth
 }
 
-// Inject enqueues a packet for injection. It panics if the queue is full;
-// callers gate on CanInject.
-func (ni *NI) Inject(pkt *Packet, now sim.Cycle) {
+// Inject enqueues a packet for injection. A full queue refuses the packet
+// (backpressure: the packet stays with the caller, which retries next cycle)
+// and reports false; the refusal is counted in InjRefused.
+func (ni *NI) Inject(pkt *Packet, now sim.Cycle) bool {
 	if !ni.CanInject(pkt.SrcUnit, pkt.VNet) {
-		panic(fmt.Sprintf("noc: injection queue overflow at node %d unit %v vnet %d", ni.node, pkt.SrcUnit, pkt.VNet))
+		ni.st.Net.InjRefused++
+		return false
 	}
 	if pkt.Dests.Empty() {
 		panic("noc: injecting packet with empty destination set")
@@ -95,6 +103,7 @@ func (ni *NI) Inject(pkt *Packet, now sim.Cycle) {
 	ni.queues[pkt.SrcUnit][pkt.VNet] = append(ni.queues[pkt.SrcUnit][pkt.VNet], pkt)
 	ni.queued++
 	ni.h.Wake()
+	return true
 }
 
 // NewPacket returns a zeroed pool-backed packet for an endpoint to fill and
@@ -330,6 +339,9 @@ type Network struct {
 	st      *stats.All
 	routers []*Router
 	nis     []*NI
+	// faults is the installed fault-injection hook, nil when injection is
+	// off (the default); hot paths gate every fault check on that nil.
+	faults FaultHook
 	// streamPool recycles the per-replica stream allocations on the router
 	// hot path; routers run serially, so one network-wide pool is race-free.
 	// Packet and payload pools are per-NI (tile-local) so parallel lanes

@@ -269,6 +269,33 @@ func TestInjectionBackpressure(t *testing.T) {
 	}
 }
 
+// TestInjectionOverflowRefused is the regression test for the injection-queue
+// overflow panic: injecting into a full queue must refuse the packet (Inject
+// returns false, InjRefused counts it) instead of crashing the run. Callers
+// hold the packet and retry, turning queue exhaustion into backpressure.
+func TestInjectionOverflowRefused(t *testing.T) {
+	cfg := DefaultConfig(4, 4)
+	cfg.InjQueueDepth = 2
+	_, net, _ := testNet(t, cfg)
+	ni := net.NI(0)
+	mk := func() *Packet {
+		return &Packet{VNet: VNetReq, SrcUnit: stats.UnitL2, DstUnit: stats.UnitLLC,
+			Dests: OneDest(1), Size: 1}
+	}
+	for i := 0; i < 2; i++ {
+		if !ni.Inject(mk(), 0) {
+			t.Fatalf("packet %d refused with queue space free", i)
+		}
+	}
+	// Before the backpressure fix this third call panicked.
+	if ni.Inject(mk(), 0) {
+		t.Fatal("overflowing injection accepted")
+	}
+	if got := net.st.Net.InjRefused; got != 1 {
+		t.Fatalf("InjRefused = %d, want 1", got)
+	}
+}
+
 func TestFilterPrunesTrailingRequest(t *testing.T) {
 	cfg := DefaultConfig(4, 4)
 	cfg.FilterEnabled = true

@@ -5,6 +5,7 @@ import (
 	"math/bits"
 
 	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
 	"pushmulticast/internal/trace"
 )
 
@@ -42,15 +43,33 @@ func (vc *inputVC) free() bool { return vc.pkt == nil && !vc.reserved }
 // output port. Both the input port and the output port are held until the
 // tail flit departs, which keeps flit delivery contiguous and makes
 // cut-through timing exact.
+//
+// The replica pointer is only valid until the head flit hands it to the
+// downstream VC: from that moment the downstream router owns (and eventually
+// recycles) the packet, and it can finish with it before this stream's tail
+// departs — a RouterSlow window freezing this router mid-drain makes that
+// overtaking real. Everything the remaining flits and the tail bookkeeping
+// need is therefore snapshotted here at allocation time.
 type stream struct {
 	vc      *inputVC
-	replica *Packet // packet copy carrying this replica's destination subset
+	replica *Packet  // nil once the head flit transfers ownership downstream
 	inPort  int
 	vcIdx   int // absolute VC index at the input port
 	outPort int
 	downVC  *inputVC // nil when outPort == PortLocal
 	downR   *Router  // router owning downVC
 	sent    int
+
+	// Snapshot of the replica taken at allocation; safe to read for the
+	// stream's whole lifetime regardless of who owns the packet.
+	size    int
+	vnet    int
+	class   stats.Class
+	dstUnit stats.Unit
+	dests   DestSet
+	addr    uint64
+	id      uint64
+	isPush  bool
 }
 
 // Router is a 2-stage virtual-cut-through router: stage 1 performs buffer
@@ -232,8 +251,14 @@ func (r *Router) freeVC(port, vnet int) *inputVC {
 }
 
 // Tick advances the router by one cycle: stage 1 for newly arrived heads,
-// then allocation, then switch/link traversal for all held streams.
+// then allocation, then switch/link traversal for all held streams. A
+// RouterSlow fault window freezes the whole pipeline on its off-duty cycles;
+// skipping reschedule too keeps the router awake, so it observes every cycle
+// of the window exactly like the dense kernel does.
 func (r *Router) Tick(now sim.Cycle) {
+	if f := r.net.faults; f != nil && f.RouterFrozen(r.id, now) {
+		return
+	}
 	r.stage1(now)
 	r.allocate(now)
 	streaming := false
@@ -357,6 +382,13 @@ func (r *Router) stage1(now sim.Cycle) {
 		}
 		if r.filters != nil && r.net.cfg.FilterEnabled &&
 			r.filters.lookup(vc.port, vc.pkt.Addr, vc.pkt.Requester, now) {
+			// A FilterDrop window turns the hit into a miss: the request
+			// travels on and triggers a redundant response the private cache
+			// discards — pure degradation, no protocol state touched.
+			if f := r.net.faults; f != nil && f.SuppressFilterHit(r.id, now) {
+				r.route(vc, vc.port, vc.idx, now)
+				continue
+			}
 			r.net.st.Net.FilteredRequests++
 			r.net.eng.Progress()
 			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterHit, Node: int32(r.id),
@@ -439,6 +471,9 @@ func (r *Router) stationaryFilter(port int, addr uint64, dests DestSet, now sim.
 			continue
 		}
 		if vc.pkt.Addr == addr && dests.Has(vc.pkt.Requester) {
+			if f := r.net.faults; f != nil && f.SuppressFilterHit(r.id, now) {
+				continue
+			}
 			r.net.st.Net.FilteredRequests++
 			r.net.eng.Progress()
 			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterStationary, Node: int32(r.id),
@@ -457,6 +492,13 @@ func (r *Router) allocate(now sim.Cycle) {
 	}
 	for o := 0; o < NumPorts; o++ {
 		if r.outStream[o] != nil || r.candMask[o] == 0 {
+			continue
+		}
+		// A LinkStall window refuses new allocations onto the port before
+		// allocateOutput runs, so per-candidate side effects (invalidation
+		// stall accounting) stay identical across kernels. The injector wakes
+		// this router when the window ends; it may have slept meanwhile.
+		if f := r.net.faults; f != nil && f.LinkBlocked(r.id, o, now) {
 			continue
 		}
 		r.allocateOutput(o, now)
@@ -542,6 +584,9 @@ func (r *Router) allocateOutput(o int, now sim.Cycle) {
 			*s = stream{
 				vc: vc, replica: replica, inPort: p, vcIdx: vc.idx, outPort: o,
 				downVC: down, downR: downRouter,
+				size: replica.Size, vnet: replica.VNet, class: replica.Class,
+				dstUnit: replica.DstUnit, dests: replica.Dests,
+				addr: replica.Addr, id: replica.ID, isPush: replica.IsPush,
 			}
 			bit := uint64(1) << uint(idx)
 			vc.active = s
@@ -587,21 +632,32 @@ func (r *Router) traverse(now sim.Cycle) {
 }
 
 func (r *Router) sendFlit(s *stream, now sim.Cycle) {
-	pkt := s.replica
 	s.sent++
 	r.net.eng.Progress()
 	if s.outPort == PortLocal {
-		r.net.st.Net.EjectedFlits[pkt.DstUnit][pkt.Class]++
+		r.net.st.Net.EjectedFlits[s.dstUnit][s.class]++
 	} else {
-		r.net.countLinkFlit(r.id, s.outPort, pkt.Class)
+		r.net.countLinkFlit(r.id, s.outPort, s.class)
 	}
 	if s.sent == 1 && s.downVC != nil {
 		// Head flit: write into the reserved downstream buffer; it is
 		// visible to the downstream stage 1 after switch + link traversal.
 		// The downstream router may have slept through the reservation, so
-		// schedule its wake for the head's arrival cycle.
-		s.downVC.pkt = pkt
-		s.downVC.headAt = now + 2
+		// schedule its wake for the head's arrival cycle. A VCJitter fault
+		// may delay the arrival; the hook keeps per-port arrivals monotonic,
+		// so the link slows but never reorders.
+		arr := now + 2
+		if f := r.net.faults; f != nil {
+			arr = f.Arrival(r.id, s.outPort, now, arr, s.id, s.vnet)
+		}
+		// Ownership hand-off: from here the downstream router holds — and
+		// eventually recycles — the replica. If this router is slowed
+		// mid-drain (RouterSlow), the downstream one can finish with the
+		// packet before our tail departs, so no later flit may dereference
+		// it; the remaining cycles run off the stream's snapshot.
+		s.downVC.pkt = s.replica
+		s.replica = nil
+		s.downVC.headAt = arr
 		s.downVC.reserved = false
 		s.downR.unrouted++
 		if s.downVC.headAt < s.downR.minHeadAt {
@@ -609,7 +665,7 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 		}
 		s.downR.h.WakeAt(s.downVC.headAt)
 	}
-	if s.sent < pkt.Size {
+	if s.sent < s.size {
 		return
 	}
 	// Tail departed: release ports, lazily de-register the filter slot, free
@@ -632,17 +688,23 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 			}
 		}
 	}
-	if pkt.IsPush && r.filters != nil {
+	if s.isPush && r.filters != nil {
 		dataVC := s.vcIdx - VNetData*r.net.cfg.VCsPerVNet
 		r.filters.scheduleClear(s.outPort, s.inPort, dataVC, now+2)
 		r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterClear, Node: int32(r.id),
-			Addr: pkt.Addr, ID: pkt.ID, A: int32(s.outPort), B: int32(s.inPort)})
+			Addr: s.addr, ID: s.id, A: int32(s.outPort), B: int32(s.inPort)})
 	}
 	if s.vc.pendingPorts == 0 {
 		r.release(s.vc)
 	}
 	if s.outPort == PortLocal {
-		r.net.nis[r.id].scheduleDelivery(pkt, now+2)
+		// Local ejection never hands the replica off, so it is still owned
+		// here; the NI recycles it after delivery.
+		at := now + 2
+		if f := r.net.faults; f != nil {
+			at = f.Arrival(r.id, PortLocal, now, at, s.id, s.vnet)
+		}
+		r.net.nis[r.id].scheduleDelivery(s.replica, at)
 	}
 	r.net.putStream(s)
 }

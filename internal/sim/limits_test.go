@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"errors"
+	"testing"
+)
+
+// TestLimitErrorsDisambiguated: a fast-forward can land on a cycle where the
+// watchdog window and the cycle limit have both elapsed. Earlier versions
+// reported only whichever check ran first, so the same stall read as a
+// deadlock or a budget overrun depending on configuration. Both causes must
+// be present and matchable with errors.Is, with the deadlock diagnosis
+// leading the message.
+func TestLimitErrorsDisambiguated(t *testing.T) {
+	eng := NewEngine(149, 150)
+	s := &futureSleeper{at: 1 << 30}
+	s.h = eng.Register(s)
+	_, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("err = %v, want ErrDeadlock wrapped", err)
+	}
+	if !errors.Is(err, ErrMaxCycles) {
+		t.Errorf("err = %v, want ErrMaxCycles wrapped", err)
+	}
+	if errors.Is(err, ErrFailsafe) {
+		t.Errorf("err = %v: explicit limit misreported as the implicit failsafe", err)
+	}
+}
+
+// TestLimitErrorsSingleCause: when only one limit fires, the other must not
+// leak into the error.
+func TestLimitErrorsSingleCause(t *testing.T) {
+	eng := NewEngine(0, 100)
+	s := &futureSleeper{at: 1 << 30}
+	s.h = eng.Register(s)
+	_, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrMaxCycles) || errors.Is(err, ErrDeadlock) {
+		t.Errorf("cycle-limit-only err = %v, want ErrMaxCycles and not ErrDeadlock", err)
+	}
+
+	eng = NewEngine(50, 0)
+	s2 := &futureSleeper{at: 1 << 30}
+	s2.h = eng.Register(s2)
+	_, err = eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrDeadlock) || errors.Is(err, ErrMaxCycles) {
+		t.Errorf("watchdog-only err = %v, want ErrDeadlock and not ErrMaxCycles", err)
+	}
+}
+
+// TestFailsafeMarked: a run stopped by the implicit failsafe ceiling carries
+// ErrFailsafe in addition to ErrMaxCycles, so callers can tell "the run
+// outlived its configured budget" from "nothing was configured to stop it".
+func TestFailsafeMarked(t *testing.T) {
+	eng := NewEngine(0, 0)
+	s := &futureSleeper{at: FailsafeMaxCycles + 5}
+	s.h = eng.Register(s)
+	_, err := eng.Run(func() bool { return false })
+	if !errors.Is(err, ErrMaxCycles) || !errors.Is(err, ErrFailsafe) {
+		t.Errorf("failsafe err = %v, want both ErrMaxCycles and ErrFailsafe", err)
+	}
+}

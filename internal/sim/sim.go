@@ -73,6 +73,12 @@ var ErrDeadlock = errors.New("sim: no forward progress (deadlock)")
 // finished predicate reports completion.
 var ErrMaxCycles = errors.New("sim: cycle limit exceeded")
 
+// ErrFailsafe additionally marks a cycle-limit error when the limit that
+// fired was the implicit FailsafeMaxCycles ceiling (both watchdog and
+// explicit limit disabled), distinguishing "the run outlived its configured
+// budget" from "nothing was configured to stop it".
+var ErrFailsafe = errors.New("sim: implicit failsafe ceiling")
+
 // Handle is a component's registration with the engine. It carries the
 // component's scheduling state; components use it to report quiescence and
 // producers use it to wake consumers.
@@ -222,7 +228,11 @@ type Engine struct {
 	lastProgress atomic.Uint64
 	watchdog     Cycle
 	maxCycles    Cycle
-	ticks        uint64
+	// failsafe records that maxCycles is the implicit FailsafeMaxCycles
+	// ceiling rather than a caller-chosen limit; limit errors then also
+	// wrap ErrFailsafe.
+	failsafe bool
+	ticks    uint64
 
 	// Parallel executor state (see parallel.go). workers <= 1 or no lane
 	// tags leaves Step on the single-threaded path untouched.
@@ -252,10 +262,11 @@ const FailsafeMaxCycles = Cycle(1) << 40
 // that case the engine applies FailsafeMaxCycles as a hard ceiling; a run
 // reaching it fails with ErrMaxCycles.
 func NewEngine(watchdog, maxCycles Cycle) *Engine {
-	if watchdog == 0 && maxCycles == 0 {
+	failsafe := watchdog == 0 && maxCycles == 0
+	if failsafe {
 		maxCycles = FailsafeMaxCycles
 	}
-	return &Engine{watchdog: watchdog, maxCycles: maxCycles}
+	return &Engine{watchdog: watchdog, maxCycles: maxCycles, failsafe: failsafe}
 }
 
 // SetDense switches the engine to the dense reference mode, which ticks every
@@ -339,26 +350,51 @@ func (e *Engine) Step() {
 // at exactly the cycle a dense run would report.
 func (e *Engine) Run(finished func() bool) (Cycle, error) {
 	for !finished() {
-		if e.maxCycles != 0 && e.now >= e.maxCycles {
-			return e.now, fmt.Errorf("%w at cycle %d", ErrMaxCycles, e.now)
-		}
-		if e.watchdog != 0 && e.now-Cycle(e.lastProgress.Load()) > e.watchdog {
-			return e.now, fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, Cycle(e.lastProgress.Load()), e.now)
+		if err := e.limitErr(); err != nil {
+			return e.now, err
 		}
 		if !e.dense && len(e.handles) > 0 && e.asleepCount == len(e.handles) {
 			if !e.fastForward() {
 				return e.now, fmt.Errorf("%w: all components idle with no pending wake at cycle %d", ErrDeadlock, e.now)
 			}
-			if e.maxCycles != 0 && e.now >= e.maxCycles {
-				return e.now, fmt.Errorf("%w at cycle %d", ErrMaxCycles, e.now)
-			}
-			if e.watchdog != 0 && e.now-Cycle(e.lastProgress.Load()) > e.watchdog {
-				return e.now, fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, Cycle(e.lastProgress.Load()), e.now)
+			if err := e.limitErr(); err != nil {
+				return e.now, err
 			}
 		}
 		e.Step()
 	}
 	return e.now, nil
+}
+
+// limitErr evaluates both run limits against the current cycle and builds an
+// unambiguous error. A fast-forward can land on a cycle where the watchdog
+// window AND the cycle limit have both elapsed; reporting only whichever
+// check ran first (as earlier versions did) made the same stall look like a
+// deadlock or a budget overrun depending on limit configuration. Both causes
+// are now reported, each matchable with errors.Is, with the deadlock — the
+// diagnosis that names the stall — leading the message.
+func (e *Engine) limitErr() error {
+	stalled := e.watchdog != 0 && e.now-Cycle(e.lastProgress.Load()) > e.watchdog
+	capped := e.maxCycles != 0 && e.now >= e.maxCycles
+	if !stalled && !capped {
+		return nil
+	}
+	var ceiling error
+	if capped {
+		if e.failsafe {
+			ceiling = fmt.Errorf("%w (%w) at cycle %d", ErrMaxCycles, ErrFailsafe, e.now)
+		} else {
+			ceiling = fmt.Errorf("%w at cycle %d", ErrMaxCycles, e.now)
+		}
+	}
+	if !stalled {
+		return ceiling
+	}
+	stall := fmt.Errorf("%w: stalled since cycle %d (now %d)", ErrDeadlock, Cycle(e.lastProgress.Load()), e.now)
+	if !capped {
+		return stall
+	}
+	return fmt.Errorf("%w; %w", stall, ceiling)
 }
 
 // fastForward advances the clock to the earliest scheduled wake, clamped to

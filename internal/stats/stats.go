@@ -104,6 +104,17 @@ type Network struct {
 	// PacketLatencySum/PacketCount measure end-to-end packet latency.
 	PacketLatencySum uint64
 	PacketCount      uint64
+	// InjRefused counts injection attempts an NI refused because the queue
+	// was full (backpressure; the source retries next cycle). Nonzero under
+	// heavy load or an InjSpike fault, never fatal.
+	InjRefused uint64
+	// FaultWindows counts fault windows opened by the injection layer.
+	FaultWindows uint64
+	// FaultJitterDelay sums extra head-arrival cycles added by VCJitter.
+	FaultJitterDelay uint64
+	// FaultFilterSuppressed counts filter hits a FilterDrop window turned
+	// into misses.
+	FaultFilterSuppressed uint64
 }
 
 // TotalFlits returns total link-level flit traversals across classes.
@@ -330,6 +341,10 @@ func (a *All) Add(src *All) {
 	a.Net.MulticastReplicas += src.Net.MulticastReplicas
 	a.Net.PacketLatencySum += src.Net.PacketLatencySum
 	a.Net.PacketCount += src.Net.PacketCount
+	a.Net.InjRefused += src.Net.InjRefused
+	a.Net.FaultWindows += src.Net.FaultWindows
+	a.Net.FaultJitterDelay += src.Net.FaultJitterDelay
+	a.Net.FaultFilterSuppressed += src.Net.FaultFilterSuppressed
 
 	a.Cache.L1Accesses += src.Cache.L1Accesses
 	a.Cache.L1Misses += src.Cache.L1Misses

@@ -23,6 +23,7 @@ package pushmulticast
 import (
 	"pushmulticast/internal/config"
 	"pushmulticast/internal/core"
+	"pushmulticast/internal/fault"
 	"pushmulticast/internal/stats"
 	"pushmulticast/internal/workload"
 )
@@ -80,6 +81,35 @@ func AblationPush() Scheme                { return config.AblationPush() }
 func AblationPushMulticast() Scheme       { return config.AblationPushMulticast() }
 func AblationPushMulticastFilter() Scheme { return config.AblationPushMulticastFilter() }
 func AblationFull() Scheme                { return config.AblationFull() }
+
+// Fault-injection surface (see internal/fault for the determinism and
+// graceful-degradation contracts).
+
+// FaultPlan is a seeded, deterministic fault schedule. Set Config.Faults (or
+// ExpOptions.Faults) to enable injection for a run or campaign.
+type FaultPlan = fault.Plan
+
+// Fault is one scheduled fault window inside a FaultPlan.
+type Fault = fault.Fault
+
+// FaultKind selects the injected failure mode.
+type FaultKind = fault.Kind
+
+// Fault kinds.
+const (
+	FaultLinkStall  = fault.LinkStall
+	FaultRouterSlow = fault.RouterSlow
+	FaultVCJitter   = fault.VCJitter
+	FaultInjSpike   = fault.InjSpike
+	FaultFilterDrop = fault.FilterDrop
+)
+
+// GenerateFaultPlan derives a reproducible random fault plan for a machine
+// with the given tile count. intensity in [0,1] scales both the number of
+// faults and their outage durations; 0 yields an empty plan.
+func GenerateFaultPlan(tiles int, seed uint64, intensity float64) FaultPlan {
+	return fault.GeneratePlan(tiles, seed, intensity)
+}
 
 // Stream-building surface for user-defined workloads.
 

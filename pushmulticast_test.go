@@ -26,14 +26,31 @@ func TestRunByName(t *testing.T) {
 }
 
 func TestGeomean(t *testing.T) {
-	if g := geomean([]float64{2, 8}); math.Abs(g-4) > 1e-9 {
-		t.Errorf("geomean(2,8) = %v", g)
+	g, err := geomean([]float64{2, 8})
+	if err != nil || math.Abs(g-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %v, %v", g, err)
 	}
-	if g := geomean(nil); g != 0 {
-		t.Errorf("geomean(nil) = %v", g)
+	// Poisoned inputs are errors, not silent zeros: an empty slice, a zero
+	// from a broken run, and non-finite ratios all must refuse.
+	for _, bad := range [][]float64{nil, {1, 0}, {2, -1}, {2, math.NaN()}, {2, math.Inf(1)}} {
+		if _, err := geomean(bad); err == nil {
+			t.Errorf("geomean(%v) accepted poisoned input", bad)
+		}
 	}
-	if g := geomean([]float64{1, 0}); g != 0 {
-		t.Errorf("geomean with zero = %v", g)
+}
+
+func TestSpeedupGuards(t *testing.T) {
+	ok := Results{Scheme: "OrdPush", Workload: "cachebw", Cycles: 500}
+	base := Results{Scheme: "Baseline", Workload: "cachebw", Cycles: 1000}
+	sp, err := speedup(base, ok)
+	if err != nil || math.Abs(sp-2) > 1e-12 {
+		t.Errorf("speedup = %v, %v; want 2", sp, err)
+	}
+	if _, err := speedup(Results{Scheme: "Baseline"}, ok); err == nil {
+		t.Error("zero baseline cycles accepted")
+	}
+	if _, err := speedup(base, Results{Scheme: "OrdPush"}); err == nil {
+		t.Error("zero scheme cycles accepted")
 	}
 }
 
