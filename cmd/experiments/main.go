@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		figs  = flag.String("fig", "all", "comma-separated figure list: 2,3,4,11,12,13,14,15,16,17,18,19,20,t1,t2,interplay,recent,future,faults or 'all' (all excludes the chaos campaign 'faults'; request it by name)")
+		figs  = flag.String("fig", "all", "comma-separated figure list: 2,3,4,11,12,13,14,15,16,17,18,19,20,t1,t2,interplay,recent,future,faults,lossy or 'all' (all excludes the chaos campaigns 'faults' and 'lossy'; request them by name)")
 		cores = flag.Int("cores", 16, "core count: 16 or 64")
 		scale = flag.String("scale", "quick", "input scale: tiny|quick|full")
 		par   = flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
@@ -47,7 +47,7 @@ func main() {
 	}
 	// The chaos campaign runs with the invariant checker on every simulation,
 	// which is deliberately slow; it only runs when requested by name.
-	sel := func(name string) bool { return (all && name != "faults") || want[name] }
+	sel := func(name string) bool { return (all && name != "faults" && name != "lossy") || want[name] }
 
 	type exp struct {
 		name string
@@ -73,6 +73,7 @@ func main() {
 		{"recent", func() (fmt.Stringer, error) { return pushmulticast.ExtRecentPushTable(o) }},
 		{"future", func() (fmt.Stringer, error) { return pushmulticast.ExtFutureDirections(o) }},
 		{"faults", func() (fmt.Stringer, error) { return pushmulticast.ExpFaults(o) }},
+		{"lossy", func() (fmt.Stringer, error) { return pushmulticast.ExpLossy(o) }},
 	}
 	ran := 0
 	for _, e := range experiments {

@@ -32,6 +32,12 @@ func main() {
 		traceN   = flag.Int("trace", 0, "retain the last N trace events and dump them on a checker violation, deadlock, or panic (0 = off unless -check, which keeps a default tail)")
 		faults   = flag.Float64("faults", 0, "fault-injection intensity in [0,1]: generates a deterministic fault plan (link stalls, router slowdowns, VC jitter, injection spikes, filter drops); 0 = off")
 		faultSee = flag.Uint64("faultseed", 1, "seed for the generated fault plan (same seed + intensity = byte-identical fault schedule)")
+		lossy    = flag.Int("lossy", 0, "lossy-interconnect rate in per mille: every tile drops arrivals at this rate and duplicates/corrupts them at half of it; recovered end-to-end by the transport layer (0 = off; rates above 100 are outside the forward-progress contract)")
+		planFile = flag.String("faultplan", "", "JSON fault-plan file to run (exclusive with -faults/-lossy); validated against the machine before the run starts")
+		retryWin = flag.Int("retrywindow", 0, "lossy recovery: unacked packets per sender stream before injection backpressure (0 = default 32)")
+		retryTO  = flag.Int("retrytimeout", 0, "lossy recovery: cycles before a sender retransmits an unacked packet (0 = default 400)")
+		maxRetry = flag.Int("maxretries", 0, "lossy recovery: retransmissions per packet before the run aborts with ErrUnrecoverable (0 = default 16)")
+		mshrTO   = flag.Int("mshrtimeout", 0, "lossy recovery: cycles before an L2 MSHR reissues an unanswered request (0 = default 300)")
 	)
 	flag.Parse()
 
@@ -51,10 +57,25 @@ func main() {
 	cfg.ParallelWorkers = *parallel
 	cfg.Check = *chk
 	cfg.TraceN = *traceN
-	if *faults > 0 {
-		plan := pushmulticast.GenerateFaultPlan(cfg.Tiles(), *faultSee, *faults)
-		cfg.Faults = &plan
+	// Zero keeps the config's default for each recovery knob.
+	if *retryWin != 0 {
+		cfg.NoC.RetryWindow = *retryWin
 	}
+	if *retryTO != 0 {
+		cfg.NoC.RetryTimeout = *retryTO
+	}
+	if *maxRetry != 0 {
+		cfg.NoC.MaxRetries = *maxRetry
+	}
+	if *mshrTO != 0 {
+		cfg.MSHRRetryTimeout = *mshrTO
+	}
+	plan, err := buildFaultPlan(cfg.Tiles(), *planFile, *faults, *lossy, *faultSee)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushsim:", err)
+		os.Exit(1)
+	}
+	cfg.Faults = plan
 	sc, err := parseScale(*scale)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
@@ -73,6 +94,45 @@ func main() {
 		return
 	}
 	report(res)
+}
+
+// buildFaultPlan resolves the three fault sources into one plan: a JSON plan
+// file (exclusive with the generators, since merging could stack windows on
+// one component), or a generated chaos plan, a generated lossy plan, or both
+// (the chaos generator never emits lossy kinds, so the merge cannot overlap).
+// A nil return with nil error means injection is off. Every error is a
+// one-line diagnostic; the caller prints it and exits non-zero.
+func buildFaultPlan(tiles int, planFile string, intensity float64, lossyRate int, seed uint64) (*pushmulticast.FaultPlan, error) {
+	if planFile != "" {
+		if intensity > 0 || lossyRate > 0 {
+			return nil, fmt.Errorf("-faultplan cannot be combined with -faults or -lossy")
+		}
+		data, err := os.ReadFile(planFile)
+		if err != nil {
+			return nil, fmt.Errorf("fault plan: %w", err)
+		}
+		var plan pushmulticast.FaultPlan
+		if err := json.Unmarshal(data, &plan); err != nil {
+			return nil, fmt.Errorf("fault plan %s: %v", planFile, err)
+		}
+		if err := plan.Validate(tiles); err != nil {
+			return nil, fmt.Errorf("fault plan %s: %v", planFile, err)
+		}
+		return &plan, nil
+	}
+	var plan pushmulticast.FaultPlan
+	if intensity > 0 {
+		plan = pushmulticast.GenerateFaultPlan(tiles, seed, intensity)
+	}
+	if lossyRate > 0 {
+		lp := pushmulticast.GenerateLossyPlan(tiles, seed, lossyRate)
+		plan.Seed = lp.Seed
+		plan.Faults = append(plan.Faults, lp.Faults...)
+	}
+	if len(plan.Faults) == 0 {
+		return nil, nil
+	}
+	return &plan, nil
 }
 
 // jsonResult is the machine-readable result schema.
@@ -103,6 +163,12 @@ type jsonResult struct {
 	FaultJitter     uint64 `json:"fault_jitter_delay,omitempty"`
 	FaultFilterSupp uint64 `json:"fault_filter_suppressed,omitempty"`
 	InjRefused      uint64 `json:"inj_refused,omitempty"`
+	// Lossy-interconnect recovery counters (omitted when no lossy fault ran).
+	MsgDropped      uint64 `json:"msg_dropped,omitempty"`
+	Retransmits     uint64 `json:"retransmits,omitempty"`
+	DupSuppressed   uint64 `json:"dup_suppressed,omitempty"`
+	CorruptDetected uint64 `json:"corrupt_detected,omitempty"`
+	MSHRTimeouts    uint64 `json:"mshr_timeouts,omitempty"`
 }
 
 func reportJSON(res pushmulticast.Results) error {
@@ -135,6 +201,11 @@ func reportJSON(res pushmulticast.Results) error {
 	out.FaultJitter = st.Net.FaultJitterDelay
 	out.FaultFilterSupp = st.Net.FaultFilterSuppressed
 	out.InjRefused = st.Net.InjRefused
+	out.MsgDropped = st.Net.MsgDropped
+	out.Retransmits = st.Net.Retransmits
+	out.DupSuppressed = st.Net.DupSuppressed
+	out.CorruptDetected = st.Net.CorruptDetected
+	out.MSHRTimeouts = st.Cache.MSHRTimeouts
 	for c := stats.Class(0); c < stats.NumClasses; c++ {
 		if v := st.Net.TotalFlitsByClass[c]; v > 0 {
 			out.FlitsByClass[c.String()] = v
@@ -239,5 +310,10 @@ func report(res pushmulticast.Results) {
 	if st.Net.FaultWindows > 0 {
 		fmt.Printf("fault windows   %d (jitter delay %d cyc, filter hits suppressed %d, injections refused %d)\n",
 			st.Net.FaultWindows, st.Net.FaultJitterDelay, st.Net.FaultFilterSuppressed, st.Net.InjRefused)
+	}
+	if st.Net.MsgDropped+st.Net.CorruptDetected+st.Net.DupSuppressed > 0 {
+		fmt.Printf("lossy recovery  dropped %d, corrupt %d, dups suppressed %d, retransmits %d, MSHR reissues %d\n",
+			st.Net.MsgDropped, st.Net.CorruptDetected, st.Net.DupSuppressed,
+			st.Net.Retransmits, st.Cache.MSHRTimeouts)
 	}
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"pushmulticast"
+)
+
+// TestBuildFaultPlanBadInput is the regression table for the -faultplan flag:
+// every malformed or unreadable input must produce a single-line diagnostic
+// error (main prints it and exits non-zero) rather than a panic or a silent
+// fallback to faults-off.
+func TestBuildFaultPlanBadInput(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name, content string) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	cases := []struct {
+		name      string
+		file      string
+		intensity float64
+		lossy     int
+		want      string
+	}{
+		{"unreadable", filepath.Join(dir, "no-such-plan.json"), 0, 0, "no-such-plan.json"},
+		{"not-json", write("garbage.json", "not json at all{"), 0, 0, "garbage.json"},
+		{"wrong-shape", write("shape.json", `{"Faults": "everywhere"}`), 0, 0, "shape.json"},
+		{"unknown-kind", write("kind.json", `{"Faults":[{"Kind":"MsgTeleport","From":0,"To":10}]}`), 0, 0, "MsgTeleport"},
+		{"empty-window", write("window.json", `{"Faults":[{"Kind":"MsgDrop","From":50,"To":50,"Factor":10}]}`), 0, 0, "empty window"},
+		{"node-out-of-range", write("node.json", `{"Faults":[{"Kind":"MsgDrop","Node":99,"From":0,"To":10,"Factor":10}]}`), 0, 0, "node 99"},
+		{"overlapping-windows", write("overlap.json",
+			`{"Faults":[{"Kind":"MsgDrop","Node":3,"From":0,"To":100,"Factor":10},
+			            {"Kind":"MsgDrop","Node":3,"From":50,"To":150,"Factor":20}]}`), 0, 0, "overlapping"},
+		{"combined-with-faults", write("ok.json", `{"Faults":[]}`), 0.5, 0, "cannot be combined"},
+		{"combined-with-lossy", write("ok2.json", `{"Faults":[]}`), 0, 50, "cannot be combined"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			plan, err := buildFaultPlan(16, tc.file, tc.intensity, tc.lossy, 1)
+			if err == nil {
+				t.Fatalf("buildFaultPlan accepted bad input, returned plan %+v", plan)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("diagnostic is not a single line: %q", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestBuildFaultPlanGoodInput pins the working paths: a valid plan file
+// roundtrips, the generators produce validated plans, and all-off yields nil.
+func TestBuildFaultPlanGoodInput(t *testing.T) {
+	if p, err := buildFaultPlan(16, "", 0, 0, 1); err != nil || p != nil {
+		t.Fatalf("faults-off: plan %+v, err %v; want nil, nil", p, err)
+	}
+	src := pushmulticast.GenerateLossyPlan(16, 7, 60)
+	data, err := json.Marshal(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	file := filepath.Join(t.TempDir(), "plan.json")
+	if err := os.WriteFile(file, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	p, err := buildFaultPlan(16, file, 0, 0, 1)
+	if err != nil {
+		t.Fatalf("valid plan file rejected: %v", err)
+	}
+	if p == nil || len(p.Faults) != len(src.Faults) || p.Seed != src.Seed {
+		t.Fatalf("plan file roundtrip mismatch: got %d faults seed %d, want %d faults seed %d",
+			len(p.Faults), p.Seed, len(src.Faults), src.Seed)
+	}
+	merged, err := buildFaultPlan(16, "", 0.5, 50, 9)
+	if err != nil {
+		t.Fatalf("generated chaos+lossy plan rejected: %v", err)
+	}
+	if merged == nil || !merged.Lossy() {
+		t.Fatalf("chaos+lossy merge lost the lossy faults: %+v", merged)
+	}
+	if err := merged.Validate(16); err != nil {
+		t.Fatalf("chaos+lossy merge does not validate: %v", err)
+	}
+}

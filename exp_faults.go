@@ -99,6 +99,102 @@ func ExpFaults(o ExpOptions) (*FaultResult, error) {
 	return out, nil
 }
 
+// LossyRow is one (scheme, workload, loss rate) survival measurement.
+type LossyRow struct {
+	Scheme, Workload string
+	// RatePerMille is the per-tile drop probability fed to GenerateLossyPlan
+	// (duplication and corruption run at half this rate each).
+	RatePerMille int
+	Cycles       uint64
+	// Slowdown is cycles / loss-free cycles for the same (scheme, workload).
+	Slowdown float64
+	// Recovery counters: what was lost and how it was won back.
+	Dropped, Corrupt, DupSuppressed, Retransmits, MSHRReissues uint64
+}
+
+// LossyResult holds the lossy-interconnect survival sweep.
+type LossyResult struct {
+	Seed uint64
+	Rows []LossyRow
+}
+
+// lossyRates is the swept per-mille drop axis; the top value is the
+// documented forward-progress ceiling (fault.MaxLossPerMille).
+func lossyRates() []int { return []int{0, 10, 50, 100} }
+
+// ExpLossy sweeps the lossy-interconnect drop rate for Baseline and OrdPush
+// up to the documented ceiling and reports the recovery cost. Every run keeps
+// the invariant checker on: under message loss the machine must still finish
+// every instruction coherently — loss may only cost cycles (retransmissions,
+// MSHR reissues), never correctness. A hang or ErrUnrecoverable below the
+// ceiling fails the campaign.
+func ExpLossy(o ExpOptions) (*LossyResult, error) {
+	o = o.withDefaults()
+	o.Check = true
+	wls, err := o.pickWorkloads([]Workload{workload.CacheBW(), workload.BFS()})
+	if err != nil {
+		return nil, err
+	}
+	schemes := []Scheme{Baseline(), OrdPush()}
+	out := &LossyResult{Seed: chaosSeed}
+	clean := map[runKey]uint64{}
+	for _, rate := range lossyRates() {
+		var plan *FaultPlan
+		if rate > 0 {
+			p := GenerateLossyPlan(o.baseConfig().Tiles(), chaosSeed, rate)
+			plan = &p
+		}
+		res, err := matrix(o, func(s Scheme) Config {
+			cfg := o.baseConfig().WithScheme(s)
+			cfg.Check = true
+			cfg.Faults = plan
+			return cfg
+		}, schemes, wls)
+		if err != nil {
+			return nil, fmt.Errorf("lossy campaign at %d per mille: %w", rate, err)
+		}
+		for _, s := range schemes {
+			for _, wl := range wls {
+				k := runKey{s.Name, wl.Name}
+				r := res[k]
+				if rate == 0 {
+					clean[k] = r.Cycles
+				}
+				if clean[k] == 0 || r.Cycles == 0 {
+					return nil, fmt.Errorf("lossy campaign %s/%s: zero cycle count at %d per mille",
+						s.Name, wl.Name, rate)
+				}
+				out.Rows = append(out.Rows, LossyRow{
+					Scheme:        s.Name,
+					Workload:      wl.Name,
+					RatePerMille:  rate,
+					Cycles:        r.Cycles,
+					Slowdown:      float64(r.Cycles) / float64(clean[k]),
+					Dropped:       r.Stats.Net.MsgDropped,
+					Corrupt:       r.Stats.Net.CorruptDetected,
+					DupSuppressed: r.Stats.Net.DupSuppressed,
+					Retransmits:   r.Stats.Net.Retransmits,
+					MSHRReissues:  r.Stats.Cache.MSHRTimeouts,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the survival sweep as a table.
+func (l *LossyResult) String() string {
+	t := newTable(fmt.Sprintf("Lossy interconnect: recovery cost vs drop rate (seed %#x, checker on)", l.Seed),
+		"Scheme", "Workload", "Loss o/oo", "Cycles", "Slowdown x", "Dropped", "Corrupt", "Dups supp", "Retransmits", "MSHR reissue")
+	for _, r := range l.Rows {
+		t.addRow(r.Scheme, r.Workload, fmt.Sprint(r.RatePerMille), fmt.Sprint(r.Cycles), f2(r.Slowdown),
+			fmt.Sprint(r.Dropped), fmt.Sprint(r.Corrupt), fmt.Sprint(r.DupSuppressed),
+			fmt.Sprint(r.Retransmits), fmt.Sprint(r.MSHRReissues))
+	}
+	t.addNote("survival contract: every run completes coherently at rates up to the ceiling; loss only costs cycles")
+	return t.String()
+}
+
 // String renders the campaign as a table.
 func (f *FaultResult) String() string {
 	t := newTable(fmt.Sprintf("Chaos campaign: slowdown under injected faults (seed %#x, checker on)", f.Seed),

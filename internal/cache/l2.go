@@ -22,6 +22,15 @@ type l2MSHR struct {
 	addr   uint64
 	loads  int // demand loads waiting
 	stores int // stores waiting
+	// issuedAt is when the current request (GetS/GetM) left the controller;
+	// under lossy fault plans an MSHR quiet past MSHRRetryTimeout reissues
+	// it (see checkMSHRTimers). Fault-free runs never read it.
+	issuedAt sim.Cycle
+	// backoff doubles the retry timeout per consecutive reissue (capped):
+	// a flat timer congestively collapses — when load pushes fill latency
+	// past the timeout, every MSHR reissues at once, the duplicate-response
+	// traffic pushes latency further out, and the storm feeds itself.
+	backoff uint8
 	// prefetchL1 requests an L1 fill on completion (Bingo prefetches).
 	prefetchL1 bool
 	// prefetch marks an MSHR with no demand waiters at allocation time.
@@ -77,6 +86,20 @@ type L2 struct {
 	pend     []doneEvt
 	knob     pauseKnob
 
+	// lossy arms the MSHR retry timers and the duplicate-response tolerance
+	// (a reissued request can produce two responses); set only when the
+	// fault plan schedules message loss.
+	lossy       bool
+	mshrTimeout sim.Cycle
+	// dead is the ErrUnrecoverable verdict once an MSHR exhausts its reissue
+	// budget (loss rates beyond the forward-progress ceiling): requests are
+	// outside the transport's retransmit protection — the filter may consume
+	// them in-network — so their loud-failure path lives here, not in the NI.
+	dead error
+	// timeoutScratch collects overdue MSHR addresses for sorting: the map
+	// scan order is nondeterministic, the reissue order must not be.
+	timeoutScratch []uint64
+
 	// rejKind/rejAddr remember a load (1) or store (2) the controller
 	// rejected with accepted=false. The core's next attempt for the same
 	// line is a retry of that architectural access, not a new one, so the
@@ -111,6 +134,13 @@ func NewL2(id noc.NodeID, cfg *config.System, net *noc.Network, eng *sim.Engine,
 			ratioShift:   cfg.KnobRatioShift,
 			enabled:      cfg.Scheme.Knob,
 		},
+	}
+	if cfg.Faults.Lossy() {
+		c.lossy = true
+		c.mshrTimeout = sim.Cycle(cfg.MSHRRetryTimeout)
+		if c.mshrTimeout <= 0 {
+			c.mshrTimeout = 300
+		}
 	}
 	net.Attach(id, stats.UnitL2, c)
 	c.h = eng.Register(c)
@@ -167,6 +197,9 @@ func (c *L2) Tick(now sim.Cycle) {
 		c.out.ni.Recycle(pkt)
 		handled = true
 	}
+	if c.lossy {
+		c.checkMSHRTimers(now)
+	}
 	c.out.drain(now)
 	if handled && c.wakeCore != nil {
 		c.wakeCore()
@@ -190,10 +223,107 @@ func (c *L2) reschedule() {
 			next = d.at
 		}
 	}
+	if c.lossy {
+		// A dropped response means no message ever arrives to wake us: the
+		// retry timer is the only way out, so it must bound the sleep.
+		for _, m := range c.mshr {
+			if d := m.retryDeadline(c.mshrTimeout); d < next {
+				next = d
+			}
+		}
+	}
 	if next == sim.NeverWake {
 		c.h.Sleep()
 	} else {
 		c.h.SleepUntil(next)
+	}
+}
+
+// checkMSHRTimers reissues the request of every MSHR that has been quiet for
+// MSHRRetryTimeout cycles (lossy runs only): the request or its response may
+// have been dropped below the transport's own recovery horizon. Reissues are
+// protocol-idempotent — the directory re-serves duplicate GetS/GetM, and the
+// duplicate-response paths in handleDataS/handleDataM tolerate the second
+// answer. Overdue addresses are collected and sorted first: map scan order
+// must not leak into the deterministic event stream.
+func (c *L2) checkMSHRTimers(now sim.Cycle) {
+	scratch := c.timeoutScratch[:0]
+	for addr, m := range c.mshr {
+		if now >= m.retryDeadline(c.mshrTimeout) {
+			scratch = append(scratch, addr)
+		}
+	}
+	c.timeoutScratch = scratch
+	if len(scratch) == 0 {
+		return
+	}
+	sortAddrs(scratch)
+	for _, addr := range scratch {
+		m := c.mshr[addr]
+		// Restamp unconditionally so a skipped reissue does not spin the
+		// timer every tick.
+		m.issuedAt = now
+		if m.recallPending {
+			// The directory owes us the DataM a recall is already chasing;
+			// reissuing GetM would open a second ownership episode.
+			continue
+		}
+		line := c.arr.Lookup(addr)
+		if line == nil {
+			continue
+		}
+		switch line.State {
+		case StateISD, StateISDI:
+			if c.incomingDataPending(addr) {
+				continue // the fill is already queued; no reissue needed
+			}
+			c.sendGetS(addr, m.prefetch)
+		case StateIMD, StateSMD:
+			c.sendGetM(addr)
+		default:
+			continue
+		}
+		if m.backoff < 32 {
+			m.backoff++
+		}
+		if m.backoff >= mshrMaxRetries && c.dead == nil {
+			c.dead = fmt.Errorf("cache: L2 %d addr %#x: %d request reissues unanswered: %w",
+				c.id, addr, m.backoff, noc.ErrUnrecoverable)
+		}
+		c.st.Cache.MSHRTimeouts++
+		c.eng.Progress()
+	}
+}
+
+// mshrMaxRetries is the MSHR reissue budget: consecutive unanswered reissues
+// beyond it mark the controller dead with ErrUnrecoverable. With exponential
+// backoff the budget spans ~320 base timeouts — far beyond any congestion
+// transient, so tripping it means the line's request or response is being
+// discarded persistently (loss rate above the forward-progress ceiling).
+const mshrMaxRetries = 10
+
+// Unrecoverable returns the controller's ErrUnrecoverable verdict, or nil.
+// Read between cycles by the run's finished-check (post-barrier, so the
+// lane-written field is safely visible in parallel runs).
+func (c *L2) Unrecoverable() error { return c.dead }
+
+// retryDeadline is when the MSHR's next reissue is due: the base timeout
+// doubled per consecutive reissue, capped at 64x.
+func (m *l2MSHR) retryDeadline(base sim.Cycle) sim.Cycle {
+	b := m.backoff
+	if b > 6 {
+		b = 6
+	}
+	return m.issuedAt + base<<b
+}
+
+// sortAddrs sorts a small address slice ascending (insertion sort: the
+// overdue set is bounded by L2MSHRs, typically a handful).
+func sortAddrs(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
 	}
 }
 
@@ -291,7 +421,7 @@ func (c *L2) Store(lineAddr uint64, now sim.Cycle) (done, accepted bool) {
 				return false, c.reject(2, lineAddr)
 			}
 			line.State = StateSMD
-			m := &l2MSHR{addr: lineAddr, stores: 1}
+			m := &l2MSHR{addr: lineAddr, stores: 1, issuedAt: now}
 			c.mshr[lineAddr] = m
 			c.sendGetM(lineAddr)
 			return false, true
@@ -342,7 +472,8 @@ func (c *L2) allocMiss(lineAddr uint64, now sim.Cycle, loads, stores int, prefet
 	c.st.Cache.L2Misses++
 	m := c.newMSHR()
 	*m = l2MSHR{addr: lineAddr, loads: loads, stores: stores,
-		prefetchL1: prefetchL1, prefetch: loads == 0 && stores == 0}
+		prefetchL1: prefetchL1, prefetch: loads == 0 && stores == 0,
+		issuedAt: now}
 	c.mshr[lineAddr] = m
 	if stores > 0 && loads == 0 {
 		c.arr.Install(victim, lineAddr, StateIMD, now)
@@ -476,6 +607,8 @@ func (c *L2) finishFill(line *Line, m *l2MSHR, now sim.Cycle) {
 	if m.stores > 0 {
 		line.State = StateSMD
 		m.loads = 0
+		m.issuedAt = now
+		m.backoff = 0 // fresh request episode
 		c.sendGetM(m.addr)
 		return
 	}
@@ -513,12 +646,17 @@ func (c *L2) handleDataS(m *coherence.Msg, now sim.Cycle) {
 		ms.loads = 0
 		if ms.stores > 0 {
 			line.State = StateIMD
+			ms.issuedAt = now
+			ms.backoff = 0 // fresh request episode
 			c.sendGetM(m.Addr)
 		} else {
 			line.State = StateI
 			c.freeMSHR(m.Addr)
 		}
 	default:
+		if c.lossy {
+			return // duplicate DataS from a reissued GetS
+		}
 		panic(fmt.Sprintf("L2 %d: DataS for %#x in %v", c.id, m.Addr, line.State))
 	}
 }
@@ -530,6 +668,9 @@ func (c *L2) handleDataM(m *coherence.Msg, now sim.Cycle) {
 	ms := c.mshr[m.Addr]
 	line := c.arr.Lookup(m.Addr)
 	if ms == nil || line == nil {
+		if c.lossy {
+			return // duplicate DataM from a reissued GetM; episode done
+		}
 		panic(fmt.Sprintf("L2 %d: DataM for %#x without transaction", c.id, m.Addr))
 	}
 	switch line.State {
@@ -559,6 +700,9 @@ func (c *L2) handleDataM(m *coherence.Msg, now sim.Cycle) {
 		}
 		c.freeMSHR(m.Addr)
 	default:
+		if c.lossy {
+			return // duplicate DataM; the first already installed the line
+		}
 		panic(fmt.Sprintf("L2 %d: DataM for %#x in %v", c.id, m.Addr, line.State))
 	}
 }
@@ -730,3 +874,4 @@ func (c *L2) OutstandingTransactions() bool { return len(c.mshr) != 0 || len(c.w
 
 // Knob exposes pause-knob state for tests: (TPC, UPC, needPush).
 func (c *L2) Knob() (uint32, uint32, bool) { return c.knob.tpc, c.knob.upc, c.knob.needPush() }
+

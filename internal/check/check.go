@@ -76,8 +76,30 @@ type Monitor struct {
 	pushes  map[uint64]*pktTrack
 	invs    map[uint64]*pktTrack
 
+	// Lossy-recovery state (armed when the fault plan schedules message
+	// loss): every non-orphan KMsgDrop/KMsgCorrupt opens an obligation that
+	// a KMsgRecover on the same (node, stream key) must close before the age
+	// bound — the "every dropped message is eventually retransmitted or the
+	// run aborts" invariant. lossSeq remembers the dropped packet's OrdPush
+	// injection serial per stream key so a retransmission clone (which gets
+	// a fresh packet ID and a fresh, artificially late serial) inherits the
+	// original's place in the ordering; lossRef counts the nodes holding an
+	// open obligation per key so lossSeq lives exactly as long as any does.
+	lossy       bool
+	pendingLoss map[lossKey]uint64
+	lossRef     map[uint64]int
+	lossSeq     map[uint64]uint64
+	lossBound   uint64
+
 	// scratch maps L2 tags to states during the inclusion sweep.
 	scratch map[uint64]cache.State
+}
+
+// lossKey identifies one open loss obligation: the NI that discarded the
+// message and the transport stream key it carried.
+type lossKey struct {
+	node int32
+	key  uint64
 }
 
 // New builds a monitor. coherence is the core package's global snapshot
@@ -103,6 +125,19 @@ func New(cfg *config.System, net *noc.Network, l2s []*cache.L2, llcs []*cache.LL
 		m.seq = make([]uint64, cfg.Tiles())
 		m.pushes = make(map[uint64]*pktTrack)
 		m.invs = make(map[uint64]*pktTrack)
+	}
+	if cfg.Check && cfg.Faults.Lossy() {
+		m.lossy = true
+		m.pendingLoss = make(map[lossKey]uint64)
+		m.lossRef = make(map[uint64]int)
+		m.lossSeq = make(map[uint64]uint64)
+		// A drop must be healed within the transport's full retry budget
+		// (with slack for queueing and the final in-flight hop); past that,
+		// either the retransmissions are not happening or the recovery
+		// bookkeeping lost the key — both are liveness bugs the abort path
+		// should have caught first.
+		t := cfg.NoC.WithTransportDefaults()
+		m.lossBound = uint64(t.MaxRetries+4)*uint64(t.RetryTimeout) + 20_000
 	}
 	return m
 }
@@ -179,6 +214,101 @@ func (m *Monitor) checkEvent(e trace.Event) {
 		if m.ordered {
 			m.trackDeliver(e)
 		}
+	case trace.KMsgDrop, trace.KMsgCorrupt:
+		m.trackLoss(e)
+	case trace.KMsgDup:
+		if m.ordered {
+			m.clearReplica(e, false)
+		}
+	case trace.KMsgRecover:
+		m.trackRecover(e)
+	case trace.KRetransmit:
+		if m.ordered {
+			m.inheritSerial(e)
+		}
+	}
+}
+
+// trackLoss opens (or refreshes) the recovery obligation for a discarded
+// message and, in ordered mode, retires the lost replica from its packet's
+// tracking entry — the retransmission clone, injected under a fresh ID,
+// takes over from here.
+func (m *Monitor) trackLoss(e trace.Event) {
+	orphan := e.B&1 != 0
+	if m.ordered {
+		m.clearReplica(e, m.lossy && !orphan)
+	}
+	if !m.lossy || orphan {
+		return // orphan drop: nothing will, or needs to, carry this key again
+	}
+	k := lossKey{node: e.Node, key: e.Aux}
+	if _, open := m.pendingLoss[k]; !open {
+		m.lossRef[e.Aux]++
+	}
+	m.pendingLoss[k] = e.Cycle
+}
+
+// trackRecover closes the obligation the re-arrival of a dropped stream key
+// discharges.
+func (m *Monitor) trackRecover(e trace.Event) {
+	if !m.lossy {
+		return
+	}
+	k := lossKey{node: e.Node, key: e.Aux}
+	if _, open := m.pendingLoss[k]; !open {
+		return
+	}
+	delete(m.pendingLoss, k)
+	if m.lossRef[e.Aux]--; m.lossRef[e.Aux] <= 0 {
+		delete(m.lossRef, e.Aux)
+		delete(m.lossSeq, e.Aux)
+	}
+}
+
+// clearReplica retires the replica a loss event names (the copy headed for
+// e.Node under packet e.ID) from the ordered-mode tracking maps. For a
+// suppressed duplicate the node already received the packet, so the clear
+// is an idempotent no-op. recordSeq additionally remembers the packet's
+// injection serial under its stream key, for the retransmission clone to
+// inherit (see inheritSerial).
+func (m *Monitor) clearReplica(e trace.Event, recordSeq bool) {
+	at := noc.NodeID(e.Node)
+	if p, ok := m.pushes[e.ID]; ok {
+		if recordSeq {
+			m.lossSeq[e.Aux] = p.seq
+		}
+		p.left = p.left.Remove(at)
+		if p.left.Empty() {
+			delete(m.pushes, e.ID)
+		}
+		return
+	}
+	if p, ok := m.invs[e.ID]; ok {
+		if recordSeq {
+			m.lossSeq[e.Aux] = p.seq
+		}
+		p.left = p.left.Remove(at)
+		if p.left.Empty() {
+			delete(m.invs, e.ID)
+		}
+	}
+}
+
+// inheritSerial rewrites a retransmission clone's injection serial to the
+// original's: the clone was injected just now (fresh ID, late serial), but
+// it logically occupies the dropped packet's slot in the OrdPush order, and
+// judging it by its re-injection time would fabricate ordering violations.
+func (m *Monitor) inheritSerial(e trace.Event) {
+	seq, ok := m.lossSeq[e.Aux]
+	if !ok {
+		return
+	}
+	if p, tracked := m.pushes[e.ID]; tracked {
+		p.seq = seq
+		return
+	}
+	if p, tracked := m.invs[e.ID]; tracked {
+		p.seq = seq
 	}
 }
 
@@ -260,9 +390,42 @@ func (m *Monitor) trackDeliver(e trace.Event) {
 	}
 }
 
+// LossOutstanding reports the number of open loss-recovery obligations
+// (dropped messages whose stream key has not re-arrived). Test hook.
+func (m *Monitor) LossOutstanding() int { return len(m.pendingLoss) }
+
+// scanLossAge asserts the recovery liveness invariant: no dropped message
+// may stay unrecovered past the transport's full retry budget. The worst
+// offender is picked by (age, node, key) so the failure message does not
+// depend on map iteration order.
+func (m *Monitor) scanLossAge(cyc uint64) {
+	var worst lossKey
+	var worstAt uint64
+	found := false
+	for k, at := range m.pendingLoss {
+		if cyc-at <= m.lossBound {
+			continue
+		}
+		if !found || at < worstAt ||
+			(at == worstAt && (k.node < worst.node || (k.node == worst.node && k.key < worst.key))) {
+			worst, worstAt, found = k, at, true
+		}
+	}
+	if found {
+		m.fail(cyc, "message loss never recovered: stream key %#x dropped at tile %d on cycle %d, still outstanding after %d cycles (bound %d)",
+			worst.key, worst.node, worstAt, cyc-worstAt, m.lossBound)
+	}
+}
+
 // scan sweeps the structural invariants over a global snapshot.
 func (m *Monitor) scan(now sim.Cycle) {
 	cyc := uint64(now)
+	if m.lossy {
+		m.scanLossAge(cyc)
+		if m.err != nil {
+			return
+		}
+	}
 	if err := m.coherence(); err != nil {
 		m.fail(cyc, "%v", err)
 		return

@@ -263,6 +263,13 @@ type System struct {
 	// elevated latency) is expected to hold. The same plan replays
 	// byte-identically across the serial, dense, and parallel kernels.
 	Faults *fault.Plan
+
+	// MSHRRetryTimeout is the cycle count after which an L2 MSHR with no
+	// response reissues its request (lossy fault plans only; fault-free runs
+	// never arm the timers). It must sit below the NoC transport's
+	// RetryTimeout so a protocol-level reissue genuinely fires before the
+	// transport's own retransmission heals the loss. 0 selects the default.
+	MSHRRetryTimeout int
 }
 
 // Tiles returns the tile count.
@@ -355,6 +362,7 @@ func defaultSystem(w, h int) System {
 		NoC:              noc.DefaultConfig(w, h),
 		BingoRegionBytes: 2 << 10, BingoPHTEntries: 256,
 		StrideStreams: 16, StrideDegree: 4,
+		MSHRRetryTimeout: 300,
 	}
 	return s.WithScheme(Baseline())
 }

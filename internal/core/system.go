@@ -245,6 +245,23 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 			checkErr = s.Checker.Err()
 			return true
 		}
+		// A sender that exhausted its retransmissions can never be acked:
+		// abort loudly with the wrapped ErrUnrecoverable and a trace tail
+		// instead of letting the run spin until the watchdog fires. The
+		// closure runs between cycles on the coordinator, after any parallel
+		// section's barrier, so the lane-written verdicts are visible.
+		if err := s.Net.Unrecoverable(); err != nil {
+			checkErr = err
+			return true
+		}
+		if s.Cfg.Faults.Lossy() {
+			for _, l2 := range s.L2s {
+				if err := l2.Unrecoverable(); err != nil {
+					checkErr = err
+					return true
+				}
+			}
+		}
 		if checkEvery != 0 && uint64(s.Eng.Now())%checkEvery == 0 {
 			if err := s.CheckCoherence(); err != nil {
 				checkErr = err

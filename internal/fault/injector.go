@@ -41,6 +41,13 @@ type Injector struct {
 	slows  [][]*Fault
 	spikes [][]*Fault
 	drops  [][]*Fault
+	// Lossy-kind indexes, keyed by node: message drops, duplications, and
+	// corruptions applied at the receiving NI. hasLossy arms the NoC's
+	// end-to-end recovery layer.
+	mdrops   [][]*Fault
+	mdups    [][]*Fault
+	mcorrs   [][]*Fault
+	hasLossy bool
 	// lastArr tracks the last granted head-arrival cycle per (node, output
 	// port), backing the monotonic clamp that keeps jittered links
 	// order-preserving (OrdPush's push-before-invalidation survives). It is
@@ -60,6 +67,9 @@ func NewInjector(plan Plan, nodes int, st *stats.All) *Injector {
 		slows:   make([][]*Fault, nodes),
 		spikes:  make([][]*Fault, nodes),
 		drops:   make([][]*Fault, nodes),
+		mdrops:  make([][]*Fault, nodes),
+		mdups:   make([][]*Fault, nodes),
+		mcorrs:  make([][]*Fault, nodes),
 		lastArr: make([]sim.Cycle, nodes*noc.NumPorts),
 	}
 	for i := range plan.Faults {
@@ -85,6 +95,15 @@ func NewInjector(plan Plan, nodes int, st *stats.All) *Injector {
 			in.spikes[f.Node] = append(in.spikes[f.Node], f)
 		case FilterDrop:
 			in.drops[f.Node] = append(in.drops[f.Node], f)
+		case MsgDrop:
+			in.mdrops[f.Node] = append(in.mdrops[f.Node], f)
+			in.hasLossy = true
+		case MsgDup:
+			in.mdups[f.Node] = append(in.mdups[f.Node], f)
+			in.hasLossy = true
+		case MsgCorrupt:
+			in.mcorrs[f.Node] = append(in.mcorrs[f.Node], f)
+			in.hasLossy = true
 		}
 	}
 	return in
@@ -222,6 +241,48 @@ func (in *Injector) InjQueueCap(node noc.NodeID, depth int) int {
 		}
 	}
 	return depth
+}
+
+// LossyEnabled reports whether the plan schedules any lossy kind; the NoC
+// arms its recovery layer (sequence numbers, acks, retransmit windows) only
+// when it does, keeping fault-free hot paths unchanged.
+func (in *Injector) LossyEnabled() bool { return in.hasLossy }
+
+// LossyVerdict decides the fate of one packet arrival at a node's NI: intact,
+// dropped, duplicated, or corrupted. It is a pure function of (seed, plan,
+// cycle, node, packet id) — called from NI ticks, which run on lane
+// goroutines in the parallel kernel, so it must not write stats or any clamp
+// state (the NI accounts the outcome on its own lane shard). At most one
+// window per lossy kind can be active on a node (Validate rejects overlaps),
+// and the three kinds roll independent hash bits, with the more severe
+// verdict winning when several fire at once.
+func (in *Injector) LossyVerdict(node noc.NodeID, now sim.Cycle, pktID uint64) noc.LossVerdict {
+	c := uint64(now)
+	h := uint64(0)
+	hashed := false
+	roll := func(shift uint) uint64 {
+		if !hashed {
+			h = splitmix64(in.plan.Seed ^ splitmix64(pktID^0x10551) ^ (c+1)*0x9E3779B97F4A7C15)
+			hashed = true
+		}
+		return (h >> shift) % 1000
+	}
+	for _, f := range in.mdrops[node] {
+		if f.activeAt(c) && roll(0) < uint64(f.Factor) {
+			return noc.LossDrop
+		}
+	}
+	for _, f := range in.mcorrs[node] {
+		if f.activeAt(c) && roll(20) < uint64(f.Factor) {
+			return noc.LossCorrupt
+		}
+	}
+	for _, f := range in.mdups[node] {
+		if f.activeAt(c) && roll(40) < uint64(f.Factor) {
+			return noc.LossDup
+		}
+	}
+	return noc.LossNone
 }
 
 // SuppressFilterHit reports whether a FilterDrop window holds the router's

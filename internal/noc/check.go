@@ -206,6 +206,20 @@ func (n *Network) PushInFlight(addr uint64, requester NodeID) bool {
 				return true
 			}
 		}
+		// Under lossy faults a push may live nowhere but the sender's
+		// retransmit window: the replica headed for the requester was dropped
+		// and its re-send has not fired yet. The unacked window entry is the
+		// guarantee that it still reaches the requester.
+		if tp := ni.tp; tp != nil {
+			for v := range tp.tx {
+				for i := range tp.tx[v].entries {
+					e := &tp.tx[v].entries[i]
+					if !e.done && e.proto.IsPush && e.proto.Addr == addr && e.pending.Has(requester) {
+						return true
+					}
+				}
+			}
+		}
 	}
 	for _, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {

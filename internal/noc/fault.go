@@ -1,6 +1,30 @@
 package noc
 
-import "pushmulticast/internal/sim"
+import (
+	"errors"
+
+	"pushmulticast/internal/sim"
+)
+
+// LossVerdict is the fate a lossy fault assigns to one packet arrival at an
+// NI: intact, discarded, delivered twice, or payload-corrupted (caught by the
+// per-packet checksum and then discarded like a drop).
+type LossVerdict uint8
+
+// Loss verdicts.
+const (
+	LossNone LossVerdict = iota
+	LossDrop
+	LossDup
+	LossCorrupt
+)
+
+// ErrUnrecoverable is the loud-failure sentinel of the recovery layer: a
+// sender NI exhausted MaxRetries retransmissions of one window entry without
+// an ack. Runs abort promptly with this error (wrapped with the sender and
+// stream identity) and a trace tail — never a silent hang or a watchdog
+// deadlock, since MaxRetries*RetryTimeout is far below the progress watchdog.
+var ErrUnrecoverable = errors.New("noc: message unrecoverable after max retries")
 
 // FaultHook is the network's view of the fault-injection layer
 // (internal/fault implements it). Every method must be a pure function of
@@ -31,11 +55,28 @@ type FaultHook interface {
 	// SuppressFilterHit reports that the router's filter bank is offline for
 	// lookups this cycle (FilterDrop); hits are treated as misses.
 	SuppressFilterHit(node NodeID, now sim.Cycle) bool
+	// LossyEnabled reports whether the plan schedules any lossy kind
+	// (MsgDrop/MsgDup/MsgCorrupt); the network arms its end-to-end recovery
+	// layer only when it does.
+	LossyEnabled() bool
+	// LossyVerdict decides the fate of one packet arrival at the node's NI.
+	// Called from NI ticks on lane goroutines: it must be a pure read.
+	LossyVerdict(node NodeID, now sim.Cycle, pktID uint64) LossVerdict
 }
 
 // SetFaults installs the fault hook. Must be called before the first tick;
-// a nil hook (the default) keeps every fault check off the hot paths.
-func (n *Network) SetFaults(h FaultHook) { n.faults = h }
+// a nil hook (the default) keeps every fault check off the hot paths. A hook
+// with lossy faults scheduled arms the recovery layer: NIs allocate their
+// retransmit windows and dedup state here, so fault-free runs pay nothing.
+func (n *Network) SetFaults(h FaultHook) {
+	n.faults = h
+	if h != nil && h.LossyEnabled() {
+		n.lossy = true
+		for _, ni := range n.nis {
+			ni.initTransport()
+		}
+	}
+}
 
 // WakeTile wakes a tile's router and NI. The fault injector calls it at
 // window boundaries: a router whose traffic a fault blocked may be asleep

@@ -66,6 +66,12 @@ type NI struct {
 	// it happen on the tile's lane: Inject runs from the tile's endpoints,
 	// deliver from the NI's own tick.
 	tr *trace.Shard
+	// tp is the end-to-end recovery state (retransmit windows, receiver
+	// dedup, pending acks), allocated only when the fault plan schedules
+	// lossy kinds; nil keeps fault-free hot paths allocation-identical. All
+	// access happens on the tile's lane (Inject from co-located endpoints,
+	// everything else from the NI's own tick). See transport.go.
+	tp *niTransport
 }
 
 // CanInject reports whether the unit's vnet queue has room for another
@@ -80,11 +86,16 @@ func (ni *NI) CanInject(unit stats.Unit, vnet int) bool {
 	return len(ni.queues[unit][vnet]) < depth
 }
 
-// Inject enqueues a packet for injection. A full queue refuses the packet
-// (backpressure: the packet stays with the caller, which retries next cycle)
-// and reports false; the refusal is counted in InjRefused.
+// Inject enqueues a packet for injection. A full queue — or, under lossy
+// faults, a full retransmit window — refuses the packet (backpressure: the
+// packet stays with the caller, which retries next cycle) and reports false;
+// the refusal is counted in InjRefused.
 func (ni *NI) Inject(pkt *Packet, now sim.Cycle) bool {
 	if !ni.CanInject(pkt.SrcUnit, pkt.VNet) {
+		ni.st.Net.InjRefused++
+		return false
+	}
+	if ni.net.lossy && !pkt.IsAck && !pkt.retx && !pkt.Filterable && ni.windowFull(pkt.VNet) {
 		ni.st.Net.InjRefused++
 		return false
 	}
@@ -98,6 +109,9 @@ func (ni *NI) Inject(pkt *Packet, now sim.Cycle) bool {
 	pkt.ID = uint64(ni.node)<<32 | ni.seq
 	pkt.InjectedAt = now
 	pkt.Src = ni.node
+	if ni.net.lossy {
+		ni.stampTransport(pkt, now)
+	}
 	ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KInject, Node: int32(ni.node),
 		Addr: pkt.Addr, ID: pkt.ID, Aux: uint64(pkt.Dests), A: int32(pkt.DstUnit), B: pktFlags(pkt)})
 	ni.queues[pkt.SrcUnit][pkt.VNet] = append(ni.queues[pkt.SrcUnit][pkt.VNet], pkt)
@@ -152,10 +166,14 @@ func (ni *NI) putPacket(p *Packet) {
 	ni.pktPool = append(ni.pktPool, p)
 }
 
-// Tick delivers matured ejections, continues the current injection stream,
-// and starts a new one when the link is idle.
+// Tick delivers matured ejections, retransmits overdue unacked window
+// entries (lossy runs only), continues the current injection stream, and
+// starts a new one when the link is idle.
 func (ni *NI) Tick(now sim.Cycle) {
 	ni.deliver(now)
+	if ni.net.lossy {
+		ni.checkRetransmits(now)
+	}
 	if ni.stream == nil {
 		ni.pick(now)
 	}
@@ -164,21 +182,29 @@ func (ni *NI) Tick(now sim.Cycle) {
 }
 
 // reschedule reports quiescence to the engine: an NI with no queued packets
-// and no active stream sleeps until its earliest pending delivery (forever if
-// none). Inject and scheduleDelivery wake it.
+// and no active stream sleeps until its earliest pending delivery or — under
+// lossy faults — its earliest retransmit deadline (forever if none). Inject
+// and scheduleDelivery wake it.
 func (ni *NI) reschedule() {
 	if ni.stream != nil || ni.queued != 0 {
 		return
 	}
-	if len(ni.delivery) == 0 {
-		ni.h.Sleep()
-		return
+	min := sim.NeverWake
+	if ni.net.lossy {
+		next, idle := ni.transportDeadline()
+		if !idle {
+			return // pending acks or a dead sender: stay awake
+		}
+		min = next
 	}
-	min := ni.delivery[0].readyAt
-	for _, d := range ni.delivery[1:] {
+	for _, d := range ni.delivery {
 		if d.readyAt < min {
 			min = d.readyAt
 		}
+	}
+	if min == sim.NeverWake {
+		ni.h.Sleep()
+		return
 	}
 	ni.h.SleepUntil(min)
 }
@@ -190,20 +216,47 @@ func (ni *NI) deliver(now sim.Cycle) {
 			kept = append(kept, d)
 			continue
 		}
-		ep := ni.endpoints[d.pkt.DstUnit]
-		if ep == nil {
-			panic(fmt.Sprintf("noc: no endpoint for unit %v at node %d", d.pkt.DstUnit, ni.node))
+		fate := LossNone
+		if ni.net.lossy {
+			var admit bool
+			admit, fate = ni.transportAdmit(d.pkt, now)
+			if !admit {
+				continue
+			}
 		}
-		st := &ni.st.Net
-		st.EjectedPackets[d.pkt.DstUnit][d.pkt.Class]++
-		st.PacketLatencySum += uint64(now - d.pkt.InjectedAt)
-		st.PacketCount++
-		ni.net.eng.Progress()
-		ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KDeliver, Node: int32(ni.node),
-			Addr: d.pkt.Addr, ID: d.pkt.ID, Aux: uint64(d.pkt.Dests), A: int32(d.pkt.DstUnit), B: pktFlags(d.pkt)})
-		ep.Receive(d.pkt, now)
+		if fate == LossDup {
+			// Snapshot the header first: the endpoint may recycle (zero) the
+			// packet inside handoff, and the simulated second arrival needs
+			// the original identity.
+			dup := *d.pkt
+			ni.handoff(d.pkt, now)
+			ni.simulateDup(&dup, now)
+		} else {
+			ni.handoff(d.pkt, now)
+		}
 	}
 	ni.delivery = kept
+	if ni.net.lossy {
+		ni.flushHeld(now)
+		ni.flushAcks(now)
+	}
+}
+
+// handoff performs the endpoint delivery proper: accounting, the KDeliver
+// trace event, and the Receive call.
+func (ni *NI) handoff(pkt *Packet, now sim.Cycle) {
+	ep := ni.endpoints[pkt.DstUnit]
+	if ep == nil {
+		panic(fmt.Sprintf("noc: no endpoint for unit %v at node %d", pkt.DstUnit, ni.node))
+	}
+	st := &ni.st.Net
+	st.EjectedPackets[pkt.DstUnit][pkt.Class]++
+	st.PacketLatencySum += uint64(now - pkt.InjectedAt)
+	st.PacketCount++
+	ni.net.eng.Progress()
+	ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KDeliver, Node: int32(ni.node),
+		Addr: pkt.Addr, ID: pkt.ID, Aux: uint64(pkt.Dests), A: int32(pkt.DstUnit), B: pktFlags(pkt)})
+	ep.Receive(pkt, now)
 }
 
 // laneUnit and laneVNet decompose an injection arbitration lane index into
@@ -342,6 +395,14 @@ type Network struct {
 	// faults is the installed fault-injection hook, nil when injection is
 	// off (the default); hot paths gate every fault check on that nil.
 	faults FaultHook
+	// lossy is set by SetFaults when the plan schedules MsgDrop/MsgDup/
+	// MsgCorrupt; it arms the end-to-end recovery layer. The resolved knobs
+	// below come from cfg.WithTransportDefaults at construction.
+	lossy        bool
+	seqMask      uint32
+	retryWindow  int
+	retryTimeout sim.Cycle
+	maxRetries   int
 	// streamPool recycles the per-replica stream allocations on the router
 	// hot path; routers run serially, so one network-wide pool is race-free.
 	// Packet and payload pools are per-NI (tile-local) so parallel lanes
@@ -372,6 +433,11 @@ func New(cfg Config, eng *sim.Engine, st *stats.All) (*Network, error) {
 		return nil, err
 	}
 	n := &Network{cfg: cfg, eng: eng, st: st}
+	t := cfg.WithTransportDefaults()
+	n.seqMask = uint32(1)<<uint(t.SeqBits) - 1
+	n.retryWindow = t.RetryWindow
+	n.retryTimeout = sim.Cycle(t.RetryTimeout)
+	n.maxRetries = t.MaxRetries
 	nodes := cfg.Nodes()
 	n.routers = make([]*Router, nodes)
 	n.nis = make([]*NI, nodes)
@@ -442,11 +508,22 @@ func (n *Network) LinkName(idx int) string {
 }
 
 // Quiescent reports whether no packets are queued, streaming, or buffered
-// anywhere in the network.
+// anywhere in the network, including the recovery layer's unacked windows,
+// parked invalidations, and pending acks.
 func (n *Network) Quiescent() bool {
 	for _, ni := range n.nis {
 		if ni.stream != nil || len(ni.delivery) != 0 {
 			return false
+		}
+		if tp := ni.tp; tp != nil {
+			if len(tp.ackDue) != 0 || len(tp.held) != 0 {
+				return false
+			}
+			for v := range tp.tx {
+				if len(tp.tx[v].entries) != 0 {
+					return false
+				}
+			}
 		}
 		for u := range ni.queues {
 			for v := range ni.queues[u] {

@@ -1,0 +1,166 @@
+package noc
+
+import (
+	"testing"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/stats"
+)
+
+// bareTransportNI builds the minimal NI the transport-layer state machines
+// need: anti-replay streams and tx windows, no engine or routers.
+func bareTransportNI(seqBits uint) *NI {
+	return &NI{
+		net: &Network{seqMask: uint32(1)<<seqBits - 1},
+		tp: &niTransport{
+			rx:        make(map[uint32]*rxStream),
+			ackDueSet: make(map[uint32]struct{}),
+		},
+	}
+}
+
+// TestRxSeenProperty replays pseudo-random bounded-lag delivery sequences
+// against a reference model that remembers every unmasked sequence number
+// exactly, for narrow and full-width counters. The transport's contract: as
+// long as a redelivery lags the newest delivery by less than the 64-bit mask
+// horizon (guaranteed by the bounded retransmit window), the anti-replay
+// window dedups exactly — no fresh packet suppressed, no duplicate admitted
+// — through arbitrarily many wraps of the masked counter.
+func TestRxSeenProperty(t *testing.T) {
+	const (
+		steps   = 30000
+		maxBack = 40 // redelivery lag kept below the 64-entry mask horizon
+		maxFwd  = 8  // bounded reorder ahead of the newest delivery
+	)
+	for _, seqBits := range []uint{8, 12, 16} {
+		ni := bareTransportNI(seqBits)
+		pkt := &Packet{Src: 3, VNet: VNetData}
+		seen := make(map[uint64]bool) // reference: unmasked seq -> delivered
+		var top uint64                // reference: newest unmasked delivery
+		rng := uint64(0x1234567 + seqBits)
+		for i := 0; i < steps; i++ {
+			rng = rng*6364136223846793005 + 1442695040888963407
+			lo := uint64(0)
+			if top > maxBack {
+				lo = top - maxBack
+			}
+			s := lo + (rng>>33)%(top-lo+1+maxFwd)
+			pkt.Seq = uint32(s) & ni.net.seqMask
+			want := seen[s]
+			if peek := ni.rxSeenPeek(pkt); peek != want {
+				t.Fatalf("seqBits=%d step %d: rxSeenPeek(%d)=%v, reference %v", seqBits, i, s, peek, want)
+			}
+			if got := ni.rxSeen(pkt); got != want {
+				t.Fatalf("seqBits=%d step %d: rxSeen(%d)=%v, reference %v", seqBits, i, s, got, want)
+			}
+			seen[s] = true
+			if s > top {
+				top = s
+			}
+		}
+	}
+}
+
+// TestConsumeAckCumulative checks that one cumulative ack retires exactly
+// the window entries the receiver's (top, mask) snapshot covers: seqs at or
+// behind top with their mask bit set, and nothing ahead of top.
+func TestConsumeAckCumulative(t *testing.T) {
+	ni := bareTransportNI(16)
+	const dest = NodeID(5)
+	w := &ni.tp.tx[VNetData]
+	for seq := uint32(10); seq < 16; seq++ {
+		w.entries = append(w.entries, txEntry{
+			seq: seq, proto: Packet{Seq: seq}, pending: OneDest(dest),
+		})
+	}
+	// Receiver saw 10, 11, 13 (top=13, mask bits 0,2,3); 12 was lost, 14 and
+	// 15 have not arrived.
+	ack := &Packet{
+		IsAck: true, AckVNet: int8(VNetData), Src: dest,
+		Seq: 13, AckMask: 1 | 1<<2 | 1<<3,
+	}
+	ni.consumeAck(ack, 0)
+	// The done prefix (10, 11) is popped; 12 must survive at the front.
+	if len(w.entries) != 4 {
+		t.Fatalf("window has %d entries after ack, want 4 (12..15)", len(w.entries))
+	}
+	for i, want := range []struct {
+		seq  uint32
+		done bool
+	}{{12, false}, {13, true}, {14, false}, {15, false}} {
+		e := &w.entries[i]
+		if e.seq != want.seq || e.done != want.done {
+			t.Errorf("entry %d: seq=%d done=%v, want seq=%d done=%v", i, e.seq, e.done, want.seq, want.done)
+		}
+	}
+	// The retransmission of 12 arrives; the re-ack covers everything.
+	ack.Seq, ack.AckMask = 13, 1|1<<1|1<<2|1<<3
+	ni.consumeAck(ack, 0)
+	if len(w.entries) != 2 || w.entries[0].seq != 14 {
+		t.Fatalf("window after healing ack: %d entries, front seq %d; want 2 entries from 14", len(w.entries), w.entries[0].seq)
+	}
+}
+
+// TestConsumeAckWraparound drives the cumulative coverage check across the
+// masked counter's wrap: an ack whose top sits just past the wrap must cover
+// entries from just before it, and must not touch entries logically ahead.
+func TestConsumeAckWraparound(t *testing.T) {
+	ni := bareTransportNI(8)
+	const dest = NodeID(2)
+	w := &ni.tp.tx[VNetReq]
+	for _, seq := range []uint32{253, 254, 255, 0, 1, 2} {
+		w.entries = append(w.entries, txEntry{
+			seq: seq, proto: Packet{Seq: seq}, pending: OneDest(dest),
+		})
+	}
+	// Receiver saw 253, 255, 0 (top=0): mask bit 0 (=0), 1 (=255), 3 (=253).
+	ack := &Packet{
+		IsAck: true, AckVNet: int8(VNetReq), Src: dest,
+		Seq: 0, AckMask: 1 | 1<<1 | 1<<3,
+	}
+	ni.consumeAck(ack, 0)
+	var got []uint32
+	for i := range w.entries {
+		if !w.entries[i].done {
+			got = append(got, w.entries[i].seq)
+		}
+	}
+	want := []uint32{254, 1, 2}
+	if len(got) != len(want) {
+		t.Fatalf("surviving entries %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("surviving entries %v, want %v", got, want)
+		}
+	}
+}
+
+// TestSendAckCoalesces checks the congestive-collapse guard: any number of
+// deliveries from the same (source, vnet) stream leaves exactly one due ack,
+// and distinct streams queue independently in arrival order.
+func TestSendAckCoalesces(t *testing.T) {
+	ni := bareTransportNI(16)
+	a := &Packet{Src: 1, VNet: VNetData, DstUnit: stats.UnitL2}
+	b := &Packet{Src: 1, VNet: VNetReq, DstUnit: stats.UnitL2}
+	c := &Packet{Src: 7, VNet: VNetData, DstUnit: stats.UnitL2}
+	for i := 0; i < 5; i++ {
+		ni.sendAck(a, sim.Cycle(i))
+	}
+	ni.sendAck(b, 5)
+	ni.sendAck(c, 6)
+	ni.sendAck(a, 7)
+	if len(ni.tp.ackDue) != 3 {
+		t.Fatalf("ackDue has %d streams, want 3 (coalesced)", len(ni.tp.ackDue))
+	}
+	wantKeys := []uint32{
+		uint32(1)<<2 | uint32(VNetData),
+		uint32(1)<<2 | uint32(VNetReq),
+		uint32(7)<<2 | uint32(VNetData),
+	}
+	for i, k := range wantKeys {
+		if ni.tp.ackDue[i] != k {
+			t.Fatalf("ackDue[%d]=%#x, want %#x", i, ni.tp.ackDue[i], k)
+		}
+	}
+}

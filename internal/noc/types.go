@@ -115,10 +115,32 @@ type Packet struct {
 	// InjectedAt is stamped by the NI for latency accounting.
 	InjectedAt sim.Cycle
 
+	// Transport-layer fields, stamped by the sender NI only when the lossy
+	// recovery layer is armed (see Config.RetryWindow and fault.MsgDrop).
+	//
+	// Seq is the per-(source, vnet) stream sequence number; the receiver's
+	// dedup window suppresses replayed numbers. Csum is the header checksum
+	// verified at delivery (MsgCorrupt detection). IsAck marks single-flit
+	// transport acknowledgments: an ack is cumulative, carrying the
+	// receiver's whole anti-replay state for one (source, vnet) stream —
+	// Seq is the highest sequence accepted and AckMask bit i records that
+	// Seq-i was seen — and retires every covered entry in the sender's
+	// AckVNet window at once. Acks are never themselves sequence-tracked: a
+	// lost ack is healed by the retransmission it provokes, whose re-ack
+	// carries fresher state.
+	Seq     uint32
+	Csum    uint32
+	IsAck   bool
+	AckVNet int8
+	AckMask uint64
+
 	// pooled marks packets born from the network's free list (router-created
 	// replicas); only those are ever recycled, so externally created packets
 	// stay valid for as long as their creator holds them.
 	pooled bool
+	// retx marks a retransmission clone: Inject must not stamp a fresh
+	// sequence number or open a new window entry for it.
+	retx bool
 }
 
 // RefPayload is implemented by packet payloads managed through the
@@ -191,6 +213,24 @@ type Config struct {
 	// OrdPushInvStall enables OrdPush's in-router invalidation stalling
 	// behind same-line pushes.
 	OrdPushInvStall bool
+
+	// End-to-end recovery knobs, active only when the fault plan schedules
+	// lossy kinds. Zero values select the defaults (in parentheses), so
+	// hand-built Configs keep working.
+	//
+	// RetryWindow (32) bounds unacked packets per (sender NI, vnet); a full
+	// window refuses injection, surfacing as ordinary backpressure.
+	RetryWindow int
+	// RetryTimeout (400) is the cycles a sender waits for an ack before
+	// retransmitting a window entry to its unacked destinations.
+	RetryTimeout int
+	// MaxRetries (16) bounds retransmissions per window entry; exceeding it
+	// aborts the run with ErrUnrecoverable.
+	MaxRetries int
+	// SeqBits (16) is the sequence counter width; tests shrink it to
+	// exercise wraparound. The receiver disambiguates old from new across
+	// the wrap as long as 2*RetryWindow <= 1<<SeqBits.
+	SeqBits int
 }
 
 // DefaultConfig returns the Table I NoC configuration for an W x H mesh.
@@ -201,7 +241,34 @@ func DefaultConfig(w, h int) Config {
 		VCsPerVNet:    4,
 		LinkWidthBits: 128,
 		InjQueueDepth: 16,
+		RetryWindow:   32,
+		RetryTimeout:  400,
+		MaxRetries:    16,
+		SeqBits:       16,
 	}
+}
+
+// WithTransportDefaults returns the configuration with zero recovery knobs
+// replaced by their defaults; the network and the invariant checker both
+// resolve knobs through it so they always agree.
+func (c Config) WithTransportDefaults() Config {
+	if c.RetryWindow == 0 {
+		c.RetryWindow = 32
+	}
+	if c.RetryTimeout == 0 {
+		c.RetryTimeout = 400
+	}
+	if c.MaxRetries == 0 {
+		// 16 keeps the documented MaxLossPerMille ceiling statistically safe:
+		// at 100 per-mille drop (plus half-rate dup and corrupt) a round trip
+		// fails with p ~ 0.3, so a budget of 8 fails a few times per hundred
+		// thousand window entries; 17 consecutive failures is ~1e-9.
+		c.MaxRetries = 16
+	}
+	if c.SeqBits == 0 {
+		c.SeqBits = 16
+	}
+	return c
 }
 
 // Nodes returns the tile count.
@@ -247,6 +314,22 @@ func (c Config) Validate() error {
 	}
 	if c.InjQueueDepth <= 0 {
 		return fmt.Errorf("noc: InjQueueDepth must be positive, got %d", c.InjQueueDepth)
+	}
+	t := c.WithTransportDefaults()
+	if t.RetryWindow < 1 || t.RetryWindow > 64 {
+		// The receiver's dedup window is a 64-bit backward mask; a larger
+		// sender window could slide legitimate arrivals past it.
+		return fmt.Errorf("noc: RetryWindow %d outside [1,64]", t.RetryWindow)
+	}
+	if t.SeqBits < 3 || t.SeqBits > 31 {
+		return fmt.Errorf("noc: SeqBits %d outside [3,31]", t.SeqBits)
+	}
+	if uint64(2*t.RetryWindow) > 1<<uint(t.SeqBits) {
+		return fmt.Errorf("noc: RetryWindow %d too large for %d-bit sequence numbers (need 2*window <= 1<<bits)",
+			t.RetryWindow, t.SeqBits)
+	}
+	if t.RetryTimeout < 1 || t.MaxRetries < 1 {
+		return fmt.Errorf("noc: RetryTimeout %d and MaxRetries %d must be positive", t.RetryTimeout, t.MaxRetries)
 	}
 	return nil
 }

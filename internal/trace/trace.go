@@ -65,6 +65,24 @@ const (
 	// KMemWrite: memory controller performed a line writeback. Node =
 	// controller tile, A = requester tile.
 	KMemWrite
+	// KMsgDrop: a MsgDrop fault discarded a packet at the receiving NI.
+	// Node = receiving tile, A = source tile, Aux = transport stream key
+	// (seq | stream<<32 | src<<40).
+	KMsgDrop
+	// KMsgCorrupt: checksum verification failed under a MsgCorrupt fault;
+	// the packet was discarded like a drop. Fields as KMsgDrop.
+	KMsgCorrupt
+	// KMsgDup: receiver dedup suppressed an already-delivered arrival.
+	// Fields as KMsgDrop.
+	KMsgDup
+	// KMsgRecover: a previously dropped/corrupted transport stream key was
+	// delivered (or dedup-suppressed) at the same NI — the loss is healed.
+	// Fields as KMsgDrop.
+	KMsgRecover
+	// KRetransmit: sender NI re-injected an unacked window entry after a
+	// timeout. Node = sender tile, ID = the retransmit copy's packet ID,
+	// Aux = transport stream key, A = retry count.
+	KRetransmit
 
 	numKinds
 )
@@ -80,6 +98,11 @@ var kindNames = [numKinds]string{
 	KPushTrigger:     "push-trigger",
 	KMemRead:         "mem-read",
 	KMemWrite:        "mem-write",
+	KMsgDrop:         "msg-drop",
+	KMsgCorrupt:      "msg-corrupt",
+	KMsgDup:          "msg-dup",
+	KMsgRecover:      "msg-recover",
+	KRetransmit:      "retransmit",
 }
 
 func (k Kind) String() string {

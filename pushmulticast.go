@@ -24,6 +24,7 @@ import (
 	"pushmulticast/internal/config"
 	"pushmulticast/internal/core"
 	"pushmulticast/internal/fault"
+	"pushmulticast/internal/noc"
 	"pushmulticast/internal/stats"
 	"pushmulticast/internal/workload"
 )
@@ -102,13 +103,38 @@ const (
 	FaultVCJitter   = fault.VCJitter
 	FaultInjSpike   = fault.InjSpike
 	FaultFilterDrop = fault.FilterDrop
+	FaultMsgDrop    = fault.MsgDrop
+	FaultMsgDup     = fault.MsgDup
+	FaultMsgCorrupt = fault.MsgCorrupt
 )
+
+// MaxLossPerMille is the highest per-mille message-loss rate for which the
+// forward-progress contract holds: at or below it, every run completes with
+// correct results; above it, a run may abort loudly with ErrUnrecoverable.
+const MaxLossPerMille = fault.MaxLossPerMille
+
+// ErrUnrecoverable is reported (wrapped, test with errors.Is) when a lossy
+// run exceeds the recovery layer's retry budget: a message stayed unacked
+// through MaxRetries retransmissions. The run aborts with a trace tail
+// instead of hanging.
+var ErrUnrecoverable = noc.ErrUnrecoverable
 
 // GenerateFaultPlan derives a reproducible random fault plan for a machine
 // with the given tile count. intensity in [0,1] scales both the number of
 // faults and their outage durations; 0 yields an empty plan.
 func GenerateFaultPlan(tiles int, seed uint64, intensity float64) FaultPlan {
 	return fault.GeneratePlan(tiles, seed, intensity)
+}
+
+// GenerateLossyPlan builds a whole-run lossy-interconnect plan: every tile's
+// NI drops arriving messages at ratePerMille/1000 probability, and
+// duplicates and corrupts them at half that rate each. The NoC's end-to-end
+// recovery layer (sequence numbers, acks, bounded retransmit windows) is
+// armed automatically and the run's results are unaffected by the loss —
+// only slower. Rates above MaxLossPerMille void the forward-progress
+// contract: runs may fail with ErrUnrecoverable.
+func GenerateLossyPlan(tiles int, seed uint64, ratePerMille int) FaultPlan {
+	return fault.GenerateLossyPlan(tiles, seed, ratePerMille)
 }
 
 // Stream-building surface for user-defined workloads.
