@@ -8,15 +8,27 @@
 // dense reference mode that ticks every component every cycle. Both runs
 // report simulated cycles per wall second and allocations per run.
 //
-// With -mode parallel it instead measures the parallel tick executor on the
-// 64-core machine against the serial sparse kernel and emits
-// BENCH_parallel.json.
+// With -mode parallel it instead sweeps the parallel tick executor across
+// worker counts (and core counts, including the 256-core 16x16 mesh) against
+// the serial sparse kernel and emits the BENCH_parallel.json scaling curve,
+// including the executor's own scheduling counters: barrier crossings per
+// cycle and the reduction batched dispatch achieves over per-lane dispatch.
+//
+// With -allocgate FILE it re-measures the wake-driven kernel's allocations
+// per op and exits non-zero when they regressed more than 5% over the
+// committed budget in FILE (BENCH_kernel.json's wake_driven.allocs_per_op) —
+// the CI tripwire for reintroducing hot-path allocations.
+//
+// Profiling flags (-cpuprofile, -memprofile, -exectrace) capture the
+// measured runs with runtime/pprof and runtime/trace.
 //
 // Usage:
 //
 //	go run ./cmd/bench                    # writes BENCH_kernel.json
 //	go run ./cmd/bench -o - -benchtime 10x
-//	go run ./cmd/bench -mode parallel -workers 4   # writes BENCH_parallel.json
+//	go run ./cmd/bench -mode parallel -workers 1,2,4 -cores 64,256
+//	go run ./cmd/bench -allocgate BENCH_kernel.json
+//	go run ./cmd/bench -cpuprofile cpu.pprof -benchtime 3x
 package main
 
 import (
@@ -25,9 +37,12 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 
 	"pushmulticast"
+	"pushmulticast/internal/profiles"
 )
 
 // seedBaseline records the pre-wake-driven kernel measured at the growth
@@ -76,27 +91,47 @@ type report struct {
 	AllocReductionX    float64 `json:"alloc_reduction_vs_seed_x"`
 }
 
-// parallelReport is the BENCH_parallel.json schema: the serial sparse kernel
-// against the parallel tick executor on the 64-core machine.
-type parallelReport struct {
-	Benchmark string   `json:"benchmark"`
-	Workload  string   `json:"workload"`
-	GoOS      string   `json:"goos"`
-	GoArch    string   `json:"goarch"`
-	NumCPU    int      `json:"num_cpu"`
-	Workers   int      `json:"workers"`
-	Notes     []string `json:"notes"`
-
-	SerialSparse measurement `json:"serial_sparse"`
-	Parallel     measurement `json:"parallel"`
-
+// parallelEntry is one point of the scaling curve: the parallel executor at
+// one worker count, with its scheduling-work counters.
+type parallelEntry struct {
+	Workers int         `json:"workers"`
+	Run     measurement `json:"run"`
+	// Exec is the executor's scheduling record for the measured run.
+	Exec pushmulticast.ExecStats `json:"exec"`
+	// CrossingsPerCycle is the barrier-and-claim scheduling operations per
+	// executor cycle; BatchingReductionX is how many times fewer of them
+	// batched dispatch performed than per-lane dispatch would have.
+	CrossingsPerCycle     float64 `json:"crossings_per_cycle"`
+	BatchingReductionX    float64 `json:"batching_reduction_x"`
 	SpeedupVsSerialSparse float64 `json:"speedup_vs_serial_sparse"`
 }
 
+// machineCurve is the scaling curve on one core count.
+type machineCurve struct {
+	Cores        int             `json:"cores"`
+	Workload     string          `json:"workload"`
+	SerialSparse measurement     `json:"serial_sparse"`
+	Parallel     []parallelEntry `json:"parallel"`
+}
+
+// parallelReport is the BENCH_parallel.json schema: the serial sparse kernel
+// against the parallel tick executor, swept over worker and core counts.
+type parallelReport struct {
+	Benchmark  string   `json:"benchmark"`
+	GoOS       string   `json:"goos"`
+	GoArch     string   `json:"goarch"`
+	NumCPU     int      `json:"num_cpu"`
+	GoMaxProcs int      `json:"gomaxprocs"`
+	Notes      []string `json:"notes"`
+
+	Machines []machineCurve `json:"machines"`
+}
+
 // benchConfig runs one configuration under testing's benchmark harness and
-// returns the measurement.
-func benchConfig(label string, cfg pushmulticast.Config) measurement {
+// returns the measurement plus the last run's executor counters.
+func benchConfig(label string, cfg pushmulticast.Config) (measurement, pushmulticast.ExecStats) {
 	var cycles uint64
+	var exec pushmulticast.ExecStats
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
@@ -105,6 +140,7 @@ func benchConfig(label string, cfg pushmulticast.Config) measurement {
 				b.Fatal(err)
 			}
 			cycles = res.Cycles
+			exec = res.Exec
 		}
 	})
 	m := measurement{
@@ -115,7 +151,7 @@ func benchConfig(label string, cfg pushmulticast.Config) measurement {
 		BytesPerOp:     r.AllocedBytesPerOp(),
 	}
 	m.fill()
-	return m
+	return m, exec
 }
 
 // run executes the cachebw/OrdPush tiny-scale simulation on the 16-core
@@ -123,31 +159,104 @@ func benchConfig(label string, cfg pushmulticast.Config) measurement {
 func run(label string, dense bool) measurement {
 	cfg := pushmulticast.ScaledConfig(pushmulticast.Default16()).WithScheme(pushmulticast.OrdPush())
 	cfg.DenseKernel = dense
-	return benchConfig(label, cfg)
+	m, _ := benchConfig(label, cfg)
+	return m
 }
 
-// runParallel measures the parallel-executor benchmark: cachebw/OrdPush on
-// the 64-core machine, serial sparse versus the staged-commit executor.
-func runParallel(out string, workers int) error {
-	base := pushmulticast.ScaledConfig(pushmulticast.Default64()).WithScheme(pushmulticast.OrdPush())
+// configFor returns the swept machine at the given core count.
+func configFor(cores int) (pushmulticast.Config, error) {
+	var cfg pushmulticast.Config
+	switch cores {
+	case 16:
+		cfg = pushmulticast.Default16()
+	case 64:
+		cfg = pushmulticast.Default64()
+	case 256:
+		cfg = pushmulticast.Default256()
+	default:
+		return cfg, fmt.Errorf("unsupported core count %d (use 16, 64, or 256)", cores)
+	}
+	return pushmulticast.ScaledConfig(cfg).WithScheme(pushmulticast.OrdPush()), nil
+}
+
+// runParallel measures the scaling curve: for each core count, the serial
+// sparse kernel and the staged-commit executor at each worker count.
+//
+// Configurations are measured in interleaved rounds and each keeps its
+// fastest round. A sequential sweep (serial first, every worker count after)
+// charges any host slowdown mid-sweep — CPU steal, thermal throttling —
+// entirely to the later configurations, which on a 1-CPU container skewed
+// the serial-vs-parallel ratio by more than the effect being measured;
+// round-robin order exposes every configuration to the same drift and the
+// per-config minimum recovers its unthrottled sample.
+func runParallel(out string, workerList, coreList []int, rounds int) error {
 	rep := parallelReport{
-		Benchmark: "BenchmarkParallelKernel",
-		Workload:  "cachebw / OrdPush / tiny scale / 64 cores",
-		GoOS:      runtime.GOOS,
-		GoArch:    runtime.GOARCH,
-		NumCPU:    runtime.NumCPU(),
-		Workers:   workers,
+		Benchmark:  "BenchmarkParallelKernel",
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
 		Notes: []string{
-			"Both runs produce byte-identical simulation results; only wall-clock differs.",
-			"speedup_vs_serial_sparse > 1 requires num_cpu >= workers; on a single-CPU host the parallel executor cannot run sections concurrently and the staging overhead shows as a slowdown — the number here is an honest record of this machine, not the executor's ceiling.",
+			"All runs produce byte-identical simulation results; only wall-clock differs.",
+			"speedup_vs_serial_sparse > 1 requires num_cpu > 1; on a single-CPU host the parallel executor cannot run batches concurrently and any residual staging overhead shows as a slowdown — the numbers here are an honest record of this machine, not the executor's ceiling.",
+			"crossings_per_cycle counts barrier-and-claim scheduling operations (sections + batch claims + helper handoffs) per executor cycle; batching_reduction_x is the factor by which lane batching cut them versus per-lane dispatch.",
 		},
 	}
-	rep.SerialSparse = benchConfig("serial sparse kernel", base)
-	par := base
-	par.ParallelWorkers = workers
-	rep.Parallel = benchConfig(fmt.Sprintf("parallel executor (%d workers)", workers), par)
-	if rep.Parallel.NsPerOp > 0 {
-		rep.SpeedupVsSerialSparse = float64(rep.SerialSparse.NsPerOp) / float64(rep.Parallel.NsPerOp)
+	if rep.NumCPU == 1 {
+		rep.Notes = append(rep.Notes,
+			"num_cpu is 1 on this host: no speedup claim is made or implied by this file.")
+	}
+	rep.Notes = append(rep.Notes, fmt.Sprintf(
+		"Each configuration was measured in %d interleaved rounds and reports its fastest round, so host-load drift during the sweep cannot masquerade as a serial-vs-parallel difference.", rounds))
+	for _, cores := range coreList {
+		base, err := configFor(cores)
+		if err != nil {
+			return err
+		}
+		curve := machineCurve{
+			Cores:    cores,
+			Workload: fmt.Sprintf("cachebw / OrdPush / tiny scale / %d cores", cores),
+		}
+		type slot struct {
+			label   string
+			cfg     pushmulticast.Config
+			workers int // 0 = serial sparse
+			best    measurement
+			exec    pushmulticast.ExecStats
+		}
+		slots := []*slot{{label: "serial sparse kernel", cfg: base}}
+		for _, w := range workerList {
+			par := base
+			par.ParallelWorkers = w
+			slots = append(slots, &slot{
+				label:   fmt.Sprintf("parallel executor (%d workers)", w),
+				cfg:     par,
+				workers: w,
+			})
+		}
+		for r := 0; r < rounds; r++ {
+			for _, s := range slots {
+				m, exec := benchConfig(s.label, s.cfg)
+				if r == 0 || m.NsPerOp < s.best.NsPerOp {
+					s.best, s.exec = m, exec
+				}
+			}
+		}
+		curve.SerialSparse = slots[0].best
+		for _, s := range slots[1:] {
+			e := parallelEntry{
+				Workers:            s.workers,
+				Run:                s.best,
+				Exec:               s.exec,
+				CrossingsPerCycle:  s.exec.BarrierCrossingsPerCycle(),
+				BatchingReductionX: s.exec.BatchingReductionX(),
+			}
+			if s.best.NsPerOp > 0 {
+				e.SpeedupVsSerialSparse = float64(curve.SerialSparse.NsPerOp) / float64(s.best.NsPerOp)
+			}
+			curve.Parallel = append(curve.Parallel, e)
+		}
+		rep.Machines = append(rep.Machines, curve)
 	}
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
@@ -161,32 +270,109 @@ func runParallel(out string, workers int) error {
 	if err := os.WriteFile(out, buf, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s: %.0f simcycles/sec parallel (%d workers, %d cpus, %.2fx vs serial sparse)\n",
-		out, rep.Parallel.SimcyclesPerSec, workers, rep.NumCPU, rep.SpeedupVsSerialSparse)
+	for _, mc := range rep.Machines {
+		for _, e := range mc.Parallel {
+			fmt.Printf("%d cores, %d workers: %.0f simcycles/sec, %.2fx vs serial sparse, %.2f crossings/cycle (batching cut %.1fx)\n",
+				mc.Cores, e.Workers, e.Run.SimcyclesPerSec, e.SpeedupVsSerialSparse,
+				e.CrossingsPerCycle, e.BatchingReductionX)
+		}
+	}
+	fmt.Printf("wrote %s (%d cpus, GOMAXPROCS %d)\n", out, rep.NumCPU, rep.GoMaxProcs)
 	return nil
+}
+
+// allocGate re-measures the wake-driven kernel's allocations per op against
+// the committed budget and fails (exit 1 via the returned error) on a >5%
+// regression. Alloc counts are deterministic enough for a hard gate; wall
+// clock is not, so the gate reads nothing else.
+func allocGate(budgetFile string) error {
+	data, err := os.ReadFile(budgetFile)
+	if err != nil {
+		return err
+	}
+	var rep report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return fmt.Errorf("%s: %v", budgetFile, err)
+	}
+	budget := rep.WakeDriven.AllocsPerOp
+	if budget <= 0 {
+		return fmt.Errorf("%s: no wake_driven.allocs_per_op budget", budgetFile)
+	}
+	m := run("wake-driven kernel (alloc gate)", false)
+	limit := budget + (budget+19)/20 // +5%, rounded up
+	if m.AllocsPerOp > limit {
+		return fmt.Errorf("alloc gate FAILED: %d allocs/op exceeds budget %d by more than 5%% (limit %d); if the regression is intended, re-record %s",
+			m.AllocsPerOp, budget, limit, budgetFile)
+	}
+	fmt.Printf("alloc gate OK: %d allocs/op within 5%% of budget %d (limit %d)\n",
+		m.AllocsPerOp, budget, limit)
+	return nil
+}
+
+// parseIntList parses a comma-separated list of positive ints ("1,2,4").
+func parseIntList(flagName, s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("-%s: bad value %q", flagName, f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
 }
 
 func main() {
 	var (
-		out       = flag.String("o", "", "output path ('-' for stdout; default depends on -mode)")
-		benchtime = flag.String("benchtime", "5x", "benchmark time per kernel (testing -benchtime syntax)")
-		mode      = flag.String("mode", "kernel", "benchmark: kernel (wake-driven vs dense, BENCH_kernel.json) or parallel (serial vs parallel executor, BENCH_parallel.json)")
-		workers   = flag.Int("workers", 4, "parallel executor worker count (-mode parallel)")
+		out        = flag.String("o", "", "output path ('-' for stdout; default depends on -mode)")
+		benchtime  = flag.String("benchtime", "5x", "benchmark time per kernel (testing -benchtime syntax)")
+		mode       = flag.String("mode", "kernel", "benchmark: kernel (wake-driven vs dense, BENCH_kernel.json) or parallel (serial vs parallel executor scaling curve, BENCH_parallel.json)")
+		workers    = flag.String("workers", "1,2,4", "parallel executor worker counts to sweep, comma-separated (-mode parallel)")
+		coresF     = flag.String("cores", "64", "core counts to sweep, comma-separated from 16|64|256 (-mode parallel)")
+		rounds     = flag.Int("rounds", 3, "interleaved measurement rounds per configuration; each reports its fastest (-mode parallel)")
+		gate       = flag.String("allocgate", "", "gate mode: compare current allocs/op against FILE's wake_driven budget, exit non-zero on >5% regression")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the measured runs to FILE")
+		memprofile = flag.String("memprofile", "", "write an allocation (heap) profile to FILE at exit")
+		exectrace  = flag.String("exectrace", "", "write a runtime execution trace of the measured runs to FILE")
 	)
 	testing.Init()
 	flag.Parse()
 	if err := flag.Lookup("test.benchtime").Value.Set(*benchtime); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+	stopProf, err := profiles.Start(*cpuprofile, *memprofile, *exectrace)
+	if err != nil {
+		fatal(err)
+	}
+	defer stopProf()
+
+	if *gate != "" {
+		if err := allocGate(*gate); err != nil {
+			stopProf()
+			fatal(err)
+		}
+		return
+	}
+
 	switch *mode {
 	case "parallel":
 		if *out == "" {
 			*out = "BENCH_parallel.json"
 		}
-		if err := runParallel(*out, *workers); err != nil {
-			fmt.Fprintln(os.Stderr, "bench:", err)
-			os.Exit(1)
+		wl, err := parseIntList("workers", *workers)
+		if err != nil {
+			fatal(err)
+		}
+		cl, err := parseIntList("cores", *coresF)
+		if err != nil {
+			fatal(err)
+		}
+		if *rounds < 1 {
+			fatal(fmt.Errorf("-rounds: must be >= 1"))
+		}
+		if err := runParallel(*out, wl, cl, *rounds); err != nil {
+			stopProf()
+			fatal(err)
 		}
 		return
 	case "kernel":
@@ -194,8 +380,7 @@ func main() {
 			*out = "BENCH_kernel.json"
 		}
 	default:
-		fmt.Fprintf(os.Stderr, "bench: unknown -mode %q (use kernel or parallel)\n", *mode)
-		os.Exit(1)
+		fatal(fmt.Errorf("unknown -mode %q (use kernel or parallel)", *mode))
 	}
 
 	rep := report{
@@ -223,8 +408,7 @@ func main() {
 
 	buf, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	buf = append(buf, '\n')
 	if *out == "-" {
@@ -232,9 +416,13 @@ func main() {
 		return
 	}
 	if err := os.WriteFile(*out, buf, 0o644); err != nil {
-		fmt.Fprintln(os.Stderr, "bench:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	fmt.Printf("wrote %s: %.0f simcycles/sec wake-driven (%.2fx vs seed, %.2fx vs dense mode, %.0fx fewer allocs)\n",
 		*out, rep.WakeDriven.SimcyclesPerSec, rep.SpeedupVsSeed, rep.SpeedupVsDenseMode, rep.AllocReductionX)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "bench:", err)
+	os.Exit(1)
 }

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"pushmulticast"
+	"pushmulticast/internal/profiles"
 	"pushmulticast/internal/stats"
 )
 
@@ -21,7 +22,7 @@ func main() {
 	var (
 		wlName   = flag.String("workload", "cachebw", "workload name (see -list)")
 		scheme   = flag.String("scheme", "OrdPush", "scheme: Baseline|NoPrefetch|Coalesce|MSP|PushAck|OrdPush|Push|Push+Multicast|Push+Multicast+Filter")
-		cores    = flag.Int("cores", 16, "core count: 16 or 64")
+		cores    = flag.Int("cores", 16, "core count: 16, 64, or 256")
 		scale    = flag.String("scale", "quick", "input scale: tiny|quick|full")
 		linkBits = flag.Int("link", 128, "link width in bits: 64|128|256|512")
 		list     = flag.Bool("list", false, "list workloads and exit")
@@ -38,8 +39,17 @@ func main() {
 		retryTO  = flag.Int("retrytimeout", 0, "lossy recovery: cycles before a sender retransmits an unacked packet (0 = default 400)")
 		maxRetry = flag.Int("maxretries", 0, "lossy recovery: retransmissions per packet before the run aborts with ErrUnrecoverable (0 = default 16)")
 		mshrTO   = flag.Int("mshrtimeout", 0, "lossy recovery: cycles before an L2 MSHR reissues an unanswered request (0 = default 300)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
+		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to FILE at exit")
+		execTr   = flag.String("exectrace", "", "write a runtime execution trace of the run to FILE")
 	)
 	flag.Parse()
+	stopProf, err := profiles.Start(*cpuProf, *memProf, *execTr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushsim:", err)
+		os.Exit(1)
+	}
+	defer stopProf()
 
 	if *list {
 		for _, w := range pushmulticast.Workloads() {
@@ -83,6 +93,7 @@ func main() {
 	}
 	res, err := pushmulticast.Run(cfg, *wlName, sc)
 	if err != nil {
+		stopProf() // flush profiles of the failed run before exiting
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
 		os.Exit(1)
 	}
@@ -228,8 +239,10 @@ func buildConfig(cores int, scheme, scale string, linkBits int) (pushmulticast.C
 		cfg = pushmulticast.Default16()
 	case 64:
 		cfg = pushmulticast.Default64()
+	case 256:
+		cfg = pushmulticast.Default256()
 	default:
-		return cfg, fmt.Errorf("unsupported core count %d (use 16 or 64)", cores)
+		return cfg, fmt.Errorf("unsupported core count %d (use 16, 64, or 256)", cores)
 	}
 	sch, err := schemeByName(scheme)
 	if err != nil {

@@ -66,7 +66,10 @@ type LLC struct {
 
 	ep      map[uint64]*episode
 	fetches map[uint64]*fetch
-	stalled map[uint64][]*noc.Packet
+	// fetchFree recycles fetch records (and their requester-slice capacity)
+	// between misses; handleGetS allocated one per LLC miss before.
+	fetchFree []*fetch
+	stalled   map[uint64][]*noc.Packet
 	// parked is set by stall/retry during handle so Tick knows whether the
 	// packet just processed was retained or can be recycled.
 	parked bool
@@ -348,7 +351,7 @@ func (s *LLC) unicastDataS(line *Line, req noc.NodeID, now sim.Cycle) {
 func (s *LLC) triggerPush(line *Line, req noc.NodeID, now sim.Cycle) {
 	dests := line.Sharers
 	if s.cfg.Scheme.Knob {
-		dests &^= s.knob.pdr
+		dests = dests.Subtract(s.knob.pdr)
 	}
 	dests = dests.Add(req)
 	if dests.Count() == 1 {
@@ -359,7 +362,7 @@ func (s *LLC) triggerPush(line *Line, req noc.NodeID, now sim.Cycle) {
 	s.st.Cache.PushesTriggered++
 	s.st.Cache.PushDestinations += uint64(dests.Count())
 	s.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KPushTrigger, Node: int32(s.id),
-		Addr: line.Tag, Aux: uint64(dests), A: int32(req)})
+		Addr: line.Tag, Aux: trace.Aux(dests), A: int32(req)})
 	s.recordRecentPush(line.Tag, dests, now)
 	if s.cfg.Scheme.Multicast {
 		s.send(&coherence.Msg{
@@ -431,7 +434,7 @@ func (s *LLC) coalescedReply(line *Line, m *coherence.Msg, now sim.Cycle) {
 		dests = dests.Add(pm.Requester)
 		s.st.Cache.CoalescedRequests++
 	}
-	line.Sharers |= dests
+	line.Sharers = line.Sharers.Union(dests)
 	s.send(&coherence.Msg{
 		Type: coherence.DataS, Addr: line.Tag, Requester: m.Requester, Version: line.Version,
 	}, dests, stats.UnitL2)
@@ -503,7 +506,7 @@ func (s *LLC) handleGetM(pkt *noc.Packet, m *coherence.Msg, now sim.Cycle) {
 func (s *LLC) grantM(line *Line, writer noc.NodeID) {
 	line.State = StateLM
 	line.Owner = writer
-	line.Sharers = 0
+	line.Sharers = noc.DestSet{}
 	s.send(&coherence.Msg{Type: coherence.DataM, Addr: line.Tag, Requester: writer,
 		Version: line.Version}, noc.OneDest(writer), stats.UnitL2)
 }
@@ -531,7 +534,7 @@ func (s *LLC) handlePutM(m *coherence.Msg, now sim.Cycle) {
 		line.Version = m.Version
 		line.Dirty = true
 		line.Owner = 0
-		line.Sharers = 0
+		line.Sharers = noc.DestSet{}
 		line.State = StateLV
 		s.send(&coherence.Msg{Type: coherence.WBAck, Addr: m.Addr, Requester: m.Requester},
 			noc.OneDest(m.Requester), stats.UnitL2)
@@ -592,7 +595,7 @@ func (s *LLC) completeRecall(line *Line, now sim.Cycle) {
 	ep := s.ep[line.Tag]
 	delete(s.ep, line.Tag)
 	line.Owner = 0
-	line.Sharers = 0
+	line.Sharers = noc.DestSet{}
 	if ep.evictAfter {
 		s.freeLine(line)
 	} else {
@@ -618,6 +621,18 @@ func (s *LLC) handlePushAck(m *coherence.Msg, now sim.Cycle) {
 
 // --- miss path ---
 
+// newFetch pops a recycled fetch record or allocates a fresh one; records
+// return to the free list when the fill lands (handleMemData).
+func (s *LLC) newFetch() *fetch {
+	if k := len(s.fetchFree); k > 0 {
+		f := s.fetchFree[k-1]
+		s.fetchFree[k-1] = nil
+		s.fetchFree = s.fetchFree[:k-1]
+		return f
+	}
+	return &fetch{}
+}
+
 // startFetch allocates a way (running an eviction episode first if needed)
 // and issues the memory read. When isRead, the requester is recorded for the
 // fill response; writers are stalled by the caller instead.
@@ -642,7 +657,7 @@ func (s *LLC) startFetch(pkt *noc.Packet, m *coherence.Msg, now sim.Cycle, isRea
 	}
 	s.st.Cache.LLCMisses++
 	s.arr.Install(victim, m.Addr, StateLFetch, now)
-	f := &fetch{}
+	f := s.newFetch()
 	if isRead {
 		f.requesters = append(f.requesters, fetchReq{m.Requester, m.Prefetch})
 	}
@@ -676,7 +691,7 @@ func (s *LLC) startEvictShared(line *Line) {
 		s.send(&coherence.Msg{Type: coherence.Inv, Addr: line.Tag, Requester: d,
 			Epoch: line.Epoch}, noc.OneDest(d), stats.UnitL2)
 	})
-	line.Sharers = 0
+	line.Sharers = noc.DestSet{}
 }
 
 // freeLine evicts a stable valid line, writing dirty data back to memory.
@@ -717,7 +732,7 @@ func (s *LLC) handleMemData(m *coherence.Msg, now sim.Cycle) {
 					s.st.Cache.CoalescedRequests++
 				}
 			}
-			line.Sharers |= dests
+			line.Sharers = line.Sharers.Union(dests)
 			s.send(&coherence.Msg{Type: coherence.DataS, Addr: m.Addr,
 				Requester: f.requesters[0].req, Version: line.Version}, dests, stats.UnitL2)
 		} else {
@@ -727,20 +742,22 @@ func (s *LLC) handleMemData(m *coherence.Msg, now sim.Cycle) {
 			}
 		}
 	}
+	f.requesters = f.requesters[:0]
+	s.fetchFree = append(s.fetchFree, f)
 	// PredictPush extension: if the evicted incarnation of this line had a
 	// remembered sharer set, push the fill to the sharers the directory no
 	// longer knows about.
 	if s.pred != nil {
 		if predicted, ok := s.pred.predict(m.Addr); ok {
-			dests := predicted &^ line.Sharers
+			dests := predicted.Subtract(line.Sharers)
 			if s.cfg.Scheme.Knob {
-				dests &^= s.knob.pdr
+				dests = dests.Subtract(s.knob.pdr)
 			}
 			if !dests.Empty() {
 				s.st.Cache.PushesTriggered++
 				s.st.Cache.PushDestinations += uint64(dests.Count())
 				s.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KPushTrigger, Node: int32(s.id),
-					Addr: line.Tag, Aux: uint64(dests), A: -1})
+					Addr: line.Tag, Aux: trace.Aux(dests), A: -1})
 				s.recordRecentPush(line.Tag, dests, now)
 				// Requester -1: every copy is speculative; no destination
 				// treats this push as its demand response.
@@ -748,7 +765,7 @@ func (s *LLC) handleMemData(m *coherence.Msg, now sim.Cycle) {
 					Type: coherence.PushData, Addr: line.Tag, Version: line.Version,
 					Requester: -1,
 				}, dests, stats.UnitL2)
-				line.Sharers |= dests
+				line.Sharers = line.Sharers.Union(dests)
 				if s.cfg.Scheme.Protocol == config.ProtoPushAck {
 					line.Epoch++
 					line.State = StateLP
@@ -776,14 +793,14 @@ func (s *LLC) SetTraceShard(tr *trace.Shard) { s.tr = tr }
 func (s *LLC) DirectoryView(lineAddr uint64) (noc.DestSet, bool) {
 	line := s.arr.Lookup(lineAddr)
 	if line == nil {
-		return 0, false
+		return noc.DestSet{}, false
 	}
 	view := line.Sharers
 	if line.State == StateLM || line.State == StateLMInv {
 		view = view.Add(line.Owner)
 	}
 	if ep := s.ep[lineAddr]; ep != nil {
-		view |= ep.pendingAcks
+		view = view.Union(ep.pendingAcks)
 		if ep.kind == epWrite {
 			view = view.Add(ep.writer)
 		}

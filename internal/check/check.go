@@ -241,9 +241,9 @@ func (m *Monitor) trackLoss(e trace.Event) {
 	if !m.lossy || orphan {
 		return // orphan drop: nothing will, or needs to, carry this key again
 	}
-	k := lossKey{node: e.Node, key: e.Aux}
+	k := lossKey{node: e.Node, key: e.Aux.Scalar()}
 	if _, open := m.pendingLoss[k]; !open {
-		m.lossRef[e.Aux]++
+		m.lossRef[e.Aux.Scalar()]++
 	}
 	m.pendingLoss[k] = e.Cycle
 }
@@ -254,14 +254,14 @@ func (m *Monitor) trackRecover(e trace.Event) {
 	if !m.lossy {
 		return
 	}
-	k := lossKey{node: e.Node, key: e.Aux}
+	k := lossKey{node: e.Node, key: e.Aux.Scalar()}
 	if _, open := m.pendingLoss[k]; !open {
 		return
 	}
 	delete(m.pendingLoss, k)
-	if m.lossRef[e.Aux]--; m.lossRef[e.Aux] <= 0 {
-		delete(m.lossRef, e.Aux)
-		delete(m.lossSeq, e.Aux)
+	if m.lossRef[e.Aux.Scalar()]--; m.lossRef[e.Aux.Scalar()] <= 0 {
+		delete(m.lossRef, e.Aux.Scalar())
+		delete(m.lossSeq, e.Aux.Scalar())
 	}
 }
 
@@ -275,7 +275,7 @@ func (m *Monitor) clearReplica(e trace.Event, recordSeq bool) {
 	at := noc.NodeID(e.Node)
 	if p, ok := m.pushes[e.ID]; ok {
 		if recordSeq {
-			m.lossSeq[e.Aux] = p.seq
+			m.lossSeq[e.Aux.Scalar()] = p.seq
 		}
 		p.left = p.left.Remove(at)
 		if p.left.Empty() {
@@ -285,7 +285,7 @@ func (m *Monitor) clearReplica(e trace.Event, recordSeq bool) {
 	}
 	if p, ok := m.invs[e.ID]; ok {
 		if recordSeq {
-			m.lossSeq[e.Aux] = p.seq
+			m.lossSeq[e.Aux.Scalar()] = p.seq
 		}
 		p.left = p.left.Remove(at)
 		if p.left.Empty() {
@@ -299,7 +299,7 @@ func (m *Monitor) clearReplica(e trace.Event, recordSeq bool) {
 // it logically occupies the dropped packet's slot in the OrdPush order, and
 // judging it by its re-injection time would fabricate ordering violations.
 func (m *Monitor) inheritSerial(e trace.Event) {
-	seq, ok := m.lossSeq[e.Aux]
+	seq, ok := m.lossSeq[e.Aux.Scalar()]
 	if !ok {
 		return
 	}
@@ -465,8 +465,8 @@ func (m *Monitor) scanSharersSuperset(cyc uint64) {
 				return
 			}
 			if !view.Has(id) {
-				m.fail(cyc, "directory not a sharer superset: line %#x cached %v at tile %d, home %d view %#x",
-					l.Tag, l.State, id, home, uint64(view))
+				m.fail(cyc, "directory not a sharer superset: line %#x cached %v at tile %d, home %d view %v",
+					l.Tag, l.State, id, home, view)
 			}
 		})
 		if m.err != nil {

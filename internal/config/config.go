@@ -277,7 +277,7 @@ func (s System) Tiles() int { return s.MeshW * s.MeshH }
 
 // Validate reports configuration errors.
 func (s System) Validate() error {
-	if s.Tiles() < 2 || s.Tiles() > 64 {
+	if s.Tiles() < 2 || s.Tiles() > noc.MaxNodes {
 		return fmt.Errorf("config: unsupported tile count %d", s.Tiles())
 	}
 	if s.LineSize != 64 {
@@ -344,6 +344,10 @@ func Default16() System { return defaultSystem(4, 4) }
 
 // Default64 returns the Table I 64-core system (8x8 mesh).
 func Default64() System { return defaultSystem(8, 8) }
+
+// Default256 returns the scaled-up 256-core system (16x16 mesh) used by the
+// manycore scaling studies; Table I parameters otherwise.
+func Default256() System { return defaultSystem(16, 16) }
 
 func defaultSystem(w, h int) System {
 	s := System{

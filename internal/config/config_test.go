@@ -8,7 +8,7 @@ import (
 )
 
 func TestDefaultsValidate(t *testing.T) {
-	for _, cfg := range []System{Default16(), Default64()} {
+	for _, cfg := range []System{Default16(), Default64(), Default256()} {
 		if err := cfg.Validate(); err != nil {
 			t.Errorf("default config invalid: %v", err)
 		}

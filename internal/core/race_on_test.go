@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceDetectorEnabled reports whether this test binary was built with -race.
+// Heavy all-serial test matrices trim themselves under the race detector:
+// its ~15x slowdown buys no coverage on single-goroutine simulations, and
+// the full matrices still run in every non-race invocation.
+const raceDetectorEnabled = true

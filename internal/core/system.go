@@ -43,6 +43,9 @@ type System struct {
 	// laneSt holds the per-tile stats shards of the parallel executor (nil
 	// for serial runs); mergeLaneStats folds them into St in lane order.
 	laneSt []*stats.All
+	// inj is the fault injector when the config schedules faults; its
+	// per-node hook accumulators are flushed with the lane stats.
+	inj *fault.Injector
 }
 
 // Build wires a system running the given workload at the given scale.
@@ -75,13 +78,13 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 		net.SetFaults(inj)
 		inj.SetWaker(func(node int) { net.WakeTile(noc.NodeID(node)) })
 	}
-	s := &System{Cfg: cfg, Eng: eng, Net: net, St: st, Mems: make(map[noc.NodeID]*memctrl.Ctrl)}
+	s := &System{Cfg: cfg, Eng: eng, Net: net, St: st, Mems: make(map[noc.NodeID]*memctrl.Ctrl), inj: inj}
 
 	tiles := cfg.Tiles()
-	// In parallel mode tile i forms execution lane i: its NI, L2, core, and
-	// LLC slice (plus a memory controller where present) tick on one worker
-	// and account into a private stats shard, merged in lane order later.
-	// Routers stay serial (see noc.Parallelize).
+	// In parallel mode tile i forms execution lane i: its NI, router, L2,
+	// core, and LLC slice (plus a memory controller where present) tick on
+	// one worker and account into a private stats shard, merged in lane
+	// order later (see noc.Parallelize).
 	tileSt := func(int) *stats.All { return st }
 	if parallel {
 		s.laneSt = make([]*stats.All, tiles)
@@ -166,12 +169,17 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 
 // mergeLaneStats folds the per-lane stats shards into the primary bundle in
 // lane order and zeroes the shards, so post-merge activity (a Drain after
-// Run) accrues freshly and a later merge cannot double-count.
+// Run) accrues freshly and a later merge cannot double-count. The fault
+// injector's per-node hook accumulators flush here too — same collection
+// point, same no-double-count contract.
 func (s *System) mergeLaneStats() {
 	for _, ls := range s.laneSt {
 		ls.DrainGapsInto(s.St)
 		s.St.Add(ls)
 		*ls = stats.All{SharerGaps: ls.SharerGaps, DeferGaps: true, GapLog: ls.GapLog[:0]}
+	}
+	if s.inj != nil {
+		s.inj.FlushStats()
 	}
 }
 
@@ -214,6 +222,11 @@ type Results struct {
 	TraceEvents uint64
 	// Stats is the full counter bundle.
 	Stats *stats.All
+	// Exec is the parallel executor's scheduling-work record (zero for
+	// serial runs): sections, batch claims, and cross-goroutine handoffs
+	// per cycle. The bench scaling curve reads it to attribute staging
+	// overhead.
+	Exec sim.ExecStats
 }
 
 // L2MPKI returns the paper's L2 miss-per-kilo-instruction metric (demand +
@@ -299,7 +312,7 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 		s.St.Core.Instructions += c.Instructions()
 		s.St.Core.StallCycles += c.StallCycles()
 	}
-	res := Results{Scheme: s.Cfg.Scheme.Name, Cycles: uint64(end), Stats: s.St}
+	res := Results{Scheme: s.Cfg.Scheme.Name, Cycles: uint64(end), Stats: s.St, Exec: s.Eng.Exec()}
 	if s.Tracer != nil {
 		// A safety drain: the monitor ticks last within every cycle that
 		// emits, so this is normally a no-op and never reorders history.

@@ -58,6 +58,13 @@ func TestAllSchemesAllWorkloadsTiny(t *testing.T) {
 		config.AblationPush(), config.AblationPushMulticast(),
 		config.AblationPushMulticastFilter(),
 	}
+	if raceDetectorEnabled {
+		// Every run here is a single-goroutine simulation, so the race
+		// detector's ~15x slowdown buys nothing across the full matrix;
+		// keep one representative of each protocol family and let the
+		// non-race invocations cover all nine schemes.
+		schemes = []config.Scheme{config.Baseline(), config.PushAck(), config.OrdPush()}
+	}
 	for _, wl := range workload.Registry() {
 		for _, sch := range schemes {
 			wl, sch := wl, sch

@@ -50,9 +50,17 @@ type Injector struct {
 	hasLossy bool
 	// lastArr tracks the last granted head-arrival cycle per (node, output
 	// port), backing the monotonic clamp that keeps jittered links
-	// order-preserving (OrdPush's push-before-invalidation survives). It is
-	// only touched from router ticks, which run serially in every kernel.
+	// order-preserving (OrdPush's push-before-invalidation survives). Each
+	// entry is touched only by that node's own router tick, so the clamp
+	// stays race-free even with routers on parallel lanes.
 	lastArr []sim.Cycle
+	// jitterDelay / filterSuppressed accumulate the per-node shares of the
+	// FaultJitterDelay and FaultFilterSuppressed counters. Router-tick hooks
+	// write them (index = the ticking router's node, so parallel lanes never
+	// collide); FlushStats folds the sums into the shared bundle at
+	// collection points.
+	jitterDelay     []uint64
+	filterSuppressed []uint64
 }
 
 // NewInjector builds the injector for a validated plan on a machine with the
@@ -71,6 +79,9 @@ func NewInjector(plan Plan, nodes int, st *stats.All) *Injector {
 		mdups:   make([][]*Fault, nodes),
 		mcorrs:  make([][]*Fault, nodes),
 		lastArr: make([]sim.Cycle, nodes*noc.NumPorts),
+
+		jitterDelay:      make([]uint64, nodes),
+		filterSuppressed: make([]uint64, nodes),
 	}
 	for i := range plan.Faults {
 		f := &plan.Faults[i]
@@ -208,8 +219,10 @@ func (in *Injector) LinkBlocked(node noc.NodeID, port int, now sim.Cycle) bool {
 // its faulted arrival: active VCJitter windows add a delay derived purely
 // from (seed, packet ID, cycle), and the per-port monotonic clamp then keeps
 // arrivals in send order, so jitter can slow a link but never reorder it.
-// Runs only from router ticks (serial in every kernel), so the clamp state
-// and the stats write are single-threaded.
+// Runs only from the sending router's own tick — routers tick on lane
+// goroutines in the parallel kernel — so the clamp state and the delay
+// accumulator are per-node and race-free; FlushStats folds the delays into
+// the shared bundle later.
 func (in *Injector) Arrival(node noc.NodeID, port int, now, base sim.Cycle, pktID uint64, vnet int) sim.Cycle {
 	arr := base
 	key := int(node)*noc.NumPorts + port
@@ -218,7 +231,7 @@ func (in *Injector) Arrival(node noc.NodeID, port int, now, base sim.Cycle, pktI
 			h := splitmix64(in.plan.Seed ^ splitmix64(pktID) ^ uint64(now)*0x9E3779B97F4A7C15)
 			d := sim.Cycle(h % uint64(f.MaxJitter+1))
 			arr += d
-			in.st.Net.FaultJitterDelay += uint64(d)
+			in.jitterDelay[node] += uint64(d)
 		}
 	}
 	if last := in.lastArr[key]; arr <= last {
@@ -290,13 +303,27 @@ func (in *Injector) LossyVerdict(node noc.NodeID, now sim.Cycle, pktID uint64) n
 // as a miss and routes the request on. Registrations and the OrdPush
 // invalidation stall are deliberately unaffected — suppressing pruning only
 // adds redundant traffic, while dropping ordering state could reorder
-// protocol messages. Runs only from router ticks (serial).
+// protocol messages. Runs only from the router's own tick (a lane goroutine
+// in the parallel kernel), so the hit count accumulates per node.
 func (in *Injector) SuppressFilterHit(node noc.NodeID, now sim.Cycle) bool {
 	for _, f := range in.drops[node] {
 		if f.activeAt(uint64(now)) {
-			in.st.Net.FaultFilterSuppressed++
+			in.filterSuppressed[node]++
 			return true
 		}
 	}
 	return false
+}
+
+// FlushStats folds the per-node hook accumulators into the shared stats
+// bundle and zeroes them. Callers invoke it at collection points (after a
+// run or drain, outside any parallel section); the per-node sums are
+// order-independent, so the folded totals match a serial run exactly.
+func (in *Injector) FlushStats() {
+	for n := range in.jitterDelay {
+		in.st.Net.FaultJitterDelay += in.jitterDelay[n]
+		in.st.Net.FaultFilterSuppressed += in.filterSuppressed[n]
+		in.jitterDelay[n] = 0
+		in.filterSuppressed[n] = 0
+	}
 }

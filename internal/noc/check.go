@@ -111,6 +111,46 @@ func (r *Router) checkConservation(now sim.Cycle) error {
 	if unrouted != r.unrouted {
 		return fmt.Errorf("unrouted counter %d but %d heads unrouted", r.unrouted, unrouted)
 	}
+	// Ring-level conservation. An arrival entry ripe before now means the
+	// router slept or skipped through the cycle that should have popped it —
+	// legal only while a RouterSlow window froze the pipeline. And for every
+	// link, the upstream credit count plus everything in flight on the link
+	// (queued handoffs, queued credit returns, occupied downstream VCs) must
+	// reassemble the full VC pool.
+	for p := 0; p < NumPorts; p++ {
+		var ripeErr error
+		r.arrivals[p].forEach(func(pkt *Packet, at sim.Cycle) {
+			if at <= now && ripeErr == nil {
+				f := r.net.faults
+				if f == nil || !f.FrozenIn(r.id, at, now) {
+					ripeErr = fmt.Errorf("arrival ring at %s holds an overdue head: at=%d now=%d", PortName(p), at, now)
+				}
+			}
+		})
+		if ripeErr != nil {
+			return ripeErr
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		nb := r.nbr[o]
+		if nb == nil {
+			continue
+		}
+		ip := opposite[o]
+		var inFlight [NumVNets]int16
+		nb.arrivals[ip].forEach(func(pkt *Packet, at sim.Cycle) {
+			inFlight[pkt.VNet]++
+		})
+		for v := 0; v < NumVNets; v++ {
+			queuedCred := int16(nb.credRet[ip].count(v))
+			heldDown := int16(vcs) - nb.freeCnt[ip][v]
+			sum := r.credits[o][v] + inFlight[v] + queuedCred + heldDown
+			if sum != int16(vcs) {
+				return fmt.Errorf("link credit conservation broken at %s vnet %d: %d credits + %d in-flight + %d returning + %d held != %d",
+					PortName(o), v, r.credits[o][v], inFlight[v], queuedCred, heldDown, vcs)
+			}
+		}
+	}
 	// Allocation candidate mask/counters: recompute from the occ list.
 	var candMask [NumPorts]uint64
 	var candV [NumPorts][NumVNets]int16
@@ -224,10 +264,20 @@ func (n *Network) PushInFlight(addr uint64, requester NodeID) bool {
 	for _, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {
 			// Streams read through their allocation-time snapshot: past the
-			// head flit the replica pointer is nil (ownership moved to the
-			// downstream VC, which the input-VC scan below covers).
+			// head flit the replica pointer is nil (ownership moved into the
+			// downstream arrival ring, which the ring scan below covers
+			// until the pop moves it into an input VC).
 			if s := r.outStream[p]; s != nil && s.isPush &&
 				s.addr == addr && s.dests.Has(requester) {
+				return true
+			}
+			found := false
+			r.arrivals[p].forEach(func(pkt *Packet, at sim.Cycle) {
+				if pkt.IsPush && pkt.Addr == addr && pkt.Dests.Has(requester) {
+					found = true
+				}
+			})
+			if found {
 				return true
 			}
 			for i := range r.in[p] {

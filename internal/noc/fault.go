@@ -30,9 +30,10 @@ var ErrUnrecoverable = errors.New("noc: message unrecoverable after max retries"
 // (internal/fault implements it). Every method must be a pure function of
 // (fault plan, cycle, component identity, packet identity) so that a fault
 // schedule replays byte-identically across the serial, dense, and parallel
-// kernels. All methods except InjQueueCap are called only from router ticks,
-// which run serially in every kernel; InjQueueCap is called from endpoint
-// ticks on lane goroutines and must therefore be read-only.
+// kernels. Routers and NIs both tick on lane goroutines in the parallel
+// kernel, so every method must confine any bookkeeping it keeps (clamp
+// state, counters) to per-node storage indexed by the calling component's
+// node — or keep none at all.
 type FaultHook interface {
 	// RouterFrozen reports that the router's pipeline is held this cycle
 	// (RouterSlow); the router skips its entire tick and stays awake.

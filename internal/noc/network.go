@@ -58,8 +58,9 @@ type NI struct {
 	seq uint64
 	// pktPool / payloadPool recycle packets and their reference-counted
 	// payloads tile-locally. The tile's router also draws its multicast
-	// replicas from here (routers run serially, so that is race-free), which
-	// keeps replicas recycling back to the pools they came from.
+	// replicas from here (the router shares its tile's lane, so that is
+	// race-free), which keeps replicas recycling back to the pools they
+	// came from.
 	pktPool     []*Packet
 	payloadPool []RefPayload
 	// tr is this NI's trace shard (nil when tracing is off). All writes to
@@ -113,7 +114,7 @@ func (ni *NI) Inject(pkt *Packet, now sim.Cycle) bool {
 		ni.stampTransport(pkt, now)
 	}
 	ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KInject, Node: int32(ni.node),
-		Addr: pkt.Addr, ID: pkt.ID, Aux: uint64(pkt.Dests), A: int32(pkt.DstUnit), B: pktFlags(pkt)})
+		Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux(pkt.Dests), A: int32(pkt.DstUnit), B: pktFlags(pkt)})
 	ni.queues[pkt.SrcUnit][pkt.VNet] = append(ni.queues[pkt.SrcUnit][pkt.VNet], pkt)
 	ni.queued++
 	ni.h.Wake()
@@ -139,11 +140,23 @@ func (ni *NI) NewPayload() RefPayload {
 	return nil
 }
 
+// PutPayload adds a payload to this tile's free list. Endpoints use it to
+// pre-warm the list in slab-sized blocks: a NewPayload miss costs one
+// allocation per slab instead of one per message.
+func (ni *NI) PutPayload(rp RefPayload) { ni.payloadPool = append(ni.payloadPool, rp) }
+
 // Recycle returns a packet the endpoint has fully processed to the tile's
 // free list. Only pool-born packets are pooled; caller-owned packets pass
 // through unharmed, so endpoints may call this unconditionally on every
 // delivered packet they do not retain.
 func (ni *NI) Recycle(pkt *Packet) { ni.putPacket(pkt) }
+
+// pktSlab is the block size of a packet-pool refill. Misses allocate a
+// whole slab in one allocation instead of one packet at a time: the pool
+// only ever grows to the steady-state in-flight population, so coarse
+// refills cut the allocation count ~64x without changing the footprint
+// materially.
+const pktSlab = 64
 
 func (ni *NI) getPacket() *Packet {
 	if k := len(ni.pktPool); k > 0 {
@@ -152,7 +165,14 @@ func (ni *NI) getPacket() *Packet {
 		ni.pktPool = ni.pktPool[:k-1]
 		return p
 	}
-	return &Packet{pooled: true}
+	blk := make([]Packet, pktSlab)
+	for i := range blk {
+		blk[i].pooled = true
+	}
+	for i := range blk[:pktSlab-1] {
+		ni.pktPool = append(ni.pktPool, &blk[i])
+	}
+	return &blk[pktSlab-1]
 }
 
 func (ni *NI) putPacket(p *Packet) {
@@ -255,7 +275,7 @@ func (ni *NI) handoff(pkt *Packet, now sim.Cycle) {
 	st.PacketCount++
 	ni.net.eng.Progress()
 	ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KDeliver, Node: int32(ni.node),
-		Addr: pkt.Addr, ID: pkt.ID, Aux: uint64(pkt.Dests), A: int32(pkt.DstUnit), B: pktFlags(pkt)})
+		Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux(pkt.Dests), A: int32(pkt.DstUnit), B: pktFlags(pkt)})
 	ep.Receive(pkt, now)
 }
 
@@ -403,26 +423,6 @@ type Network struct {
 	retryWindow  int
 	retryTimeout sim.Cycle
 	maxRetries   int
-	// streamPool recycles the per-replica stream allocations on the router
-	// hot path; routers run serially, so one network-wide pool is race-free.
-	// Packet and payload pools are per-NI (tile-local) so parallel lanes
-	// never contend — see NI.pktPool.
-	streamPool []*stream
-}
-
-func (n *Network) getStream() *stream {
-	if k := len(n.streamPool); k > 0 {
-		s := n.streamPool[k-1]
-		n.streamPool[k-1] = nil
-		n.streamPool = n.streamPool[:k-1]
-		return s
-	}
-	return &stream{}
-}
-
-func (n *Network) putStream(s *stream) {
-	*s = stream{}
-	n.streamPool = append(n.streamPool, s)
 }
 
 // New builds a mesh network and registers its components with the engine.
@@ -453,6 +453,11 @@ func New(cfg Config, eng *sim.Engine, st *stats.All) (*Network, error) {
 			}
 			if nb := cfg.neighbour(NodeID(i), o); nb >= 0 {
 				n.routers[i].nbr[o] = n.routers[nb]
+				// Each link starts with the full downstream VC pool as
+				// credits; edge ports keep zero and are never routed to.
+				for v := 0; v < NumVNets; v++ {
+					n.routers[i].credits[o][v] = int16(cfg.VCsPerVNet)
+				}
 			}
 		}
 	}
@@ -476,23 +481,26 @@ func (n *Network) Attach(node NodeID, unit stats.Unit, ep Endpoint) {
 // NI returns the network interface of a tile.
 func (n *Network) NI(node NodeID) *NI { return n.nis[node] }
 
-// Parallelize prepares the network for the parallel tick executor: NI i joins
-// lane i (ticking alongside its tile's endpoints) and accounts into that
-// tile's stats shard. laneStats must hold one bundle per tile. Routers stay
-// serial — credit release has same-cycle visibility across neighbours — and
-// keep accounting into the primary bundle.
+// Parallelize prepares the network for the parallel tick executor: NI i and
+// router i join lane i (ticking alongside their tile's endpoints) and
+// account into that tile's stats shard. laneStats must hold one bundle per
+// tile. Routers can tick on lanes because all neighbour communication flows
+// through the SPSC arrival/credit rings plus staged wakes (see ring.go);
+// a router's tick touches no other router's mutable state. Each lane shard
+// gets its own LinkFlits slice, merged index-wise by stats.Add.
 func (n *Network) Parallelize(laneStats []*stats.All) {
+	links := len(n.nis) * 4
 	for i, ni := range n.nis {
 		ni.st = laneStats[i]
 		ni.h.SetLane(i)
 	}
-}
-
-// countLinkFlit accounts one flit traversing the inter-router link leaving
-// `node` through output port `port`.
-func (n *Network) countLinkFlit(node NodeID, port int, class stats.Class) {
-	n.st.Net.LinkFlits[int(node)*4+port]++
-	n.st.Net.TotalFlitsByClass[class]++
+	for i, r := range n.routers {
+		r.st = laneStats[i]
+		r.h.SetLane(i)
+		if laneStats[i].Net.LinkFlits == nil {
+			laneStats[i].Net.LinkFlits = make([]uint64, links)
+		}
+	}
 }
 
 // LinkIndex returns the LinkFlits index for the link leaving node through
@@ -536,6 +544,9 @@ func (n *Network) Quiescent() bool {
 	for _, r := range n.routers {
 		for p := 0; p < NumPorts; p++ {
 			if r.outStream[p] != nil {
+				return false
+			}
+			if r.arrivals[p].len() != 0 {
 				return false
 			}
 			for i := range r.in[p] {

@@ -56,7 +56,7 @@ func TestRouteDestsPartitionProperty(t *testing.T) {
 	cfg := DefaultConfig(8, 8)
 	f := func(rawCur uint8, dests DestSet, xy bool) bool {
 		cur := NodeID(int(rawCur) % cfg.Nodes())
-		dests &= (1 << uint(cfg.Nodes())) - 1
+		dests = dests.Mask(cfg.Nodes())
 		if dests.Empty() {
 			return true
 		}
@@ -64,10 +64,10 @@ func TestRouteDestsPartitionProperty(t *testing.T) {
 		var union DestSet
 		var total int
 		for p := 0; p < NumPorts; p++ {
-			if out[p]&union != 0 {
+			if !out[p].Intersect(union).Empty() {
 				return false // overlap
 			}
-			union |= out[p]
+			union = union.Union(out[p])
 			total += out[p].Count()
 		}
 		return union == dests && total == dests.Count()
@@ -113,7 +113,7 @@ func TestRandomTrafficSoak(t *testing.T) {
 			var dests DestSet
 			if r%5 == 0 && vnet == VNetData {
 				// multicast to a random subset
-				dests = DestSet(next()) & ((1 << uint(cfg.Nodes())) - 1)
+				dests = DestSetFromWord(next()).Mask(cfg.Nodes())
 				if dests.Empty() {
 					dests = OneDest(NodeID(r % uint64(cfg.Nodes())))
 				}
@@ -227,7 +227,7 @@ func TestBroadcastStormDrains(t *testing.T) {
 		t.Fatal(err)
 	}
 	var got int
-	all := DestSet(1<<16 - 1)
+	all := DestSetFromWord(1<<16 - 1)
 	for i := 0; i < cfg.Nodes(); i++ {
 		for u := stats.Unit(0); u < stats.NumUnits; u++ {
 			net.Attach(NodeID(i), u, endpointFunc(func(*Packet, sim.Cycle) { got++ }))

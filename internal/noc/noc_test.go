@@ -81,7 +81,8 @@ func TestConfigValidate(t *testing.T) {
 	}{
 		{"default", func(c *Config) {}, true},
 		{"zero width", func(c *Config) { c.Width = 0 }, false},
-		{"too many nodes", func(c *Config) { c.Width, c.Height = 9, 8 }, false},
+		{"16x16 within the widened DestSet", func(c *Config) { c.Width, c.Height = 16, 16 }, true},
+		{"too many nodes", func(c *Config) { c.Width, c.Height = 17, 16 }, false},
 		{"no vcs", func(c *Config) { c.VCsPerVNet = 0 }, false},
 		{"bad link width", func(c *Config) { c.LinkWidthBits = 100 }, false},
 		{"no inj depth", func(c *Config) { c.InjQueueDepth = 0 }, false},

@@ -80,7 +80,7 @@ func TestOrdPushOrderingProperty(t *testing.T) {
 		// A push+inv pair: fresh address each time so state is unambiguous.
 		if ni.CanInject(stats.UnitLLC, VNetData) && ni.CanInject(stats.UnitLLC, VNetCtrl) {
 			addr := uint64(0x100000) + uint64(pairs)*64
-			dests := DestSet(next()) & ((1 << 16) - 1)
+			dests := DestSetFromWord(next()).Mask(16)
 			if dests.Empty() {
 				dests = OneDest(NodeID(next() % 16))
 			}

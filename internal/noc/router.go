@@ -32,8 +32,10 @@ type inputVC struct {
 	pendingPorts int
 	// active is the stream currently draining this VC, if any.
 	active *stream
-	// reserved marks the VC claimed by an upstream allocation whose head
-	// flit has not been written yet (cleared at head delivery).
+	// reserved marks a local-port VC claimed by the NI's pick whose head
+	// flit has not been written yet (cleared at head delivery). Remote
+	// arrivals never reserve: a head in flight lives in the input port's
+	// arrival ring until it matures, and only then occupies a VC.
 	reserved bool
 }
 
@@ -52,12 +54,11 @@ func (vc *inputVC) free() bool { return vc.pkt == nil && !vc.reserved }
 // need is therefore snapshotted here at allocation time.
 type stream struct {
 	vc      *inputVC
-	replica *Packet  // nil once the head flit transfers ownership downstream
+	replica *Packet // nil once the head flit transfers ownership downstream
 	inPort  int
 	vcIdx   int // absolute VC index at the input port
 	outPort int
-	downVC  *inputVC // nil when outPort == PortLocal
-	downR   *Router  // router owning downVC
+	downR   *Router // adjacent router behind outPort, nil for PortLocal
 	sent    int
 
 	// Snapshot of the replica taken at allocation; safe to read for the
@@ -120,18 +121,40 @@ type Router struct {
 	// nbr caches the adjacent router behind each output port (nil at mesh
 	// edges and for the local port).
 	nbr [NumPorts]*Router
+	// credits[o][v] counts downstream input VCs of vnet v this router may
+	// still claim through output port o. It mirrors the neighbour's per-
+	// (port, vnet) free-VC pool without reading neighbour state: allocation
+	// decrements locally, and the neighbour's release sends the credit back
+	// through its credRet ring, link-delayed one cycle. Unused for the local
+	// port (the NI claims VCs directly — same lane).
+	credits [NumPorts][NumVNets]int16
+	// arrivals[p] queues head-flit handoffs arriving through input port p;
+	// the upstream router produces, this router consumes matured entries at
+	// the top of its tick. Unused for the local port.
+	arrivals [NumPorts]arrRing
+	// credRet[p] queues credits this router returns to the upstream
+	// neighbour behind input port p; this router produces (at release), the
+	// neighbour consumes. Unused for the local port.
+	credRet [NumPorts]credRing
+	// st is the stats bundle this router accounts into: the network-wide
+	// bundle in serial runs, the tile's lane shard in parallel runs (see
+	// Parallelize).
+	st *stats.All
+	// streamPool recycles this router's per-replica stream allocations.
+	// Per-router so parallel lanes never contend.
+	streamPool []*stream
 	// dmask[mode][o] is the set of destinations this router forwards through
 	// output port o under YX (mode 0) or XY (mode 1) dimension-order routing.
 	// Route computation reduces to one AND per port against the packet's
 	// destination set.
 	dmask [2][NumPorts]DestSet
-	// tr is this router's trace shard (nil when tracing is off); routers
-	// tick serially, so all writes to it are single-threaded.
+	// tr is this router's trace shard (nil when tracing is off); all writes
+	// to it happen from this router's own ticks — one lane.
 	tr *trace.Shard
 }
 
 func newRouter(id NodeID, net *Network) *Router {
-	r := &Router{id: id, net: net}
+	r := &Router{id: id, net: net, st: net.st}
 	total := NumVNets * net.cfg.VCsPerVNet
 	for p := 0; p < NumPorts; p++ {
 		r.in[p] = make([]inputVC, total)
@@ -155,11 +178,16 @@ func newRouter(id NodeID, net *Network) *Router {
 	return r
 }
 
-// claim registers a VC as occupied (reserved or holding a packet) and wakes
-// the router: claims come from the local NI and from upstream routers, both
-// of which may find this router asleep.
+// claim registers a VC as occupied and wakes the router. Only the local NI
+// calls it (same lane); remote arrivals enter through the arrival rings and
+// enlist from the router's own tick.
 func (r *Router) claim(vc *inputVC) {
 	r.h.Wake()
+	r.enlist(vc)
+}
+
+// enlist adds a VC to the occupied list and debits the free-VC pool.
+func (r *Router) enlist(vc *inputVC) {
 	if vc.occPos >= 0 {
 		return
 	}
@@ -171,7 +199,7 @@ func (r *Router) claim(vc *inputVC) {
 // release resets a VC, drops it from the occupied list, and recycles the
 // held packet: at this point every replica carries its own copy, so the
 // buffered packet is dead.
-func (r *Router) release(vc *inputVC) {
+func (r *Router) release(vc *inputVC, now sim.Cycle) {
 	// Candidate accounting must read the packet's vnet/inv flags and the
 	// VC's still-valid occ position, so it runs before the packet is
 	// recycled (putPacket zeroes the struct) and before the occ swap below
@@ -221,11 +249,16 @@ func (r *Router) release(vc *inputVC) {
 	vc.pending = [NumPorts]DestSet{}
 	vc.pendingPorts = 0
 	vc.active = nil
-	// Credit wake: the freed buffer is new downstream space for the adjacent
-	// upstream router, which may be asleep blocked on exactly this VC pool.
+	// Credit return: the freed buffer is new downstream space for the
+	// adjacent upstream router. The credit travels back through this
+	// router's ring with one cycle of link delay; the wake covers an
+	// upstream router asleep blocked on exactly this VC pool (its own
+	// reschedule ring scan covers the case where it ticks after us this
+	// cycle and would otherwise clobber the wake).
 	if vc.port != PortLocal {
 		if nb := r.nbr[vc.port]; nb != nil {
-			nb.h.Wake()
+			r.credRet[vc.port].push(vc.idx/r.net.cfg.VCsPerVNet, now+1)
+			nb.h.WakeAt(now + 1)
 		}
 	}
 }
@@ -250,15 +283,19 @@ func (r *Router) freeVC(port, vnet int) *inputVC {
 	return nil
 }
 
-// Tick advances the router by one cycle: stage 1 for newly arrived heads,
-// then allocation, then switch/link traversal for all held streams. A
-// RouterSlow fault window freezes the whole pipeline on its off-duty cycles;
-// skipping reschedule too keeps the router awake, so it observes every cycle
-// of the window exactly like the dense kernel does.
+// Tick advances the router by one cycle: stage 0 drains matured ring
+// traffic (returned credits, arrived heads), stage 1 routes newly arrived
+// heads, then allocation, then switch/link traversal for all held streams.
+// A RouterSlow fault window freezes the whole pipeline on its off-duty
+// cycles — ring entries stay queued and ripen untouched; skipping
+// reschedule too keeps the router awake, so it observes every cycle of the
+// window exactly like the dense kernel does.
 func (r *Router) Tick(now sim.Cycle) {
 	if f := r.net.faults; f != nil && f.RouterFrozen(r.id, now) {
 		return
 	}
+	r.acceptCredits(now)
+	r.acceptArrivals(now)
 	r.stage1(now)
 	r.allocate(now)
 	streaming := false
@@ -272,16 +309,94 @@ func (r *Router) Tick(now sim.Cycle) {
 	r.reschedule(now, streaming)
 }
 
-// reschedule decides whether the router can skip cycles. An empty occupied
-// list means full quiescence (a streaming VC stays occupied until its tail
-// departs, so no streams remain either; filter entries expire lazily and
-// need no ticking). A non-empty one still allows sleeping when every held
-// packet is blocked on an event that wakes the router: a future head
-// arrival (slept-until), an upstream head write (the sender schedules our
-// wake), or a downstream buffer freeing (its release wakes us).
+// acceptCredits banks matured credit returns from every adjacent router.
+// This router is the designated consumer of each neighbour's credRet ring
+// behind the shared link, so the pops are race-free even while the
+// neighbour ticks concurrently on another lane.
+func (r *Router) acceptCredits(now sim.Cycle) {
+	for o := 0; o < NumPorts; o++ {
+		nb := r.nbr[o]
+		if nb == nil {
+			continue
+		}
+		ring := &nb.credRet[opposite[o]]
+		for {
+			v, ok := ring.pop(now)
+			if !ok {
+				break
+			}
+			r.credits[o][v]++
+		}
+	}
+}
+
+// acceptArrivals moves matured head-flit handoffs from the input-port
+// arrival rings into free input VCs. The credit protocol guarantees a free
+// VC of the packet's vnet exists for every matured entry: the upstream
+// router spent a credit per handoff, and credits only return after a VC
+// frees.
+func (r *Router) acceptArrivals(now sim.Cycle) {
+	for p := 0; p < NumPorts; p++ {
+		if p == PortLocal {
+			continue
+		}
+		ring := &r.arrivals[p]
+		for {
+			pkt, at, ok := ring.pop(now)
+			if !ok {
+				break
+			}
+			vc := r.freeVC(p, pkt.VNet)
+			if vc == nil {
+				panic(fmt.Sprintf("noc: router %d has no free VC at (%s, vnet %d) for a credited arrival",
+					r.id, PortName(p), pkt.VNet))
+			}
+			r.enlist(vc)
+			vc.pkt = pkt
+			vc.headAt = at
+			r.unrouted++
+			if at < r.minHeadAt {
+				r.minHeadAt = at
+			}
+		}
+	}
+}
+
+// reschedule decides whether the router can skip cycles. With the occupied
+// list empty and every ring drained the router is fully quiescent (a
+// streaming VC stays occupied until its tail departs, so no streams remain
+// either; filter entries expire lazily and need no ticking). A non-empty
+// occ still allows sleeping when every held packet is blocked on an event
+// with a known or wake-covered cycle: a future head arrival, a queued ring
+// entry ripening, or a downstream credit returning (its release schedules
+// our wake).
+//
+// The ring scans below are load-bearing, not an optimization: a producer
+// that runs after this router within the same cycle pairs its push with a
+// WakeAt, but a push that happened *before* this tick already spent its
+// WakeAt on an awake handle (a no-op), so the only record of the pending
+// event is the ring entry itself. Missing it here would sleep through the
+// event — the classic lost wakeup.
 func (r *Router) reschedule(now sim.Cycle, streaming bool) {
+	next := sim.NeverWake
+	for p := 0; p < NumPorts; p++ {
+		if at, ok := r.arrivals[p].earliest(); ok && at < next {
+			next = at
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		if nb := r.nbr[o]; nb != nil {
+			if at, ok := nb.credRet[opposite[o]].earliest(); ok && at < next {
+				next = at
+			}
+		}
+	}
 	if len(r.occ) == 0 {
-		r.h.Sleep()
+		if next == sim.NeverWake {
+			r.h.Sleep()
+		} else {
+			r.h.SleepUntil(next)
+		}
 		return
 	}
 	if streaming {
@@ -289,11 +404,10 @@ func (r *Router) reschedule(now sim.Cycle, streaming bool) {
 		// may have freed mid-tick, so allocation must re-run next cycle.
 		return
 	}
-	next := sim.NeverWake
 	for _, vc := range r.occ {
 		if vc.pkt == nil {
-			// Reserved for an in-flight head: the upstream router's head
-			// write schedules our wake at the head's arrival cycle.
+			// Reserved by the local NI's pick; its pump writes the head in
+			// the same NI tick, so this is transient within a cycle.
 			continue
 		}
 		if r.net.cfg.OrdPushInvStall && vc.pkt.IsInv && vc.routed {
@@ -324,8 +438,10 @@ func (r *Router) reschedule(now sim.Cycle, streaming bool) {
 			}
 			continue
 		}
-		// Allocation-eligible but not placed: blocked on an exhausted
-		// downstream VC pool; the downstream router's release wakes us.
+		// Allocation-eligible but not placed: blocked on exhausted credits;
+		// the downstream router's release schedules our wake at the
+		// credit's return cycle (and the ring scan above caught any credit
+		// already in flight).
 	}
 	if next == sim.NeverWake {
 		r.h.Sleep()
@@ -389,11 +505,11 @@ func (r *Router) stage1(now sim.Cycle) {
 				r.route(vc, vc.port, vc.idx, now)
 				continue
 			}
-			r.net.st.Net.FilteredRequests++
+			r.st.Net.FilteredRequests++
 			r.net.eng.Progress()
 			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterHit, Node: int32(r.id),
 				Addr: vc.pkt.Addr, ID: vc.pkt.ID, A: int32(vc.pkt.Requester), B: int32(vc.port)})
-			r.release(vc)
+			r.release(vc, now)
 			continue
 		}
 		r.route(vc, vc.port, vc.idx, now)
@@ -410,7 +526,7 @@ func (r *Router) route(vc *inputVC, port, vcIdx int, now sim.Cycle) {
 	}
 	var out [NumPorts]DestSet
 	for o := 0; o < NumPorts; o++ {
-		out[o] = pkt.Dests & r.dmask[mode][o]
+		out[o] = pkt.Dests.Intersect(r.dmask[mode][o])
 	}
 	vc.pending = out
 	vc.pendingPorts = 0
@@ -446,7 +562,7 @@ func (r *Router) route(vc *inputVC, port, vcIdx int, now sim.Cycle) {
 			// Filter Registration.
 			r.filters.register(o, port, dataVC, pkt.Addr, out[o])
 			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterReg, Node: int32(r.id),
-				Addr: pkt.Addr, ID: pkt.ID, Aux: uint64(out[o]), A: int32(o), B: int32(port)})
+				Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux(out[o]), A: int32(o), B: int32(port)})
 			// Stationary Filtering: prune matched read requests already
 			// buffered (or arriving) at the input port facing the push's
 			// output direction; they travel the reverse path and their
@@ -474,11 +590,11 @@ func (r *Router) stationaryFilter(port int, addr uint64, dests DestSet, now sim.
 			if f := r.net.faults; f != nil && f.SuppressFilterHit(r.id, now) {
 				continue
 			}
-			r.net.st.Net.FilteredRequests++
+			r.st.Net.FilteredRequests++
 			r.net.eng.Progress()
 			r.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KFilterStationary, Node: int32(r.id),
 				Addr: addr, ID: vc.pkt.ID, A: int32(vc.pkt.Requester), B: int32(port)})
-			r.release(vc)
+			r.release(vc, now)
 		}
 	}
 }
@@ -508,15 +624,13 @@ func (r *Router) allocate(now sim.Cycle) {
 func (r *Router) allocateOutput(o int, now sim.Cycle) {
 	if o != PortLocal && r.invCand[o] == 0 {
 		// Exact fast-fail under congestion: when every vnet with candidates
-		// for this port has an exhausted downstream VC pool, no scan
-		// iteration could place a replica (each would stop at the same
-		// freeVC check). Invalidation candidates force the full scan because
-		// their stalled-cycle accounting is a mid-scan side effect.
-		down := r.nbr[o]
-		ip := opposite[o]
+		// for this port has exhausted credits, no scan iteration could place
+		// a replica (each would stop at the same credit check).
+		// Invalidation candidates force the full scan because their
+		// stalled-cycle accounting is a mid-scan side effect.
 		placeable := false
 		for v := 0; v < NumVNets; v++ {
-			if r.candV[o][v] != 0 && down.freeCnt[ip][v] != 0 {
+			if r.candV[o][v] != 0 && r.credits[o][v] != 0 {
 				placeable = true
 				break
 			}
@@ -553,22 +667,19 @@ func (r *Router) allocateOutput(o int, now sim.Cycle) {
 			// still registered at this output port.
 			if pkt.IsInv && r.net.cfg.OrdPushInvStall && r.filters != nil &&
 				r.filters.hasAddr(o, pkt.Addr, now) {
-				r.net.st.Net.StalledInvCycles++
+				r.st.Net.StalledInvCycles++
 				continue
 			}
-			var down *inputVC
 			var downRouter *Router
 			if o != PortLocal {
 				downRouter = r.nbr[o]
 				if downRouter == nil {
 					panic(fmt.Sprintf("noc: router %d routed %v to edge port %s", r.id, pkt, PortName(o)))
 				}
-				down = downRouter.freeVC(opposite[o], pkt.VNet)
-				if down == nil {
-					continue // no free downstream VC this cycle
+				if r.credits[o][pkt.VNet] == 0 {
+					continue // no downstream VC credit this cycle
 				}
-				down.reserved = true
-				downRouter.claim(down)
+				r.credits[o][pkt.VNet]--
 			}
 			replica := r.net.nis[r.id].getPacket()
 			*replica = *pkt
@@ -578,19 +689,19 @@ func (r *Router) allocateOutput(o int, now sim.Cycle) {
 			}
 			replica.Dests = vc.pending[o]
 			if vc.pendingPorts > 1 {
-				r.net.st.Net.MulticastReplicas++
+				r.st.Net.MulticastReplicas++
 			}
-			s := r.net.getStream()
+			s := r.getStream()
 			*s = stream{
 				vc: vc, replica: replica, inPort: p, vcIdx: vc.idx, outPort: o,
-				downVC: down, downR: downRouter,
+				downR: downRouter,
 				size: replica.Size, vnet: replica.VNet, class: replica.Class,
 				dstUnit: replica.DstUnit, dests: replica.Dests,
 				addr: replica.Addr, id: replica.ID, isPush: replica.IsPush,
 			}
 			bit := uint64(1) << uint(idx)
 			vc.active = s
-			vc.pending[o] = 0
+			vc.pending[o] = DestSet{}
 			vc.pendingPorts--
 			r.candMask[o] &^= bit
 			r.candV[o][pkt.VNet]--
@@ -635,17 +746,17 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 	s.sent++
 	r.net.eng.Progress()
 	if s.outPort == PortLocal {
-		r.net.st.Net.EjectedFlits[s.dstUnit][s.class]++
+		r.st.Net.EjectedFlits[s.dstUnit][s.class]++
 	} else {
-		r.net.countLinkFlit(r.id, s.outPort, s.class)
+		r.countLinkFlit(s.outPort, s.class)
 	}
-	if s.sent == 1 && s.downVC != nil {
-		// Head flit: write into the reserved downstream buffer; it is
-		// visible to the downstream stage 1 after switch + link traversal.
-		// The downstream router may have slept through the reservation, so
-		// schedule its wake for the head's arrival cycle. A VCJitter fault
+	if s.sent == 1 && s.outPort != PortLocal {
+		// Head flit: hand the replica into the downstream router's arrival
+		// ring, ripening after switch + link traversal; the downstream
+		// router pops it into a credited VC at that cycle. A VCJitter fault
 		// may delay the arrival; the hook keeps per-port arrivals monotonic,
-		// so the link slows but never reorders.
+		// so the link slows but never reorders (and ring entries stay
+		// maturity-ordered).
 		arr := now + 2
 		if f := r.net.faults; f != nil {
 			arr = f.Arrival(r.id, s.outPort, now, arr, s.id, s.vnet)
@@ -655,15 +766,9 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 		// mid-drain (RouterSlow), the downstream one can finish with the
 		// packet before our tail departs, so no later flit may dereference
 		// it; the remaining cycles run off the stream's snapshot.
-		s.downVC.pkt = s.replica
+		s.downR.arrivals[opposite[s.outPort]].push(s.replica, arr)
 		s.replica = nil
-		s.downVC.headAt = arr
-		s.downVC.reserved = false
-		s.downR.unrouted++
-		if s.downVC.headAt < s.downR.minHeadAt {
-			s.downR.minHeadAt = s.downVC.headAt
-		}
-		s.downR.h.WakeAt(s.downVC.headAt)
+		s.downR.h.WakeAt(arr)
 	}
 	if s.sent < s.size {
 		return
@@ -695,7 +800,7 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 			Addr: s.addr, ID: s.id, A: int32(s.outPort), B: int32(s.inPort)})
 	}
 	if s.vc.pendingPorts == 0 {
-		r.release(s.vc)
+		r.release(s.vc, now)
 	}
 	if s.outPort == PortLocal {
 		// Local ejection never hands the replica off, so it is still owned
@@ -706,5 +811,29 @@ func (r *Router) sendFlit(s *stream, now sim.Cycle) {
 		}
 		r.net.nis[r.id].scheduleDelivery(s.replica, at)
 	}
-	r.net.putStream(s)
+	r.putStream(s)
+}
+
+// getStream / putStream recycle stream descriptors through the router's
+// private pool.
+func (r *Router) getStream() *stream {
+	if k := len(r.streamPool); k > 0 {
+		s := r.streamPool[k-1]
+		r.streamPool[k-1] = nil
+		r.streamPool = r.streamPool[:k-1]
+		return s
+	}
+	return &stream{}
+}
+
+func (r *Router) putStream(s *stream) {
+	*s = stream{}
+	r.streamPool = append(r.streamPool, s)
+}
+
+// countLinkFlit accounts one flit traversing the inter-router link leaving
+// this router through output port `port`.
+func (r *Router) countLinkFlit(port int, class stats.Class) {
+	r.st.Net.LinkFlits[int(r.id)*4+port]++
+	r.st.Net.TotalFlitsByClass[class]++
 }

@@ -204,7 +204,7 @@ func (ni *NI) transportAdmit(pkt *Packet, now sim.Cycle) (bool, LossVerdict) {
 				ni.st.Net.MsgDropped++
 			}
 			ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: kind, Node: int32(ni.node),
-				Addr: pkt.Addr, ID: pkt.ID, Aux: key, A: int32(pkt.Src), B: 1})
+				Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux{key}, A: int32(pkt.Src), B: 1})
 			ni.net.eng.Progress()
 			ni.putPacket(pkt)
 			return false, fate
@@ -232,7 +232,7 @@ func (ni *NI) transportAdmit(pkt *Packet, now sim.Cycle) (bool, LossVerdict) {
 			b = 1
 		}
 		ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: kind, Node: int32(ni.node),
-			Addr: pkt.Addr, ID: pkt.ID, Aux: key, A: int32(pkt.Src), B: b})
+			Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux{key}, A: int32(pkt.Src), B: b})
 		if !orphan {
 			if _, seen := tp.dropped[key]; !seen {
 				tp.dropped[key] = lossRec{isPush: pkt.IsPush && !pkt.IsAck}
@@ -257,7 +257,7 @@ func (ni *NI) transportAdmit(pkt *Packet, now sim.Cycle) (bool, LossVerdict) {
 			}
 		}
 		ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KMsgRecover, Node: int32(ni.node),
-			Addr: pkt.Addr, ID: pkt.ID, Aux: key, A: int32(pkt.Src)})
+			Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux{key}, A: int32(pkt.Src)})
 	}
 	if pkt.IsAck {
 		ni.consumeAck(pkt, now)
@@ -271,7 +271,7 @@ func (ni *NI) transportAdmit(pkt *Packet, now sim.Cycle) (bool, LossVerdict) {
 	if ni.rxSeen(pkt) {
 		ni.st.Net.DupSuppressed++
 		ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KMsgDup, Node: int32(ni.node),
-			Addr: pkt.Addr, ID: pkt.ID, Aux: key, A: int32(pkt.Src)})
+			Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux{key}, A: int32(pkt.Src)})
 		ni.sendAck(pkt, now) // re-ack: the sender's copy may be waiting on a lost ack
 		ni.net.eng.Progress()
 		ni.putPacket(pkt)
@@ -298,7 +298,7 @@ func (ni *NI) transportAdmit(pkt *Packet, now sim.Cycle) (bool, LossVerdict) {
 func (ni *NI) simulateDup(pkt *Packet, now sim.Cycle) {
 	ni.st.Net.DupSuppressed++
 	ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KMsgDup, Node: int32(ni.node),
-		Addr: pkt.Addr, ID: pkt.ID, Aux: pkt.transportKey(), A: int32(pkt.Src)})
+		Addr: pkt.Addr, ID: pkt.ID, Aux: trace.Aux{pkt.transportKey()}, A: int32(pkt.Src)})
 	if !pkt.Filterable {
 		ni.sendAck(pkt, now) // unsequenced requests are never acked
 	}
@@ -503,8 +503,8 @@ func (ni *NI) checkRetransmits(now sim.Cycle) {
 				continue
 			}
 			if e.retries >= ni.net.maxRetries {
-				tp.dead = fmt.Errorf("noc: node %d vnet %d seq %d addr %#x: %d retransmissions unacked (dests %b): %w",
-					ni.node, v, e.seq, e.proto.Addr, e.retries, uint64(e.pending), ErrUnrecoverable)
+				tp.dead = fmt.Errorf("noc: node %d vnet %d seq %d addr %#x: %d retransmissions unacked (dests %v): %w",
+					ni.node, v, e.seq, e.proto.Addr, e.retries, e.pending, ErrUnrecoverable)
 				return
 			}
 			p := ni.getPacket()
@@ -523,7 +523,7 @@ func (ni *NI) checkRetransmits(now sim.Cycle) {
 			e.lastSent = now
 			ni.st.Net.Retransmits++
 			ni.tr.Emit(trace.Event{Cycle: uint64(now), Kind: trace.KRetransmit, Node: int32(ni.node),
-				Addr: p.Addr, ID: p.ID, Aux: p.transportKey(), A: int32(e.retries)})
+				Addr: p.Addr, ID: p.ID, Aux: trace.Aux{p.transportKey()}, A: int32(e.retries)})
 		}
 	}
 }

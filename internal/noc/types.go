@@ -20,41 +20,113 @@ import (
 // NodeID identifies a tile (router/endpoint position) in the mesh.
 type NodeID int32
 
-// DestSet is a destination bit vector over tiles; it supports meshes of up to
-// 64 nodes, which covers the paper's 4x4 and 8x8 systems.
-type DestSet uint64
+// destWords is the word count of a DestSet; MaxNodes the largest mesh the
+// set can address.
+const (
+	destWords = 4
+	// MaxNodes is the largest tile count a DestSet (and therefore a mesh
+	// configuration) supports: 16x16 covers the paper's scaling studies.
+	MaxNodes = destWords * 64
+)
+
+// DestSet is a destination bit vector over tiles; it supports meshes of up
+// to MaxNodes (256) nodes, covering 4x4 through 16x16 systems. The zero
+// value is the empty set, and == compares sets for equality.
+type DestSet [destWords]uint64
 
 // OneDest returns a DestSet containing only n.
-func OneDest(n NodeID) DestSet { return 1 << uint(n) }
+func OneDest(n NodeID) DestSet {
+	var d DestSet
+	d[uint(n)>>6] = 1 << (uint(n) & 63)
+	return d
+}
 
 // Has reports whether n is in the set.
-func (d DestSet) Has(n NodeID) bool { return d&(1<<uint(n)) != 0 }
+func (d DestSet) Has(n NodeID) bool { return d[uint(n)>>6]&(1<<(uint(n)&63)) != 0 }
 
 // Add returns d with n added.
-func (d DestSet) Add(n NodeID) DestSet { return d | 1<<uint(n) }
+func (d DestSet) Add(n NodeID) DestSet {
+	d[uint(n)>>6] |= 1 << (uint(n) & 63)
+	return d
+}
 
 // Remove returns d with n removed.
-func (d DestSet) Remove(n NodeID) DestSet { return d &^ (1 << uint(n)) }
+func (d DestSet) Remove(n NodeID) DestSet {
+	d[uint(n)>>6] &^= 1 << (uint(n) & 63)
+	return d
+}
+
+// Union returns d | o.
+func (d DestSet) Union(o DestSet) DestSet {
+	for i := range d {
+		d[i] |= o[i]
+	}
+	return d
+}
+
+// Intersect returns d & o.
+func (d DestSet) Intersect(o DestSet) DestSet {
+	for i := range d {
+		d[i] &= o[i]
+	}
+	return d
+}
+
+// Subtract returns d &^ o (the destinations of d not in o).
+func (d DestSet) Subtract(o DestSet) DestSet {
+	for i := range d {
+		d[i] &^= o[i]
+	}
+	return d
+}
 
 // Count returns the number of destinations in the set.
-func (d DestSet) Count() int { return bits.OnesCount64(uint64(d)) }
+func (d DestSet) Count() int {
+	n := 0
+	for _, w := range d {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
 
 // Empty reports whether the set has no destinations.
-func (d DestSet) Empty() bool { return d == 0 }
+func (d DestSet) Empty() bool { return d == DestSet{} }
 
 // ForEach calls f for every destination in the set, in ascending order.
 func (d DestSet) ForEach(f func(NodeID)) {
-	for v := uint64(d); v != 0; v &= v - 1 {
-		f(NodeID(bits.TrailingZeros64(v)))
+	for i, w := range d {
+		base := NodeID(i << 6)
+		for ; w != 0; w &= w - 1 {
+			f(base + NodeID(bits.TrailingZeros64(w)))
+		}
 	}
 }
 
 // First returns the lowest-numbered destination; it panics on an empty set.
 func (d DestSet) First() NodeID {
-	if d == 0 {
-		panic("noc: First on empty DestSet")
+	for i, w := range d {
+		if w != 0 {
+			return NodeID(i<<6 + bits.TrailingZeros64(w))
+		}
 	}
-	return NodeID(bits.TrailingZeros64(uint64(d)))
+	panic("noc: First on empty DestSet")
+}
+
+// DestSetFromWord returns the set whose low 64 members are the bits of w —
+// a convenience for tests and tools that build randomized small-mesh sets.
+func DestSetFromWord(w uint64) DestSet { return DestSet{w} }
+
+// Mask returns d restricted to nodes [0, n).
+func (d DestSet) Mask(n int) DestSet {
+	for i := range d {
+		switch lo := i << 6; {
+		case n <= lo:
+			d[i] = 0
+		case n < lo+64:
+			d[i] &= 1<<(uint(n)&63) - 1
+		}
+	}
+	return d
 }
 
 // Virtual networks. The assignment mirrors a three-vnet MESI mapping:
@@ -295,8 +367,8 @@ func (c Config) Validate() error {
 	if c.Width <= 0 || c.Height <= 0 {
 		return fmt.Errorf("noc: invalid mesh %dx%d", c.Width, c.Height)
 	}
-	if c.Nodes() > 64 {
-		return fmt.Errorf("noc: %d nodes exceed the 64-node DestSet limit", c.Nodes())
+	if c.Nodes() > MaxNodes {
+		return fmt.Errorf("noc: %d nodes exceed the %d-node DestSet limit", c.Nodes(), MaxNodes)
 	}
 	if c.VCsPerVNet <= 0 {
 		return fmt.Errorf("noc: VCsPerVNet must be positive, got %d", c.VCsPerVNet)

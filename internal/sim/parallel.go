@@ -8,17 +8,25 @@
 // (consume only items with readyAt <= now) makes intra-cycle tick results
 // order-independent, so the only cross-lane effects a tick may have are
 // Wake/WakeAt calls; while a section runs (Engine.staging) those are staged
-// per-handle and committed at the section barrier by a single registration-
-// order walk, making the schedule — and therefore every statistic — byte-
-// identical to a serial run. Untagged handles (routers, whose credit release
-// has same-cycle visibility to later-registered neighbors) stay on the
-// coordinating goroutine with unchanged serial semantics.
+// per-handle and committed at the section barrier in registration order,
+// making the schedule — and therefore every statistic — byte-identical to a
+// serial run. Untagged handles (the fault injector, the invariant monitor)
+// stay on the coordinating goroutine with unchanged serial semantics.
 //
-// Sections whose awake population is below the configured threshold fall back
-// to the exact serial walk, so tiny configurations pay no barrier overhead.
+// Dispatch is batched by awake-set density: the section's lane groups are
+// coarsened into at most maxPar contiguous batches, each claimed and run
+// whole by one worker, so a cycle costs O(workers) scheduling operations
+// instead of O(lanes). Sections whose awake population is below the
+// configured threshold fall back to the exact serial walk, and when no
+// helper parallelism is available (one batch, or GOMAXPROCS == 1) the
+// coordinator runs every batch inline with zero cross-goroutine traffic —
+// the schedule is deterministic either way, so results never depend on who
+// executed a batch.
 package sim
 
 import (
+	"runtime"
+	"slices"
 	"sync"
 	"sync/atomic"
 )
@@ -27,6 +35,65 @@ import (
 // section needs before it is dispatched to the worker pool; below it the
 // per-section barrier costs more than the concurrency buys.
 const DefaultParallelThreshold = 24
+
+// DefaultBatchGrain is the awake-handle mass one dispatch batch targets:
+// a section with A awake handles is split into about A/DefaultBatchGrain
+// batches (clamped to [1, maxPar]), so sparse cycles collapse to a single
+// inline batch and dense cycles still hand every worker one claim.
+const DefaultBatchGrain = 16
+
+// ExecStats counts the parallel executor's per-run scheduling work. All
+// fields are written by the coordinating goroutine only; read them after the
+// run (or between Steps).
+type ExecStats struct {
+	// Cycles is the number of executor steps taken in parallel mode.
+	Cycles uint64 `json:"cycles"`
+	// ParallelCycles counts cycles in which at least one section was
+	// dispatched through the staged-commit path.
+	ParallelCycles uint64 `json:"parallel_cycles"`
+	// Sections counts dispatched sections — each is one barrier crossing
+	// (staging flip, batch claims, worker join, staged commit).
+	Sections uint64 `json:"sections"`
+	// Batches counts batch claims across all dispatched sections; the
+	// pre-batching executor paid one claim per lane instead.
+	Batches uint64 `json:"batches"`
+	// LaneGroups counts the lane groups inside all dispatched sections —
+	// the claim count the pre-batching executor would have paid. The ratio
+	// (Sections+LaneGroups)/(Sections+Batches+HelperDispatches) is the
+	// batching reduction the scaling curve reports.
+	LaneGroups uint64 `json:"lane_groups"`
+	// HelperDispatches counts cross-goroutine handoffs (channel sends to
+	// pool workers). Zero on hosts without usable parallelism.
+	HelperDispatches uint64 `json:"helper_dispatches"`
+	// SerialFallbackCycles counts cycles whose awake set was below the
+	// dispatch threshold and ran on the exact serial walk.
+	SerialFallbackCycles uint64 `json:"serial_fallback_cycles"`
+	// StagedCommits counts handles replayed at section barriers (the staged
+	// wake/sleep effects actually applied).
+	StagedCommits uint64 `json:"staged_commits"`
+}
+
+// BarrierCrossingsPerCycle returns the average number of barrier-and-claim
+// scheduling operations (sections + batch claims + helper handoffs) per
+// executor cycle — the staging-overhead figure the scaling curve tracks.
+func (x ExecStats) BarrierCrossingsPerCycle() float64 {
+	if x.Cycles == 0 {
+		return 0
+	}
+	return float64(x.Sections+x.Batches+x.HelperDispatches) / float64(x.Cycles)
+}
+
+// BatchingReductionX returns how many times fewer barrier-and-claim
+// scheduling operations the batched dispatch performed than the pre-batching
+// per-lane dispatch would have on the same cycles (1 when nothing was
+// dispatched).
+func (x ExecStats) BatchingReductionX() float64 {
+	den := x.Sections + x.Batches + x.HelperDispatches
+	if den == 0 {
+		return 1
+	}
+	return float64(x.Sections+x.LaneGroups) / float64(den)
+}
 
 // storeMin atomically lowers *a to v (no-op when *a is already <= v). Wake
 // times only ever decrease within a section, so a CAS loop suffices.
@@ -47,14 +114,18 @@ type segment struct {
 	// groups holds the segment's handles bucketed by lane (ascending lane
 	// order, registration order within a lane); nil for serial segments.
 	groups [][]*Handle
+	// awake is the segment's current awake-handle count, maintained
+	// incrementally by Wake/sleep transitions (sparse mode only).
+	awake int
 }
 
 // parSection is the per-dispatch work descriptor shared with the worker pool.
 // The engine reuses a single instance (Engine.sec) across cycles.
 type parSection struct {
 	groups []([]*Handle)
-	next   atomic.Int64  // index of the next unclaimed group
-	ticks  atomic.Uint64 // ticks executed across all groups
+	nbatch int
+	next   atomic.Int64  // index of the next unclaimed batch
+	ticks  atomic.Uint64 // ticks executed across all batches
 	now    Cycle
 	wg     sync.WaitGroup
 }
@@ -68,10 +139,15 @@ func (e *Engine) SetParallel(workers, threshold int) {
 		threshold = DefaultParallelThreshold
 	}
 	e.threshold = threshold
+	e.batchGrain = DefaultBatchGrain
 }
 
 // Parallel returns the configured worker count (0 or 1 means serial).
 func (e *Engine) Parallel() int { return e.workers }
+
+// Exec returns the executor's scheduling counters (zero value for serial
+// runs).
+func (e *Engine) Exec() ExecStats { return e.exec }
 
 // SetOnCycleEnd installs a hook that runs on the coordinating goroutine at
 // the end of every parallel-mode cycle, after all sections have committed.
@@ -84,28 +160,45 @@ func (e *Engine) Close() {
 	if e.workCh != nil {
 		close(e.workCh)
 		e.workCh = nil
+		e.spawned = 0
 	}
 }
 
-// ensureWorkers lazily spawns the worker pool: workers-1 helper goroutines
-// plus the coordinating goroutine itself make up the configured parallelism.
+// ensureWorkers lazily spawns the worker pool. Helpers beyond the host's
+// usable parallelism would only ping-pong the scheduler — the section
+// schedule is deterministic regardless of who runs a batch — so the pool is
+// capped at GOMAXPROCS-1 goroutines; the coordinating goroutine itself is
+// the remaining worker.
 func (e *Engine) ensureWorkers() {
 	if e.workCh != nil {
 		return
 	}
-	e.workCh = make(chan *parSection, e.workers)
-	for i := 0; i < e.workers-1; i++ {
-		go e.worker()
+	n := e.workers - 1
+	if maxp := runtime.GOMAXPROCS(0) - 1; n > maxp {
+		n = maxp
+	}
+	if n < 0 {
+		n = 0
+	}
+	e.spawned = n
+	e.workCh = make(chan *parSection, n+1)
+	for i := 0; i < n; i++ {
+		// The channel is passed by value: a worker that hasn't started yet
+		// when Close nils the field must still see the real channel (a range
+		// over the nil'd field would block forever and leak the goroutine).
+		go e.worker(e.workCh)
 	}
 }
 
-func (e *Engine) worker() {
-	for sec := range e.workCh {
+func (e *Engine) worker(ch chan *parSection) {
+	for sec := range ch {
 		e.runSectionWork(sec)
 	}
 }
 
-// buildSegments recomputes the segment list from the handles' lane tags.
+// buildSegments recomputes the segment list from the handles' lane tags and
+// re-derives the per-segment awake counts the incremental bookkeeping
+// maintains from here on.
 func (e *Engine) buildSegments() {
 	e.segs = e.segs[:0]
 	for i := 0; i < len(e.handles); {
@@ -132,24 +225,32 @@ func (e *Engine) buildSegments() {
 				}
 			}
 		}
+		for _, h := range e.handles[i:j] {
+			h.seg = len(e.segs)
+			if !h.asleep {
+				seg.awake++
+			}
+		}
 		e.segs = append(e.segs, seg)
 		i = j
 	}
+	e.trackAwake = true
 	e.segsDirty = false
 }
 
-// sectionAwake counts the handles of seg that would tick this cycle.
-func (e *Engine) sectionAwake(seg *segment) int {
-	if e.dense {
-		return seg.end - seg.start
+// segWake / segSleep maintain the per-segment awake counters on every
+// asleep-transition. They are no-ops until the first parallel Step builds
+// the segment list (and on serial engines, which never set trackAwake).
+func (e *Engine) segWake(h *Handle) {
+	if e.trackAwake && h.seg >= 0 {
+		e.segs[h.seg].awake++
 	}
-	n := 0
-	for _, h := range e.handles[seg.start:seg.end] {
-		if !h.asleep {
-			n++
-		}
+}
+
+func (e *Engine) segSleep(h *Handle) {
+	if e.trackAwake && h.seg >= 0 {
+		e.segs[h.seg].awake--
 	}
-	return n
 }
 
 // stepParallel is Step for engines with workers >= 2 and lane-tagged handles.
@@ -157,6 +258,10 @@ func (e *Engine) sectionAwake(seg *segment) int {
 // serial walk, so any mix of dispatched and fallen-back sections remains
 // byte-identical to a fully serial run.
 func (e *Engine) stepParallel() {
+	if e.segsDirty {
+		e.buildSegments()
+	}
+	e.exec.Cycles++
 	if !e.dense {
 		for len(e.wheap) > 0 && e.wheap[0].wakeAt <= e.now {
 			h := e.wheap[0]
@@ -164,17 +269,25 @@ func (e *Engine) stepParallel() {
 			h.asleep = false
 			h.wakeAt = NeverWake
 			e.asleepCount--
+			e.segWake(h)
 		}
 	}
 	if e.dense || e.asleepCount < len(e.handles) {
-		if e.segsDirty {
-			e.buildSegments()
-		}
+		dispatched := false
+		fellBack := false
 		for i := range e.segs {
 			seg := &e.segs[i]
-			if seg.parallel && len(seg.groups) > 1 && e.sectionAwake(seg) >= e.threshold {
-				e.runSection(seg)
-				continue
+			if seg.parallel && len(seg.groups) > 1 {
+				awake := seg.awake
+				if e.dense {
+					awake = seg.end - seg.start
+				}
+				if awake >= e.threshold {
+					e.runSection(seg, awake)
+					dispatched = true
+					continue
+				}
+				fellBack = true
 			}
 			for _, h := range e.handles[seg.start:seg.end] {
 				if e.dense || !h.asleep {
@@ -183,6 +296,12 @@ func (e *Engine) stepParallel() {
 				}
 			}
 		}
+		if dispatched {
+			e.exec.ParallelCycles++
+		}
+		if fellBack {
+			e.exec.SerialFallbackCycles++
+		}
 		if e.onCycleEnd != nil {
 			e.onCycleEnd(e.now)
 		}
@@ -190,42 +309,79 @@ func (e *Engine) stepParallel() {
 	e.now++
 }
 
-// runSection dispatches one parallel section to the worker pool and blocks
-// until every lane has ticked, then commits the staged effects in
-// registration order.
-func (e *Engine) runSection(seg *segment) {
+// runSection executes one parallel section. The lane groups are coarsened
+// into nbatch contiguous batches sized by the section's awake density; with
+// more than one batch and available pool workers the batches run
+// concurrently under staging and the staged effects commit at the end in
+// registration order. A single batch degenerates to the unstaged serial
+// segment walk on the coordinator.
+func (e *Engine) runSection(seg *segment, awake int) {
 	e.ensureWorkers()
+	nbatch := awake / e.batchGrain
+	if nbatch < 1 {
+		nbatch = 1
+	}
+	if nbatch > e.workers {
+		nbatch = e.workers
+	}
+	if lim := e.spawned + 1; nbatch > lim {
+		nbatch = lim
+	}
+	if nbatch > len(seg.groups) {
+		nbatch = len(seg.groups)
+	}
+	e.exec.Sections++
+	e.exec.Batches += uint64(nbatch)
+	e.exec.LaneGroups += uint64(len(seg.groups))
+	if nbatch == 1 {
+		// One batch on the coordinator is the serial walk in disguise:
+		// no concurrent writer exists, so staging would only buffer
+		// scheduling effects to replay in the order they already occur.
+		// Tick the segment's handles directly — the exact fallback loop —
+		// and skip the staging flag, the dirty list, and the commit.
+		for _, h := range e.handles[seg.start:seg.end] {
+			if e.dense || !h.asleep {
+				h.comp.Tick(e.now)
+				e.ticks++
+			}
+		}
+		return
+	}
+	e.staging = true
 	sec := &e.sec
 	sec.groups = seg.groups
+	sec.nbatch = nbatch
 	sec.now = e.now
 	sec.next.Store(0)
 	sec.ticks.Store(0)
-	helpers := e.workers - 1
-	if max := len(seg.groups) - 1; helpers > max {
-		helpers = max
-	}
-	e.staging = true
+	helpers := nbatch - 1
+	e.exec.HelperDispatches += uint64(helpers)
 	sec.wg.Add(helpers + 1)
 	for i := 0; i < helpers; i++ {
 		e.workCh <- sec
 	}
 	e.runSectionWork(sec)
 	sec.wg.Wait()
-	e.staging = false
 	e.ticks += sec.ticks.Load()
+	e.staging = false
 	e.commitStaged()
 }
 
-// runSectionWork claims lane groups off the section until none remain. Both
-// the coordinating goroutine and the pool workers run it.
+// runSectionWork claims batches off the section until none remain. Both the
+// coordinating goroutine and the pool workers run it. Batch b covers the
+// contiguous lane-group range [b*G/nbatch, (b+1)*G/nbatch).
 func (e *Engine) runSectionWork(sec *parSection) {
 	var ticks uint64
+	n := len(sec.groups)
 	for {
-		i := int(sec.next.Add(1)) - 1
-		if i >= len(sec.groups) {
+		b := int(sec.next.Add(1)) - 1
+		if b >= sec.nbatch {
 			break
 		}
-		ticks += e.runGroup(sec.groups[i], sec.now)
+		lo, hi := b*n/sec.nbatch, (b+1)*n/sec.nbatch
+		for _, g := range sec.groups[lo:hi] {
+			ticks += e.runGroup(g, sec.now)
+		}
 	}
 	if ticks > 0 {
 		sec.ticks.Add(ticks)
@@ -250,11 +406,21 @@ func (e *Engine) runGroup(g []*Handle, now Cycle) uint64 {
 				w = h.pendingWake.Load()
 			}
 			h.wakeConsumed = true
+			e.stageDirty(h)
 		}
 		h.comp.Tick(now)
 		ticks++
 	}
 	return ticks
+}
+
+// stageDirty enrolls a handle in the section's commit list the first time it
+// accumulates a staged effect. The list is sorted by registration index at
+// commit, so only touched handles are walked instead of the whole machine.
+func (e *Engine) stageDirty(h *Handle) {
+	if h.dirty.CompareAndSwap(false, true) {
+		e.dirty[e.dirtyN.Add(1)-1] = h
+	}
 }
 
 // commitStaged replays the section's staged scheduling effects in
@@ -263,7 +429,13 @@ func (e *Engine) runGroup(g []*Handle, now Cycle) uint64 {
 // end up awake unless it re-slept), then the owner's staged sleep, then any
 // residual staged wake checked against the settled state.
 func (e *Engine) commitStaged() {
-	for _, h := range e.handles {
+	n := int(e.dirtyN.Load())
+	if n == 0 {
+		return
+	}
+	d := e.dirty[:n]
+	slices.SortFunc(d, func(a, b *Handle) int { return a.idx - b.idx })
+	for _, h := range d {
 		if h.wakeConsumed {
 			h.wakeConsumed = false
 			h.Wake()
@@ -280,5 +452,8 @@ func (e *Engine) commitStaged() {
 				h.WakeAt(c)
 			}
 		}
+		h.dirty.Store(false)
 	}
+	e.exec.StagedCommits += uint64(n)
+	e.dirtyN.Store(0)
 }

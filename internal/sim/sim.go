@@ -95,6 +95,13 @@ type Handle struct {
 	// lane is the handle's parallel-execution lane, -1 for serial-only
 	// handles (see SetLane).
 	lane int
+	// seg is the index of the handle's segment in Engine.segs, -1 until the
+	// parallel executor first builds the segment list. It anchors the
+	// per-segment awake counters maintained on every asleep-transition.
+	seg int
+	// dirty marks enrollment in the engine's staged-commit list for the
+	// current section (set by the first staged effect, cleared at commit).
+	dirty atomic.Bool
 	// pendingWake is the staged wake time accumulated (as a minimum) while a
 	// parallel section runs; NeverWake when none. It is the only handle field
 	// written cross-lane during a section, hence atomic.
@@ -129,6 +136,7 @@ func (h *Handle) SetLane(lane int) {
 func (h *Handle) Wake() {
 	if h.eng.staging {
 		storeMin(&h.pendingWake, uint64(h.eng.now))
+		h.eng.stageDirty(h)
 		return
 	}
 	if !h.asleep {
@@ -136,6 +144,7 @@ func (h *Handle) Wake() {
 	}
 	h.asleep = false
 	h.eng.asleepCount--
+	h.eng.segWake(h)
 	if h.heapPos >= 0 {
 		h.eng.heapRemove(h.heapPos)
 	}
@@ -152,6 +161,7 @@ func (h *Handle) WakeAt(c Cycle) {
 		// have staged a sleep this section. Stage unconditionally; commit
 		// re-applies the checks against the settled state.
 		storeMin(&h.pendingWake, uint64(c))
+		h.eng.stageDirty(h)
 		return
 	}
 	if !h.asleep || h.wakeAt <= c {
@@ -188,6 +198,7 @@ func (h *Handle) sleep(c Cycle) {
 		// its tick; last call of the tick wins, replayed at commit.
 		h.pendingSleep = c
 		h.hasPendingSleep = true
+		h.eng.stageDirty(h)
 		return
 	}
 	// A sleep that would wake next cycle skips no ticks — the component runs
@@ -207,6 +218,7 @@ func (h *Handle) sleep(c Cycle) {
 	} else {
 		h.asleep = true
 		h.eng.asleepCount++
+		h.eng.segSleep(h)
 	}
 	h.wakeAt = c
 	if c != NeverWake {
@@ -236,14 +248,25 @@ type Engine struct {
 
 	// Parallel executor state (see parallel.go). workers <= 1 or no lane
 	// tags leaves Step on the single-threaded path untouched.
-	workers   int
-	threshold int
-	hasLanes  bool
-	staging   bool
-	segs      []segment
-	segsDirty bool
-	workCh    chan *parSection
-	sec       parSection
+	workers    int
+	threshold  int
+	batchGrain int
+	hasLanes   bool
+	staging    bool
+	segs       []segment
+	segsDirty  bool
+	// trackAwake turns on the per-segment awake counters once the segment
+	// list exists; serial engines never pay for the bookkeeping.
+	trackAwake bool
+	workCh     chan *parSection
+	// spawned is the pool size actually started (capped by GOMAXPROCS-1).
+	spawned int
+	sec     parSection
+	// dirty/dirtyN collect the handles with staged effects during a section;
+	// commit walks (and sorts) only these instead of every handle.
+	dirty  []*Handle
+	dirtyN atomic.Int64
+	exec   ExecStats
 	// onCycleEnd, when set, runs after the last section of every parallel
 	// Step (the per-cycle ordered drain of deferred stats).
 	onCycleEnd func(now Cycle)
@@ -281,9 +304,12 @@ func (e *Engine) Dense() bool { return e.dense }
 // Register adds a component to the tick list and returns its scheduling
 // handle. Components are ticked in registration order and start awake.
 func (e *Engine) Register(t Ticker) *Handle {
-	h := &Handle{eng: e, comp: t, idx: len(e.handles), wakeAt: NeverWake, heapPos: -1, lane: -1}
+	h := &Handle{eng: e, comp: t, idx: len(e.handles), wakeAt: NeverWake, heapPos: -1, lane: -1, seg: -1}
 	h.pendingWake.Store(uint64(NeverWake))
 	e.handles = append(e.handles, h)
+	// Keep the staged-commit dirty list sized to the handle count up front:
+	// stageDirty writes into it from worker goroutines and must never grow it.
+	e.dirty = append(e.dirty, nil)
 	e.segsDirty = true
 	return h
 }

@@ -119,12 +119,30 @@ const (
 	FlagFilterable             // packet is a filterable request (GetS)
 )
 
+// Aux is the kind-specific wide payload of an event. Destination sets need
+// four words to cover 256-node meshes (it converts directly to and from
+// noc.DestSet); scalar payloads such as transport stream keys live in word 0
+// (Scalar) with the rest zero.
+type Aux [4]uint64
+
+// Scalar returns word 0, the whole value for scalar-payload kinds.
+func (a Aux) Scalar() uint64 { return a[0] }
+
+// String renders the payload compactly: just word 0 unless the high words
+// are populated.
+func (a Aux) String() string {
+	if a[1] == 0 && a[2] == 0 && a[3] == 0 {
+		return fmt.Sprintf("%#x", a[0])
+	}
+	return fmt.Sprintf("%#x:%#x:%#x:%#x", a[3], a[2], a[1], a[0])
+}
+
 // Event is one fixed-size trace record.
 type Event struct {
 	Cycle uint64 // commit cycle of the emission
 	Addr  uint64 // line address, when meaningful
 	ID    uint64 // packet ID (shared by multicast replicas), when meaningful
-	Aux   uint64 // kind-specific (destination sets)
+	Aux   Aux    // kind-specific (destination sets, transport stream keys)
 	Kind  Kind
 	Node  int32 // emitting component's tile / router node
 	A     int32 // kind-specific
@@ -133,7 +151,7 @@ type Event struct {
 
 // String renders the event for trace dumps.
 func (e Event) String() string {
-	return fmt.Sprintf("cycle=%-8d %-17s node=%-3d addr=%#x a=%d b=%d id=%#x aux=%#x",
+	return fmt.Sprintf("cycle=%-8d %-17s node=%-3d addr=%#x a=%d b=%d id=%#x aux=%s",
 		e.Cycle, e.Kind, e.Node, e.Addr, e.A, e.B, e.ID, e.Aux)
 }
 
@@ -232,7 +250,9 @@ func (t *Tracer) record(e Event) {
 	t.mix(e.Cycle)
 	t.mix(e.Addr)
 	t.mix(e.ID)
-	t.mix(e.Aux)
+	for _, w := range e.Aux {
+		t.mix(w)
+	}
 	t.mix(uint64(e.Kind)<<32 | uint64(uint32(e.Node)))
 	t.mix(uint64(uint32(e.A))<<32 | uint64(uint32(e.B)))
 	if cap(t.ring) == 0 {

@@ -25,6 +25,7 @@ import (
 	"pushmulticast/internal/core"
 	"pushmulticast/internal/fault"
 	"pushmulticast/internal/noc"
+	"pushmulticast/internal/sim"
 	"pushmulticast/internal/stats"
 	"pushmulticast/internal/workload"
 )
@@ -39,6 +40,12 @@ type Scheme = config.Scheme
 
 // Results bundles one run's execution time and counters.
 type Results = core.Results
+
+// ExecStats is the parallel executor's scheduling-work record carried in
+// Results.Exec: sections dispatched, batch claims, and cross-goroutine
+// handoffs (each a barrier-crossing scheduling operation), plus the
+// serial-fallback cycle count. Zero for serial runs.
+type ExecStats = sim.ExecStats
 
 // Stats is the counter bundle inside Results.
 type Stats = stats.All
@@ -63,6 +70,10 @@ func Default16() Config { return config.Default16() }
 
 // Default64 returns the Table I 64-core (8x8 mesh) configuration.
 func Default64() Config { return config.Default64() }
+
+// Default256 returns the scaled-up 256-core (16x16 mesh) configuration used
+// by the manycore scaling studies.
+func Default256() Config { return config.Default256() }
 
 // ScaledConfig shrinks the configuration's caches by the standard quick-run
 // factor so ScaleQuick inputs exert the same pressure full inputs exert on
