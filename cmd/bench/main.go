@@ -281,6 +281,35 @@ func runParallel(out string, workerList, coreList []int, rounds int) error {
 	return nil
 }
 
+// runWarmStart measures the checkpoint-forked knob sweep against its cold
+// equivalent and emits the BENCH_snapshot.json record: total wall time for
+// ten variants run from cycle zero versus one donor run to ~90% plus ten
+// restores, with the exact-resume variant cross-checked against its cold run.
+func runWarmStart(out string) error {
+	rep, err := pushmulticast.ExpWarmStart(pushmulticast.ExpOptions{Scale: pushmulticast.ScaleTiny})
+	if err != nil {
+		return err
+	}
+	rep.GoOS = runtime.GOOS
+	rep.GoArch = runtime.GOARCH
+	rep.NumCPU = runtime.NumCPU()
+	buf, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		os.Stdout.Write(buf)
+		return nil
+	}
+	if err := os.WriteFile(out, buf, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d variants forked at %.0f%% of %d cycles, %.2fx vs cold sweep (snapshot %d bytes)\n",
+		out, rep.VariantCount, rep.BarrierFraction*100, rep.DonorCycles, rep.SpeedupX, rep.SnapshotBytes)
+	return nil
+}
+
 // allocGate re-measures the wake-driven kernel's allocations per op against
 // the committed budget and fails (exit 1 via the returned error) on a >5%
 // regression. Alloc counts are deterministic enough for a hard gate; wall
@@ -326,7 +355,7 @@ func main() {
 	var (
 		out        = flag.String("o", "", "output path ('-' for stdout; default depends on -mode)")
 		benchtime  = flag.String("benchtime", "5x", "benchmark time per kernel (testing -benchtime syntax)")
-		mode       = flag.String("mode", "kernel", "benchmark: kernel (wake-driven vs dense, BENCH_kernel.json) or parallel (serial vs parallel executor scaling curve, BENCH_parallel.json)")
+		mode       = flag.String("mode", "kernel", "benchmark: kernel (wake-driven vs dense, BENCH_kernel.json), parallel (serial vs parallel executor scaling curve, BENCH_parallel.json), or warmstart (cold sweep vs checkpoint-forked sweep, BENCH_snapshot.json)")
 		workers    = flag.String("workers", "1,2,4", "parallel executor worker counts to sweep, comma-separated (-mode parallel)")
 		coresF     = flag.String("cores", "64", "core counts to sweep, comma-separated from 16|64|256 (-mode parallel)")
 		rounds     = flag.Int("rounds", 3, "interleaved measurement rounds per configuration; each reports its fastest (-mode parallel)")
@@ -355,6 +384,15 @@ func main() {
 	}
 
 	switch *mode {
+	case "warmstart":
+		if *out == "" {
+			*out = "BENCH_snapshot.json"
+		}
+		if err := runWarmStart(*out); err != nil {
+			stopProf()
+			fatal(err)
+		}
+		return
 	case "parallel":
 		if *out == "" {
 			*out = "BENCH_parallel.json"
@@ -380,7 +418,7 @@ func main() {
 			*out = "BENCH_kernel.json"
 		}
 	default:
-		fatal(fmt.Errorf("unknown -mode %q (use kernel or parallel)", *mode))
+		fatal(fmt.Errorf("unknown -mode %q (use kernel, parallel, or warmstart)", *mode))
 	}
 
 	rep := report{

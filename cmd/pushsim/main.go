@@ -39,6 +39,9 @@ func main() {
 		retryTO  = flag.Int("retrytimeout", 0, "lossy recovery: cycles before a sender retransmits an unacked packet (0 = default 400)")
 		maxRetry = flag.Int("maxretries", 0, "lossy recovery: retransmissions per packet before the run aborts with ErrUnrecoverable (0 = default 16)")
 		mshrTO   = flag.Int("mshrtimeout", 0, "lossy recovery: cycles before an L2 MSHR reissues an unanswered request (0 = default 300)")
+		snapFile = flag.String("snapshot", "", "write a full-state snapshot to FILE at the -snapat cycle barrier, then continue the run to completion (output is byte-identical to a run that never snapshotted)")
+		snapAt   = flag.Uint64("snapat", 0, "cycle barrier for -snapshot (required with it; the wake-driven kernel may pause a little later if every component sleeps across the barrier)")
+		restoreF = flag.String("restore", "", "restore a snapshot FILE into this configuration and run it to completion; the config must match the snapshot exactly, or differ only in tuning knobs (warm-start fork)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to FILE at exit")
 		execTr   = flag.String("exectrace", "", "write a runtime execution trace of the run to FILE")
@@ -91,7 +94,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
 		os.Exit(1)
 	}
-	res, err := pushmulticast.Run(cfg, *wlName, sc)
+	res, err := execute(cfg, *wlName, sc, *snapFile, *snapAt, *restoreF)
 	if err != nil {
 		stopProf() // flush profiles of the failed run before exiting
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
@@ -105,6 +108,56 @@ func main() {
 		return
 	}
 	report(res)
+}
+
+// execute runs the simulation, honoring the checkpoint/restore flags. Plain
+// runs take the one-shot path; -snapshot pauses at the -snapat barrier,
+// writes the serialized machine, and continues to completion; -restore loads
+// a snapshot into the configured machine and finishes it. Every failure —
+// including a snapshot whose format version or config fingerprint does not
+// match — is a one-line diagnostic; the caller prints it and exits 1.
+func execute(cfg pushmulticast.Config, wlName string, sc pushmulticast.Scale, snapFile string, snapAt uint64, restoreF string) (pushmulticast.Results, error) {
+	if snapFile == "" && restoreF == "" {
+		return pushmulticast.Run(cfg, wlName, sc)
+	}
+	if snapFile != "" && restoreF != "" {
+		return pushmulticast.Results{}, fmt.Errorf("-snapshot cannot be combined with -restore")
+	}
+	wl, err := pushmulticast.WorkloadByName(wlName)
+	if err != nil {
+		return pushmulticast.Results{}, err
+	}
+	if restoreF != "" {
+		data, err := os.ReadFile(restoreF)
+		if err != nil {
+			return pushmulticast.Results{}, fmt.Errorf("restore: %w", err)
+		}
+		m, err := pushmulticast.RestoreMachine(data, cfg, wl, sc)
+		if err != nil {
+			return pushmulticast.Results{}, fmt.Errorf("restore %s: %w", restoreF, err)
+		}
+		return m.Finish()
+	}
+	if snapAt == 0 {
+		return pushmulticast.Results{}, fmt.Errorf("-snapshot requires -snapat CYCLE")
+	}
+	m, err := pushmulticast.NewMachine(cfg, wl, sc)
+	if err != nil {
+		return pushmulticast.Results{}, err
+	}
+	if err := m.RunTo(snapAt); err != nil {
+		return pushmulticast.Results{}, err
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		return pushmulticast.Results{}, err
+	}
+	if err := os.WriteFile(snapFile, snap, 0o644); err != nil {
+		return pushmulticast.Results{}, fmt.Errorf("snapshot: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "pushsim: snapshot written to %s (cycle %d, %d bytes, hash %#x)\n",
+		snapFile, m.Now(), len(snap), pushmulticast.SnapshotHash(snap))
+	return m.Finish()
 }
 
 // buildFaultPlan resolves the three fault sources into one plan: a JSON plan

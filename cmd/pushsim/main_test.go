@@ -92,3 +92,110 @@ func TestBuildFaultPlanGoodInput(t *testing.T) {
 		t.Fatalf("chaos+lossy merge does not validate: %v", err)
 	}
 }
+
+// TestExecuteSnapshotRoundTrip pins the CLI checkpoint workflow end to end:
+// a run that pauses to write a snapshot finishes with results identical to a
+// plain run, and a fresh process restoring that snapshot finishes with the
+// same results again — cycle count and full causal trace hash included.
+func TestExecuteSnapshotRoundTrip(t *testing.T) {
+	cfg, err := buildConfig(16, "OrdPush", "tiny", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Check = true
+	snapFile := filepath.Join(t.TempDir(), "pause.snap")
+
+	plain, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, "", 0, "")
+	if err != nil {
+		t.Fatalf("plain run: %v", err)
+	}
+	saved, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, snapFile, 5000, "")
+	if err != nil {
+		t.Fatalf("snapshotting run: %v", err)
+	}
+	restored, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, "", 0, snapFile)
+	if err != nil {
+		t.Fatalf("restored run: %v", err)
+	}
+	for _, res := range []struct {
+		name string
+		got  pushmulticast.Results
+	}{{"snapshotting", saved}, {"restored", restored}} {
+		if res.got.Cycles != plain.Cycles || res.got.TraceHash != plain.TraceHash ||
+			res.got.Stats.Core.Instructions != plain.Stats.Core.Instructions {
+			t.Errorf("%s run diverged from plain run: cycles %d vs %d, trace %#x vs %#x",
+				res.name, res.got.Cycles, plain.Cycles, res.got.TraceHash, plain.TraceHash)
+		}
+	}
+}
+
+// TestExecuteBadInput is the regression table for the checkpoint flags: every
+// unusable combination — and every snapshot whose format version or config
+// fingerprint does not match the restoring machine — must produce a
+// single-line diagnostic error (main prints it and exits 1), never a panic,
+// a partial run, or a silent mis-restore.
+func TestExecuteBadInput(t *testing.T) {
+	cfg, err := buildConfig(16, "OrdPush", "tiny", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Check = true
+	dir := t.TempDir()
+	snapFile := filepath.Join(dir, "donor.snap")
+	if _, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, snapFile, 5000, ""); err != nil {
+		t.Fatalf("writing the donor snapshot: %v", err)
+	}
+	snap, err := os.ReadFile(snapFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	write := func(name string, data []byte) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	// A snapshot from a hypothetical newer build: same bytes, format version
+	// field (first header field after the magic) patched to 2.
+	futureSnap := append([]byte(nil), snap...)
+	futureSnap[8] = 0x02
+	baseline, err := buildConfig(16, "Baseline", "tiny", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	baseline.Check = true
+
+	cases := []struct {
+		name     string
+		cfg      pushmulticast.Config
+		workload string
+		snapFile string
+		snapAt   uint64
+		restore  string
+		want     string
+	}{
+		{"snapshot combined with restore", cfg, "cachebw", snapFile, 5000, snapFile, "cannot be combined"},
+		{"snapshot without snapat", cfg, "cachebw", filepath.Join(dir, "x.snap"), 0, "", "-snapat"},
+		{"restore file missing", cfg, "cachebw", "", 0, filepath.Join(dir, "no-such.snap"), "no-such.snap"},
+		{"restore file is not a snapshot", cfg, "cachebw", "", 0, write("noise.snap", []byte("definitely not a snapshot file")), "bad magic"},
+		{"truncated snapshot", cfg, "cachebw", "", 0, write("trunc.snap", snap[:len(snap)-7]), "hash mismatch"},
+		{"newer format version", cfg, "cachebw", "", 0, write("future.snap", futureSnap), "format v2"},
+		{"different scheme", baseline, "cachebw", "", 0, snapFile, "snapshot mismatch"},
+		{"different workload", cfg, "bfs", "", 0, snapFile, "snapshot mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := execute(tc.cfg, tc.workload, pushmulticast.ScaleTiny, tc.snapFile, tc.snapAt, tc.restore)
+			if err == nil {
+				t.Fatal("execute accepted bad checkpoint flags")
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("diagnostic is not a single line: %q", err)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("diagnostic %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}

@@ -118,6 +118,12 @@ type memoKey struct {
 	faults   string
 	workload string
 	scale    Scale
+	// snap is the content hash of the snapshot a warm-started run forked
+	// from, 0 for cold runs. A warm fork's results legitimately differ from
+	// the same configuration's cold results (the warm-up executed under the
+	// donor's tuning knobs), so the two must never share a memo entry; the
+	// content hash also separates forks of different donors or barriers.
+	snap uint64
 }
 
 func newMemoKey(cfg Config, wl Workload, sc Scale) memoKey {
@@ -151,7 +157,27 @@ func ClearRunMemo() {
 // simulation. Failed runs are not cached: the entry is dropped before its
 // waiters are released, so a later retry re-simulates.
 func memoizedRun(cfg Config, wl Workload, sc Scale) (Results, error) {
+	return memoized(newMemoKey(cfg, wl, sc), func() (Results, error) {
+		return RunWorkload(cfg, wl, sc)
+	})
+}
+
+// memoizedWarmRun is memoizedRun for a run forked from a warmed snapshot:
+// the key carries the snapshot's content hash, so warm and cold runs of the
+// same configuration occupy distinct entries.
+func memoizedWarmRun(cfg Config, wl Workload, sc Scale, snap []byte) (Results, error) {
 	key := newMemoKey(cfg, wl, sc)
+	key.snap = SnapshotHash(snap)
+	return memoized(key, func() (Results, error) {
+		m, err := RestoreMachine(snap, cfg, wl, sc)
+		if err != nil {
+			return Results{}, err
+		}
+		return m.Finish()
+	})
+}
+
+func memoized(key memoKey, run func() (Results, error)) (Results, error) {
 	runMemo.Lock()
 	if runMemo.m == nil {
 		runMemo.m = make(map[memoKey]*memoEntry)
@@ -164,7 +190,7 @@ func memoizedRun(cfg Config, wl Workload, sc Scale) (Results, error) {
 	e := &memoEntry{done: make(chan struct{})}
 	runMemo.m[key] = e
 	runMemo.Unlock()
-	e.res, e.err = RunWorkload(cfg, wl, sc)
+	e.res, e.err = run()
 	if e.err != nil {
 		runMemo.Lock()
 		if runMemo.m[key] == e {
@@ -254,6 +280,72 @@ func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Wo
 		return nil, errors.Join(errs...)
 	}
 	return results, nil
+}
+
+// WarmStartSweep forks a tuning-knob sweep from one warmed checkpoint. The
+// base configuration runs alone to the barrier cycle and snapshots; every
+// variant configuration then restores from that snapshot and runs to
+// completion over the harness's bounded worker pool, so the sweep pays the
+// warm-up phase once instead of len(variants) times. Results are returned in
+// variant order, alongside the snapshot itself (its SnapshotHash is each
+// warm run's memo identity).
+//
+// Variants must differ from base only in warm-start tuning knobs
+// (TPCThreshold, TimeWindow, KnobRatioShift, CoalesceWindow, retry timers) —
+// the snapshot's fork fingerprint enforces this, refusing anything else with
+// ErrSnapshotMismatch. A variant identical to base is an exact resume,
+// byte-identical to its cold run; any other variant is an approximation in
+// exactly one sense: its pre-barrier history executed under base's knob
+// values.
+func WarmStartSweep(o ExpOptions, base Config, variants []Config, wl Workload, barrier uint64) ([]Results, []byte, error) {
+	o = o.withDefaults()
+	m, err := NewMachine(base, wl, o.Scale)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := m.RunTo(barrier); err != nil {
+		return nil, nil, err
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]Results, len(variants))
+	workers := o.Parallelism
+	if workers > len(variants) {
+		workers = len(variants)
+	}
+	idxCh := make(chan int)
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idxCh {
+				res, err := memoizedWarmRun(variants[i], wl, o.Scale, snap)
+				if err != nil {
+					mu.Lock()
+					errs = append(errs, fmt.Errorf("warm fork %d: %w", i, err))
+					mu.Unlock()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+	for i := range variants {
+		idxCh <- i
+	}
+	close(idxCh)
+	wg.Wait()
+	if len(errs) > 0 {
+		return nil, nil, errors.Join(errs...)
+	}
+	return results, snap, nil
 }
 
 // speedup returns baseline-cycles / scheme-cycles. A zero cycle count on

@@ -107,3 +107,70 @@ func TestMemoClearDuringFlight(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestMemoWarmColdNoAlias is the warm-start aliasing regression: a run
+// forked from a snapshot and a cold run of the identical configuration race
+// into the memo concurrently and must occupy distinct entries — the warm
+// key carries the snapshot's content hash. An aliased memo would hand a
+// fork's results (whose pre-barrier history ran under the donor's knobs) to
+// a caller that asked for a cold run, silently corrupting campaign figures.
+// Run with -race in CI.
+func TestMemoWarmColdNoAlias(t *testing.T) {
+	ClearRunMemo()
+	t.Cleanup(ClearRunMemo)
+	wl, err := workload.ByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	donor := ScaledConfig(Default16()).WithScheme(OrdPush())
+	m, err := NewMachine(donor, wl, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunTo(4000); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The forked target differs from the donor only in a tuning knob, and is
+	// also run cold — the exact configuration pair that would alias if the
+	// memo key ignored snapshot provenance.
+	target := donor
+	target.TPCThreshold = 99
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := memoizedRun(target, wl, ScaleTiny); err != nil {
+				t.Error(err)
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := memoizedWarmRun(target, wl, ScaleTiny, snap); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	runMemo.Lock()
+	entries := len(runMemo.m)
+	runMemo.Unlock()
+	if entries != 2 {
+		t.Fatalf("memo holds %d entries for (cold, warm) of one config; want 2 (no aliasing, no duplicates)", entries)
+	}
+	coldKey := newMemoKey(target, wl, ScaleTiny)
+	warmKey := coldKey
+	warmKey.snap = SnapshotHash(snap)
+	runMemo.Lock()
+	_, haveCold := runMemo.m[coldKey]
+	_, haveWarm := runMemo.m[warmKey]
+	runMemo.Unlock()
+	if !haveCold || !haveWarm {
+		t.Fatalf("expected distinct cold and warm entries (cold %v, warm %v)", haveCold, haveWarm)
+	}
+}

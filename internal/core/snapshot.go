@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+
+	"pushmulticast/internal/coherence"
+	"pushmulticast/internal/config"
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/snapshot"
+	"pushmulticast/internal/workload"
+)
+
+// Fingerprint derives the two configuration identities embedded in every
+// snapshot header. The strict fingerprint identifies simulated machine state
+// exactly: a restore whose target differs in it refuses loudly. Kernel
+// selection and observability settings (dense/parallel executor, checker,
+// trace ring size) are excluded — the kernels produce byte-identical state
+// by contract, and tracer/checker presence is enforced separately by
+// explicit flags in the snapshot body.
+//
+// The fork fingerprint additionally wipes the tuning knobs a warm-start
+// sweep varies (pause/resume thresholds and window, coalescing window, MSHR
+// and transport retry timers): configurations that differ only in those
+// knobs share a fork fingerprint, so one warmed snapshot can seed the whole
+// sweep. A fork-restore still transfers state exactly — the approximation is
+// that the warm-up phase executed under the donor's knob values, which the
+// warm-start methodology notes document.
+func Fingerprint(cfg config.System, wlName string, sc workload.Scale) (strict, fork string) {
+	n := cfg
+	n.DenseKernel = false
+	n.ParallelWorkers = 0
+	n.ParallelThreshold = 0
+	n.Check = false
+	n.CheckEvery = 0
+	n.TraceN = 0
+	// The plan pointer is dereferenced: formatting the address would make
+	// the fingerprint unstable across processes and alias nothing usefully.
+	faults := ""
+	if n.Faults != nil {
+		faults = fmt.Sprintf("%+v", *n.Faults)
+	}
+	n.Faults = nil
+	strict = fmt.Sprintf("cfg{%+v} faults{%s} wl{%s} scale{%v}", n, faults, wlName, sc)
+	f := n
+	f.TPCThreshold = 0
+	f.TimeWindow = 0
+	f.KnobRatioShift = 0
+	f.CoalesceWindow = 0
+	f.MSHRRetryTimeout = 0
+	f.NoC.RetryWindow = 0
+	f.NoC.RetryTimeout = 0
+	f.NoC.MaxRetries = 0
+	fork = fmt.Sprintf("cfg{%+v} faults{%s} wl{%s} scale{%v}", f, faults, wlName, sc)
+	return strict, fork
+}
+
+// Snapshot serializes the full machine state at the current cycle barrier
+// (between engine Steps, never from inside a tick) into a versioned binary
+// snapshot. The lane stats shards and fault-injector accumulators are folded
+// into the primary bundle first — the merge is linear and zeroes its
+// sources, so the second merge at run completion cannot double-count.
+// Identical machine states serialize to byte-identical snapshots (every map
+// is written in sorted key order), which makes snapshot.Hash of the result a
+// valid run identity.
+func (s *System) Snapshot() ([]byte, error) {
+	if s.Checker != nil {
+		if err := s.Checker.Err(); err != nil {
+			return nil, fmt.Errorf("core: snapshot of a run with a pending violation: %w", err)
+		}
+	}
+	s.mergeLaneStats()
+	strict, fork := Fingerprint(s.Cfg, s.wlName, s.scale)
+	w := snapshot.NewWriter(strict, fork, uint64(s.Eng.Now()))
+	s.Eng.SaveState(w)
+	s.St.SaveState(w)
+	s.Net.SaveState(w, coherence.Codec{})
+	for i := range s.L2s {
+		s.L2s[i].SaveState(w)
+		if len(s.Cores) > 0 {
+			s.Cores[i].SaveState(w)
+		}
+		w.Bool(s.bingos[i] != nil)
+		if s.bingos[i] != nil {
+			s.bingos[i].SaveState(w)
+		}
+		w.Bool(s.strides[i] != nil)
+		if s.strides[i] != nil {
+			s.strides[i].SaveState(w)
+		}
+		s.LLCs[i].SaveState(w)
+	}
+	if len(s.Cores) > 0 {
+		s.barrier.SaveState(w, s.Cores)
+	}
+	for _, mc := range s.Cfg.MemControllers() {
+		s.Mems[mc].SaveState(w)
+	}
+	w.Bool(s.inj != nil)
+	if s.inj != nil {
+		s.inj.SaveState(w)
+	}
+	w.Bool(s.Tracer != nil)
+	if s.Tracer != nil {
+		s.Tracer.SaveState(w)
+	}
+	w.Bool(s.Checker != nil)
+	if s.Checker != nil {
+		s.Checker.SaveState(w)
+	}
+	return w.Finish(), nil
+}
+
+// Restore builds a fresh machine for (cfg, wl, sc) and loads the snapshot
+// into it. The restoring configuration must match the snapshot's strict
+// fingerprint — or, failing that, its fork fingerprint, meaning the target
+// differs from the donor only in warm-start tuning knobs. Anything else
+// refuses with ErrMismatch before any state is touched. A strict restore
+// continued to completion is byte-identical (same trace hash) to a cold run
+// that never snapshotted.
+func Restore(data []byte, cfg config.System, wl workload.Workload, sc workload.Scale) (*System, error) {
+	strict, fork := Fingerprint(cfg, wl.Name, sc)
+	r, err := snapshot.NewReader(data)
+	if err != nil {
+		return nil, err
+	}
+	hdr := r.Header()
+	if hdr.StrictFP != strict && hdr.ForkFP != fork {
+		return nil, fmt.Errorf("%w: snapshot was taken under a different machine configuration (only the identical config, or a fork differing in tuning knobs alone, can restore it)",
+			snapshot.ErrMismatch)
+	}
+	s, err := Build(cfg, wl, sc)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.load(r); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// load applies the snapshot sections in Snapshot's write order.
+func (s *System) load(r *snapshot.Reader) error {
+	if err := s.Eng.LoadState(r); err != nil {
+		return err
+	}
+	if err := s.St.LoadState(r); err != nil {
+		return err
+	}
+	if err := s.Net.LoadState(r, coherence.Codec{}); err != nil {
+		return err
+	}
+	for i := range s.L2s {
+		if err := s.L2s[i].LoadState(r); err != nil {
+			return err
+		}
+		if len(s.Cores) > 0 {
+			if err := s.Cores[i].LoadState(r); err != nil {
+				return err
+			}
+		}
+		if err := s.loadOptional(r, fmt.Sprintf("tile %d Bingo prefetcher", i), s.bingos[i] != nil, func() error {
+			return s.bingos[i].LoadState(r)
+		}); err != nil {
+			return err
+		}
+		if err := s.loadOptional(r, fmt.Sprintf("tile %d stride prefetcher", i), s.strides[i] != nil, func() error {
+			return s.strides[i].LoadState(r)
+		}); err != nil {
+			return err
+		}
+		if err := s.LLCs[i].LoadState(r); err != nil {
+			return err
+		}
+	}
+	if len(s.Cores) > 0 {
+		if err := s.barrier.LoadState(r, s.Cores); err != nil {
+			return err
+		}
+	}
+	for _, mc := range s.Cfg.MemControllers() {
+		if err := s.Mems[mc].LoadState(r); err != nil {
+			return err
+		}
+	}
+	if err := s.loadOptional(r, "fault injector", s.inj != nil, func() error {
+		return s.inj.LoadState(r)
+	}); err != nil {
+		return err
+	}
+	if err := s.loadOptional(r, "tracer", s.Tracer != nil, func() error {
+		return s.Tracer.LoadState(r)
+	}); err != nil {
+		return err
+	}
+	if err := s.loadOptional(r, "checker", s.Checker != nil, func() error {
+		return s.Checker.LoadState(r)
+	}); err != nil {
+		return err
+	}
+	return r.Err()
+}
+
+// loadOptional reads an optional component's presence flag and, when present
+// on both sides, its state. Presence must agree: a snapshot that tracked
+// state the restoring build lacks (or vice versa) cannot resume faithfully.
+func (s *System) loadOptional(r *snapshot.Reader, what string, have bool, load func() error) error {
+	saved := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if saved != have {
+		return fmt.Errorf("%w: %s presence differs (snapshot %v, this build %v)",
+			snapshot.ErrMismatch, what, saved, have)
+	}
+	if have {
+		return load()
+	}
+	return nil
+}
+
+// RunTo executes the workload until the engine clock reaches the barrier
+// cycle, or the run's normal stopping condition fires first. The predicate
+// is exactly Run's plus the clock bound, and it is side-effect-free on
+// machine state, so a run paused at a barrier is state-identical to the same
+// cycle of a run that never pauses. The wake-driven kernel may fast-forward
+// past the barrier when every component sleeps across it; callers snapshot
+// at the actual stop cycle (Eng.Now()), which a cold run reaches with
+// identical state either way. Results are NOT harvested here —
+// St.Core.Cycles and the instruction/stall totals accrue only in Run at
+// final completion, so a pause-snapshot-continue sequence cannot
+// double-count them.
+func (s *System) RunTo(barrier sim.Cycle, checkEvery uint64) error {
+	defer func() {
+		if r := recover(); r != nil {
+			s.DumpTrace()
+			panic(r)
+		}
+	}()
+	var checkErr error
+	finished := func() bool {
+		if s.Checker != nil && s.Checker.Err() != nil {
+			checkErr = s.Checker.Err()
+			return true
+		}
+		if err := s.Net.Unrecoverable(); err != nil {
+			checkErr = err
+			return true
+		}
+		if s.Cfg.Faults.Lossy() {
+			for _, l2 := range s.L2s {
+				if err := l2.Unrecoverable(); err != nil {
+					checkErr = err
+					return true
+				}
+			}
+		}
+		if checkEvery != 0 && uint64(s.Eng.Now())%checkEvery == 0 {
+			if err := s.CheckCoherence(); err != nil {
+				checkErr = err
+				return true
+			}
+		}
+		for _, c := range s.Cores {
+			if !c.Finished() {
+				return false
+			}
+		}
+		return true
+	}
+	_, err := s.Eng.Run(func() bool { return s.Eng.Now() >= barrier || finished() })
+	s.Eng.Close() // idle the worker pool; the continuing Run respawns it
+	s.mergeLaneStats()
+	if checkErr == nil && s.Checker != nil {
+		checkErr = s.Checker.Err()
+	}
+	if checkErr != nil {
+		s.DumpTrace()
+		return checkErr
+	}
+	if err != nil {
+		s.DumpTrace()
+		return fmt.Errorf("%s/%s: %w", s.Cfg.Scheme.Name, "run-to", err)
+	}
+	return nil
+}

@@ -46,6 +46,16 @@ type System struct {
 	// inj is the fault injector when the config schedules faults; its
 	// per-node hook accumulators are flushed with the lane stats.
 	inj *fault.Injector
+
+	// Checkpoint/restore retains the build identity (workload name and
+	// scale feed the config fingerprint) and the components Build would
+	// otherwise not keep a handle on: the core barrier and the per-tile
+	// prefetchers (nil where the tile has none). See snapshot.go.
+	wlName  string
+	scale   workload.Scale
+	barrier *cpu.Barrier
+	bingos  []*prefetch.Bingo
+	strides []*prefetch.Stride
 }
 
 // Build wires a system running the given workload at the given scale.
@@ -78,7 +88,8 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 		net.SetFaults(inj)
 		inj.SetWaker(func(node int) { net.WakeTile(noc.NodeID(node)) })
 	}
-	s := &System{Cfg: cfg, Eng: eng, Net: net, St: st, Mems: make(map[noc.NodeID]*memctrl.Ctrl), inj: inj}
+	s := &System{Cfg: cfg, Eng: eng, Net: net, St: st, Mems: make(map[noc.NodeID]*memctrl.Ctrl),
+		inj: inj, wlName: wl.Name, scale: sc}
 
 	tiles := cfg.Tiles()
 	// In parallel mode tile i forms execution lane i: its NI, router, L2,
@@ -96,23 +107,29 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 		tileSt = func(i int) *stats.All { return s.laneSt[i] }
 	}
 	barrier := cpu.NewBarrier(tiles)
+	s.barrier = barrier
 	for i := 0; i < tiles; i++ {
 		id := noc.NodeID(i)
 		ts := tileSt(i)
 		var c *cpu.Core
 		l2 := cache.NewL2(id, &s.Cfg, net, eng, ts, deferredRequestor{&c})
 		s.L2s = append(s.L2s, l2)
+		var bingo *prefetch.Bingo
+		var stride *prefetch.Stride
 		if wl.Build != nil {
 			stream := wl.Build(i, tiles, sc)
 			c = cpu.New(id, &s.Cfg, eng, ts, l2, stream, barrier)
 			if cfg.Scheme.L1Bingo {
-				c.L1Prefetcher = prefetch.NewBingo(l2, cfg.BingoRegionBytes, cfg.BingoPHTEntries, cfg.LineSize)
+				bingo = prefetch.NewBingo(l2, cfg.BingoRegionBytes, cfg.BingoPHTEntries, cfg.LineSize)
+				c.L1Prefetcher = bingo
 			}
 			s.Cores = append(s.Cores, c)
 		}
 		if cfg.Scheme.L2Stride {
-			prefetch.NewStride(l2, cfg.StrideStreams, cfg.StrideDegree)
+			stride = prefetch.NewStride(l2, cfg.StrideStreams, cfg.StrideDegree)
 		}
+		s.bingos = append(s.bingos, bingo)
+		s.strides = append(s.strides, stride)
 		llc := cache.NewLLC(id, &s.Cfg, net, eng, ts)
 		s.LLCs = append(s.LLCs, llc)
 		if parallel {

@@ -112,6 +112,11 @@ type Core struct {
 	insts  uint64
 	stalls uint64
 
+	// opsConsumed counts stream.Next() calls; checkpoint restore replays
+	// that many ops on a freshly built stream to recover its position
+	// (streams are closures and cannot be serialized directly).
+	opsConsumed uint64
+
 	// L1Prefetcher, when set, observes demand loads.
 	L1Prefetcher Prefetcher
 }
@@ -192,6 +197,7 @@ func (c *Core) Tick(now sim.Cycle) {
 	for budget > 0 {
 		if !c.haveOp {
 			c.cur = c.stream.Next()
+			c.opsConsumed++
 			c.haveOp = true
 		}
 		switch c.cur.Kind {

@@ -1,0 +1,689 @@
+package noc
+
+import (
+	"fmt"
+
+	"pushmulticast/internal/sim"
+	"pushmulticast/internal/snapshot"
+	"pushmulticast/internal/stats"
+)
+
+// PayloadCodec serializes packet payloads. The NoC never inspects payloads,
+// so the protocol layer supplies the codec (coherence.Codec in real builds).
+type PayloadCodec interface {
+	SavePayload(w *snapshot.Writer, pl RefPayload)
+	LoadPayload(r *snapshot.Reader) RefPayload
+}
+
+// restoredDead carries a sender's ErrUnrecoverable verdict across a
+// snapshot: the message is preserved verbatim (so a restored run aborts with
+// the same diagnostic as the cold run) and errors.Is still matches
+// ErrUnrecoverable through Unwrap.
+type restoredDead struct{ msg string }
+
+func (e restoredDead) Error() string { return e.msg }
+func (e restoredDead) Unwrap() error { return ErrUnrecoverable }
+
+// SavePacket / LoadPacket expose the packet codec to the protocol layer
+// (cache controllers and memory controllers hold packets in their input
+// queues and outboxes). Loaded packets are drawn from this NI's tile pool.
+func (ni *NI) SavePacket(w *snapshot.Writer, pc PayloadCodec, p *Packet) {
+	savePacketInto(w, pc, p)
+}
+
+func (ni *NI) LoadPacket(r *snapshot.Reader, pc PayloadCodec) *Packet {
+	return ni.loadPacket(r, pc)
+}
+
+// SaveError / LoadError serialize an ErrUnrecoverable verdict (the only
+// error kind that lives across cycles). The message is preserved verbatim
+// and the restored error still matches ErrUnrecoverable via errors.Is.
+func SaveError(w *snapshot.Writer, err error) {
+	if err == nil {
+		w.Bool(false)
+		return
+	}
+	w.Bool(true)
+	w.String(err.Error())
+}
+
+func LoadError(r *snapshot.Reader) error {
+	if !r.Bool() {
+		return nil
+	}
+	return restoredDead{msg: r.String()}
+}
+
+// SaveDests / LoadDests expose the destination-set codec.
+func SaveDests(w *snapshot.Writer, d DestSet) { saveDests(w, d) }
+func LoadDests(r *snapshot.Reader) DestSet    { return loadDests(r) }
+
+func saveDests(w *snapshot.Writer, d DestSet) {
+	for _, x := range d {
+		w.U64(x)
+	}
+}
+
+func loadDests(r *snapshot.Reader) DestSet {
+	var d DestSet
+	for i := range d {
+		d[i] = r.U64()
+	}
+	return d
+}
+
+// savePacketInto serializes every packet field (except pooled, which is a
+// free-list provenance bit with no behavioral meaning — see loadPacketInto).
+func savePacketInto(w *snapshot.Writer, pc PayloadCodec, p *Packet) {
+	w.U64(p.ID)
+	w.U8(uint8(p.VNet))
+	w.U8(uint8(p.Class))
+	w.U32(uint32(p.Src))
+	w.U8(uint8(p.SrcUnit))
+	saveDests(w, p.Dests)
+	w.U8(uint8(p.DstUnit))
+	w.U64(p.Addr)
+	w.Int(p.Size)
+	w.Bool(p.IsPush)
+	w.Bool(p.Filterable)
+	w.Bool(p.IsInv)
+	w.U32(uint32(p.Requester))
+	w.U64(uint64(p.InjectedAt))
+	w.U32(p.Seq)
+	w.U32(p.Csum)
+	w.Bool(p.IsAck)
+	w.U8(uint8(p.AckVNet))
+	w.U64(p.AckMask)
+	w.Bool(p.retx)
+	var rp RefPayload
+	if p.Payload != nil {
+		var ok bool
+		if rp, ok = p.Payload.(RefPayload); !ok {
+			panic(fmt.Sprintf("noc: cannot snapshot non-RefPayload payload %T", p.Payload))
+		}
+	}
+	pc.SavePayload(w, rp)
+}
+
+// loadPacketInto decodes into p, preserving p's pooled flag. Every restored
+// in-flight packet is drawn from the tile's free list (pooled), even if the
+// original was caller-owned: the only difference is that the restored copy
+// is recycled when it dies instead of surviving for a creator that — being
+// fresh-built — no longer holds it.
+func loadPacketInto(r *snapshot.Reader, pc PayloadCodec, p *Packet) {
+	pooled := p.pooled
+	*p = Packet{pooled: pooled}
+	p.ID = r.U64()
+	p.VNet = int(r.U8())
+	p.Class = stats.Class(r.U8())
+	p.Src = NodeID(r.U32())
+	p.SrcUnit = stats.Unit(r.U8())
+	p.Dests = loadDests(r)
+	p.DstUnit = stats.Unit(r.U8())
+	p.Addr = r.U64()
+	p.Size = r.Int()
+	p.IsPush = r.Bool()
+	p.Filterable = r.Bool()
+	p.IsInv = r.Bool()
+	p.Requester = NodeID(r.U32())
+	p.InjectedAt = sim.Cycle(r.U64())
+	p.Seq = r.U32()
+	p.Csum = r.U32()
+	p.IsAck = r.Bool()
+	p.AckVNet = int8(r.U8())
+	p.AckMask = r.U64()
+	p.retx = r.Bool()
+	if rp := pc.LoadPayload(r); rp != nil {
+		p.Payload = rp
+	}
+}
+
+func (ni *NI) loadPacket(r *snapshot.Reader, pc PayloadCodec) *Packet {
+	p := ni.getPacket()
+	loadPacketInto(r, pc, p)
+	return p
+}
+
+// SaveState serializes the whole mesh: every NI (queues, injection stream,
+// pending deliveries, transport recovery state) and every router (occupied
+// VCs in occupancy order, switch streams, link rings, filters, credits and
+// arbitration state). Free-list pools are not state: restored in-flight
+// packets and payloads are re-drawn from fresh pools, which is invisible to
+// the simulation (no payload pointer is ever compared, and pool residency
+// only affects allocation counts).
+func (n *Network) SaveState(w *snapshot.Writer, pc PayloadCodec) {
+	w.Section("noc.network")
+	for _, ni := range n.nis {
+		ni.saveState(w, pc)
+	}
+	for _, r := range n.routers {
+		r.saveState(w, pc)
+	}
+}
+
+// LoadState restores a mesh saved by SaveState into this freshly built
+// network (same Config; the caller's fingerprint check guarantees it).
+func (n *Network) LoadState(r *snapshot.Reader, pc PayloadCodec) error {
+	r.Section("noc.network")
+	for _, ni := range n.nis {
+		if err := ni.loadState(r, pc); err != nil {
+			return err
+		}
+	}
+	for _, rt := range n.routers {
+		if err := rt.loadState(r, pc); err != nil {
+			return err
+		}
+	}
+	return r.Err()
+}
+
+func (ni *NI) saveState(w *snapshot.Writer, pc PayloadCodec) {
+	w.Section("noc.ni")
+	for u := range ni.queues {
+		for v := range ni.queues[u] {
+			q := ni.queues[u][v]
+			w.Int(len(q))
+			for _, p := range q {
+				savePacketInto(w, pc, p)
+			}
+		}
+	}
+	// Injection stream: the packet is serialized on its own. The local VC it
+	// streams into is identified by index; once the head flit has been
+	// written (sent >= 1) the VC holds — and will recycle — its own decoded
+	// copy, while this one is only ever read (pushPending scans, Size), so
+	// the two need not share identity.
+	if s := ni.stream; s != nil {
+		w.Bool(true)
+		w.Int(s.sent)
+		w.Int(s.vc.idx)
+		savePacketInto(w, pc, s.pkt)
+	} else {
+		w.Bool(false)
+	}
+	w.Int(len(ni.delivery))
+	for _, d := range ni.delivery {
+		w.U64(uint64(d.readyAt))
+		savePacketInto(w, pc, d.pkt)
+	}
+	w.Int(ni.rr)
+	w.U64(ni.seq)
+	if ni.tp != nil {
+		w.Bool(true)
+		ni.tp.saveState(w, pc)
+	} else {
+		w.Bool(false)
+	}
+}
+
+func (ni *NI) loadState(r *snapshot.Reader, pc PayloadCodec) error {
+	r.Section("noc.ni")
+	ni.queued = 0
+	for u := range ni.queues {
+		for v := range ni.queues[u] {
+			k := r.Int()
+			if r.Err() != nil {
+				return r.Err()
+			}
+			for i := 0; i < k; i++ {
+				ni.queues[u][v] = append(ni.queues[u][v], ni.loadPacket(r, pc))
+			}
+			ni.queued += k
+		}
+	}
+	if r.Bool() {
+		sent := r.Int()
+		vcIdx := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		rt := ni.net.routers[ni.node]
+		if vcIdx < 0 || vcIdx >= len(rt.in[PortLocal]) {
+			return fmt.Errorf("%w: NI %d stream VC index %d out of range", snapshot.ErrCorrupt, ni.node, vcIdx)
+		}
+		ni.cur = niStream{pkt: ni.loadPacket(r, pc), vc: &rt.in[PortLocal][vcIdx], sent: sent}
+		ni.stream = &ni.cur
+	}
+	nd := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := 0; i < nd; i++ {
+		at := sim.Cycle(r.U64())
+		ni.delivery = append(ni.delivery, delivered{pkt: ni.loadPacket(r, pc), readyAt: at})
+	}
+	ni.rr = r.Int()
+	ni.seq = r.U64()
+	if r.Bool() {
+		if ni.tp == nil {
+			return fmt.Errorf("%w: snapshot has transport state for node %d but this build is not lossy",
+				snapshot.ErrMismatch, ni.node)
+		}
+		return ni.tp.loadState(r, pc, ni)
+	}
+	if ni.tp != nil {
+		return fmt.Errorf("%w: this build is lossy but the snapshot has no transport state for node %d",
+			snapshot.ErrMismatch, ni.node)
+	}
+	return r.Err()
+}
+
+func (tp *niTransport) saveState(w *snapshot.Writer, pc PayloadCodec) {
+	w.Section("noc.transport")
+	for v := range tp.tx {
+		tw := &tp.tx[v]
+		w.U32(tw.nextSeq)
+		w.Int(len(tw.entries))
+		for i := range tw.entries {
+			e := &tw.entries[i]
+			w.U32(e.seq)
+			saveDests(w, e.pending)
+			w.U64(uint64(e.lastSent))
+			w.Int(e.retries)
+			w.Bool(e.done)
+			savePacketInto(w, pc, &e.proto)
+		}
+	}
+	saveSortedU32(w, len(tp.rx), func(yield func(uint32)) {
+		for k := range tp.rx {
+			yield(k)
+		}
+	}, func(k uint32) {
+		st := tp.rx[k]
+		w.U32(st.top)
+		w.U64(st.mask)
+	})
+	// ackDue is FIFO-ordered state; ackDueSet is rebuilt from it on load.
+	w.Int(len(tp.ackDue))
+	for _, k := range tp.ackDue {
+		w.U32(k)
+	}
+	w.Int(len(tp.held))
+	for _, p := range tp.held {
+		savePacketInto(w, pc, p)
+	}
+	saveSortedU64(w, len(tp.pushHold), func(yield func(uint64)) {
+		for k := range tp.pushHold {
+			yield(k)
+		}
+	}, func(k uint64) { w.Int(tp.pushHold[k]) })
+	saveSortedU64(w, len(tp.dropped), func(yield func(uint64)) {
+		for k := range tp.dropped {
+			yield(k)
+		}
+	}, func(k uint64) { w.Bool(tp.dropped[k].isPush) })
+	if tp.dead != nil {
+		w.Bool(true)
+		w.String(tp.dead.Error())
+	} else {
+		w.Bool(false)
+	}
+}
+
+func (tp *niTransport) loadState(r *snapshot.Reader, pc PayloadCodec, ni *NI) error {
+	r.Section("noc.transport")
+	for v := range tp.tx {
+		tw := &tp.tx[v]
+		tw.nextSeq = r.U32()
+		k := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if cap(tw.entries) == 0 && k > 0 {
+			tw.entries = make([]txEntry, 0, ni.net.retryWindow)
+		}
+		for i := 0; i < k; i++ {
+			var e txEntry
+			e.seq = r.U32()
+			e.pending = loadDests(r)
+			e.lastSent = sim.Cycle(r.U64())
+			e.retries = r.Int()
+			e.done = r.Bool()
+			loadPacketInto(r, pc, &e.proto)
+			tw.entries = append(tw.entries, e)
+		}
+	}
+	nrx := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := 0; i < nrx; i++ {
+		k := r.U32()
+		tp.rx[k] = &rxStream{top: r.U32(), mask: r.U64()}
+	}
+	nack := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := 0; i < nack; i++ {
+		k := r.U32()
+		tp.ackDue = append(tp.ackDue, k)
+		tp.ackDueSet[k] = struct{}{}
+	}
+	nheld := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := 0; i < nheld; i++ {
+		tp.held = append(tp.held, ni.loadPacket(r, pc))
+	}
+	nhold := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := 0; i < nhold; i++ {
+		k := r.U64()
+		tp.pushHold[k] = r.Int()
+	}
+	ndrop := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := 0; i < ndrop; i++ {
+		k := r.U64()
+		tp.dropped[k] = lossRec{isPush: r.Bool()}
+	}
+	if r.Bool() {
+		tp.dead = restoredDead{msg: r.String()}
+	}
+	return r.Err()
+}
+
+func (rt *Router) saveState(w *snapshot.Writer, pc PayloadCodec) {
+	w.Section("noc.router")
+	// Occupied VCs, in occupancy order: the order is load-bearing (candMask
+	// bits index occ positions and round-robin arbitration walks them).
+	w.Int(len(rt.occ))
+	for _, vc := range rt.occ {
+		w.U8(uint8(vc.port))
+		w.Int(vc.idx)
+		w.U64(uint64(vc.headAt))
+		w.Bool(vc.routed)
+		w.Bool(vc.reserved)
+		w.Int(vc.pendingPorts)
+		for o := 0; o < NumPorts; o++ {
+			saveDests(w, vc.pending[o])
+		}
+		if vc.pkt != nil {
+			w.Bool(true)
+			savePacketInto(w, pc, vc.pkt)
+		} else {
+			w.Bool(false)
+		}
+	}
+	// Switch streams, keyed by output port. One stream object is referenced
+	// from outStream[o], inLock[inPort], and vc.active; restore wires a
+	// single decoded object into all three (the nil-checks on each are
+	// semantic).
+	for o := 0; o < NumPorts; o++ {
+		s := rt.outStream[o]
+		if s == nil {
+			w.Bool(false)
+			continue
+		}
+		w.Bool(true)
+		w.U8(uint8(s.inPort))
+		w.Int(s.vcIdx)
+		w.Int(s.sent)
+		w.Int(s.size)
+		w.U8(uint8(s.vnet))
+		w.U8(uint8(s.class))
+		w.U8(uint8(s.dstUnit))
+		saveDests(w, s.dests)
+		w.U64(s.addr)
+		w.U64(s.id)
+		w.Bool(s.isPush)
+		if s.replica != nil {
+			w.Bool(true)
+			savePacketInto(w, pc, s.replica)
+		} else {
+			w.Bool(false)
+		}
+	}
+	// Link rings, oldest entry first.
+	for p := 0; p < NumPorts; p++ {
+		w.Int(rt.arrivals[p].len())
+		rt.arrivals[p].forEach(func(pkt *Packet, at sim.Cycle) {
+			w.U64(uint64(at))
+			savePacketInto(w, pc, pkt)
+		})
+	}
+	for p := 0; p < NumPorts; p++ {
+		ring := &rt.credRet[p]
+		w.Int(int(ring.tail.Load() - ring.head.Load()))
+		for h, t := ring.head.Load(), ring.tail.Load(); h != t; h++ {
+			e := ring.buf[h%ringCap]
+			w.U8(uint8(e.vnet))
+			w.U64(uint64(e.at))
+		}
+	}
+	// Arbitration and accounting state, verbatim.
+	for o := 0; o < NumPorts; o++ {
+		w.Int(rt.rr[o])
+	}
+	w.Int(rt.unrouted)
+	w.U64(uint64(rt.minHeadAt))
+	for o := 0; o < NumPorts; o++ {
+		w.U64(rt.candMask[o])
+	}
+	for o := 0; o < NumPorts; o++ {
+		for v := 0; v < NumVNets; v++ {
+			w.U32(uint32(uint16(rt.candV[o][v])))
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		w.U32(uint32(uint16(rt.invCand[o])))
+	}
+	for p := 0; p < NumPorts; p++ {
+		for v := 0; v < NumVNets; v++ {
+			w.U32(uint32(uint16(rt.freeCnt[p][v])))
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		for v := 0; v < NumVNets; v++ {
+			w.U32(uint32(uint16(rt.credits[o][v])))
+		}
+	}
+	if rt.filters != nil {
+		w.Bool(true)
+		fb := rt.filters
+		w.Int(len(fb.entries))
+		for i := range fb.entries {
+			e := &fb.entries[i]
+			w.Bool(e.valid)
+			w.U64(e.addr)
+			saveDests(w, e.dests)
+			w.Bool(e.clearPending)
+			w.U64(uint64(e.clearAt))
+		}
+		for p := 0; p < NumPorts; p++ {
+			w.Int(fb.activeCnt[p])
+			w.U64(uint64(fb.aliveUntil[p]))
+		}
+	} else {
+		w.Bool(false)
+	}
+}
+
+func (rt *Router) loadState(r *snapshot.Reader, pc PayloadCodec) error {
+	r.Section("noc.router")
+	nocc := r.Int()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	for i := 0; i < nocc; i++ {
+		port := int(r.U8())
+		idx := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if port < 0 || port >= NumPorts || idx < 0 || idx >= len(rt.in[port]) {
+			return fmt.Errorf("%w: router %d occ entry (%d,%d) out of range", snapshot.ErrCorrupt, rt.id, port, idx)
+		}
+		vc := &rt.in[port][idx]
+		vc.occPos = len(rt.occ)
+		rt.occ = append(rt.occ, vc)
+		vc.headAt = sim.Cycle(r.U64())
+		vc.routed = r.Bool()
+		vc.reserved = r.Bool()
+		vc.pendingPorts = r.Int()
+		for o := 0; o < NumPorts; o++ {
+			vc.pending[o] = loadDests(r)
+		}
+		if r.Bool() {
+			vc.pkt = rt.net.nis[rt.id].loadPacket(r, pc)
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		if !r.Bool() {
+			continue
+		}
+		s := &stream{outPort: o}
+		s.inPort = int(r.U8())
+		s.vcIdx = r.Int()
+		s.sent = r.Int()
+		s.size = r.Int()
+		s.vnet = int(r.U8())
+		s.class = stats.Class(r.U8())
+		s.dstUnit = stats.Unit(r.U8())
+		s.dests = loadDests(r)
+		s.addr = r.U64()
+		s.id = r.U64()
+		s.isPush = r.Bool()
+		if r.Bool() {
+			s.replica = rt.net.nis[rt.id].loadPacket(r, pc)
+		}
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if s.inPort < 0 || s.inPort >= NumPorts || s.vcIdx < 0 || s.vcIdx >= len(rt.in[s.inPort]) {
+			return fmt.Errorf("%w: router %d stream VC (%d,%d) out of range", snapshot.ErrCorrupt, rt.id, s.inPort, s.vcIdx)
+		}
+		s.vc = &rt.in[s.inPort][s.vcIdx]
+		if o != PortLocal {
+			s.downR = rt.nbr[o]
+		}
+		rt.outStream[o] = s
+		rt.inLock[s.inPort] = s
+		s.vc.active = s
+	}
+	for p := 0; p < NumPorts; p++ {
+		k := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for i := 0; i < k; i++ {
+			at := sim.Cycle(r.U64())
+			rt.arrivals[p].push(rt.net.nis[rt.id].loadPacket(r, pc), at)
+		}
+	}
+	for p := 0; p < NumPorts; p++ {
+		k := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		for i := 0; i < k; i++ {
+			v := int(r.U8())
+			rt.credRet[p].push(v, sim.Cycle(r.U64()))
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		rt.rr[o] = r.Int()
+	}
+	rt.unrouted = r.Int()
+	rt.minHeadAt = sim.Cycle(r.U64())
+	for o := 0; o < NumPorts; o++ {
+		rt.candMask[o] = r.U64()
+	}
+	for o := 0; o < NumPorts; o++ {
+		for v := 0; v < NumVNets; v++ {
+			rt.candV[o][v] = int16(uint16(r.U32()))
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		rt.invCand[o] = int16(uint16(r.U32()))
+	}
+	for p := 0; p < NumPorts; p++ {
+		for v := 0; v < NumVNets; v++ {
+			rt.freeCnt[p][v] = int16(uint16(r.U32()))
+		}
+	}
+	for o := 0; o < NumPorts; o++ {
+		for v := 0; v < NumVNets; v++ {
+			rt.credits[o][v] = int16(uint16(r.U32()))
+		}
+	}
+	hasFilters := r.Bool()
+	if r.Err() != nil {
+		return r.Err()
+	}
+	if hasFilters != (rt.filters != nil) {
+		return fmt.Errorf("%w: router %d filter bank presence differs (snapshot %v, build %v)",
+			snapshot.ErrMismatch, rt.id, hasFilters, rt.filters != nil)
+	}
+	if hasFilters {
+		fb := rt.filters
+		ne := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if ne != len(fb.entries) {
+			return fmt.Errorf("%w: router %d filter bank has %d slots, snapshot %d",
+				snapshot.ErrMismatch, rt.id, len(fb.entries), ne)
+		}
+		for i := range fb.entries {
+			e := &fb.entries[i]
+			e.valid = r.Bool()
+			e.addr = r.U64()
+			e.dests = loadDests(r)
+			e.clearPending = r.Bool()
+			e.clearAt = sim.Cycle(r.U64())
+		}
+		for p := 0; p < NumPorts; p++ {
+			fb.activeCnt[p] = r.Int()
+			fb.aliveUntil[p] = sim.Cycle(r.U64())
+		}
+	}
+	return r.Err()
+}
+
+// saveSortedU32 / saveSortedU64 serialize a map deterministically: count,
+// then each key ascending followed by its caller-written value.
+func saveSortedU32(w *snapshot.Writer, n int, keys func(func(uint32)), val func(uint32)) {
+	ks := make([]uint32, 0, n)
+	keys(func(k uint32) { ks = append(ks, k) })
+	sortU32s(ks)
+	w.Int(len(ks))
+	for _, k := range ks {
+		w.U32(k)
+		val(k)
+	}
+}
+
+func saveSortedU64(w *snapshot.Writer, n int, keys func(func(uint64)), val func(uint64)) {
+	ks := make([]uint64, 0, n)
+	keys(func(k uint64) { ks = append(ks, k) })
+	sortU64s(ks)
+	w.Int(len(ks))
+	for _, k := range ks {
+		w.U64(k)
+		val(k)
+	}
+}
+
+func sortU32s(a []uint32) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+func sortU64s(a []uint64) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}

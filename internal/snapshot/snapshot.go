@@ -1,0 +1,297 @@
+// Package snapshot implements the versioned binary container that the
+// deterministic checkpoint/restore subsystem serializes simulator state
+// into. The format is deliberately primitive — fixed-width little-endian
+// integers, length-prefixed byte strings, and named section markers — so a
+// snapshot is a pure function of the machine state it encodes: two runs in
+// identical states produce byte-identical snapshots, which makes the
+// snapshot's FNV-1a content hash a valid identity for run-memo keys.
+//
+// Layout:
+//
+//	magic "PMSNAP1\n"
+//	u32   format version
+//	str   strict config fingerprint  (exact-resume identity)
+//	str   fork config fingerprint    (warm-start identity: tuning knobs wiped)
+//	u64   snapshot cycle
+//	...   sections (marker + payload), written by the subsystem codecs
+//	u64   FNV-1a hash of everything before the trailer
+//
+// The header is readable without decoding any section (see ReadHeader), so
+// version and fingerprint mismatches fail loudly before any state is
+// touched. Section markers exist to catch encoder/decoder desync: a reader
+// that drifts off by even one byte fails at the next section with the two
+// section names in the error instead of silently mis-restoring state.
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+// Magic identifies a snapshot file. The trailing newline makes an
+// accidentally text-opened snapshot obviously binary.
+const Magic = "PMSNAP1\n"
+
+// Version is the current snapshot format version. Bump it on any change to
+// a section's encoding; restore refuses other versions loudly.
+const Version uint32 = 1
+
+// ErrMismatch wraps every refusal to restore: wrong magic, wrong format
+// version, or a config fingerprint that differs from the restoring machine.
+// Callers test with errors.Is and exit nonzero; a mismatch is never worked
+// around silently.
+var ErrMismatch = errors.New("snapshot mismatch")
+
+// ErrCorrupt wraps decode failures on a snapshot whose header was accepted:
+// truncation, section desync, or a trailer hash that does not match the
+// payload.
+var ErrCorrupt = errors.New("snapshot corrupt")
+
+// FNV-1a 64-bit, matching the trace package's history hash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// Hash returns the FNV-1a hash of the full snapshot byte string — the
+// snapshot's content identity (run-memo keys, warm-start provenance).
+func Hash(data []byte) uint64 {
+	h := uint64(fnvOffset)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= fnvPrime
+	}
+	return h
+}
+
+// Writer serializes primitives into a growing buffer. Writes are
+// infallible; Finish appends the trailer and returns the snapshot bytes.
+type Writer struct {
+	buf []byte
+}
+
+// NewWriter returns a writer with the header already emitted.
+func NewWriter(strictFP, forkFP string, cycle uint64) *Writer {
+	w := &Writer{buf: make([]byte, 0, 1<<16)}
+	w.buf = append(w.buf, Magic...)
+	w.U32(Version)
+	w.String(strictFP)
+	w.String(forkFP)
+	w.U64(cycle)
+	return w
+}
+
+// U8 writes one byte.
+func (w *Writer) U8(v uint8) { w.buf = append(w.buf, v) }
+
+// Bool writes a boolean as one byte.
+func (w *Writer) Bool(v bool) {
+	if v {
+		w.U8(1)
+	} else {
+		w.U8(0)
+	}
+}
+
+// U32 writes a little-endian uint32.
+func (w *Writer) U32(v uint32) {
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+// U64 writes a little-endian uint64.
+func (w *Writer) U64(v uint64) {
+	w.buf = append(w.buf, byte(v), byte(v>>8), byte(v>>16), byte(v>>24),
+		byte(v>>32), byte(v>>40), byte(v>>48), byte(v>>56))
+}
+
+// I64 writes an int64 (two's complement).
+func (w *Writer) I64(v int64) { w.U64(uint64(v)) }
+
+// Int writes an int as an int64.
+func (w *Writer) Int(v int) { w.I64(int64(v)) }
+
+// String writes a length-prefixed string.
+func (w *Writer) String(s string) {
+	w.U32(uint32(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+// Section writes a named section marker. The reader's matching Section call
+// verifies the name, so any encoder/decoder drift surfaces at the next
+// boundary with both names in the error.
+func (w *Writer) Section(name string) {
+	w.U32(0x5EC7_10A5)
+	w.String(name)
+}
+
+// Len returns the number of bytes written so far (diagnostics).
+func (w *Writer) Len() int { return len(w.buf) }
+
+// Finish appends the FNV-1a trailer and returns the complete snapshot.
+func (w *Writer) Finish() []byte {
+	w.U64(Hash(w.buf[:len(w.buf)]))
+	return w.buf
+}
+
+// Header is the decoded snapshot prelude.
+type Header struct {
+	Version  uint32
+	StrictFP string
+	ForkFP   string
+	Cycle    uint64
+}
+
+// Reader decodes a snapshot produced by Writer. Errors are sticky: after
+// the first failure every read returns zero values and Err reports the
+// original cause, so codecs can decode straight-line and check once.
+type Reader struct {
+	data []byte
+	pos  int
+	hdr  Header
+	err  error
+}
+
+// NewReader validates the magic, the format version, and the trailer hash,
+// decodes the header, and positions the reader at the first section.
+func NewReader(data []byte) (*Reader, error) {
+	if len(data) < len(Magic)+4 || string(data[:len(Magic)]) != Magic {
+		return nil, fmt.Errorf("%w: not a snapshot (bad magic)", ErrMismatch)
+	}
+	if len(data) < len(Magic)+4+8 {
+		return nil, fmt.Errorf("%w: truncated header", ErrCorrupt)
+	}
+	body, trailer := data[:len(data)-8], data[len(data)-8:]
+	r := &Reader{data: data, pos: len(Magic)}
+	r.hdr.Version = r.U32()
+	if r.err == nil && r.hdr.Version != Version {
+		return nil, fmt.Errorf("%w: snapshot format v%d, this build reads v%d",
+			ErrMismatch, r.hdr.Version, Version)
+	}
+	var want uint64
+	for i := 7; i >= 0; i-- {
+		want = want<<8 | uint64(trailer[i])
+	}
+	if Hash(body) != want {
+		return nil, fmt.Errorf("%w: trailer hash mismatch (truncated or altered)", ErrCorrupt)
+	}
+	r.hdr.StrictFP = r.String()
+	r.hdr.ForkFP = r.String()
+	r.hdr.Cycle = r.U64()
+	if r.err != nil {
+		return nil, r.err
+	}
+	return r, nil
+}
+
+// ReadHeader decodes only the header of a snapshot (no trailer validation),
+// for cheap identity checks.
+func ReadHeader(data []byte) (Header, error) {
+	if len(data) < len(Magic)+4 || string(data[:len(Magic)]) != Magic {
+		return Header{}, fmt.Errorf("%w: not a snapshot (bad magic)", ErrMismatch)
+	}
+	r := &Reader{data: data, pos: len(Magic)}
+	var h Header
+	h.Version = r.U32()
+	h.StrictFP = r.String()
+	h.ForkFP = r.String()
+	h.Cycle = r.U64()
+	if r.err != nil {
+		return Header{}, r.err
+	}
+	return h, nil
+}
+
+// Header returns the decoded snapshot prelude.
+func (r *Reader) Header() Header { return r.hdr }
+
+// Err returns the first decode failure, or nil.
+func (r *Reader) Err() error { return r.err }
+
+func (r *Reader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("%w: %s at offset %d", ErrCorrupt, fmt.Sprintf(format, args...), r.pos)
+	}
+}
+
+func (r *Reader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	// Never read into the 8-byte trailer.
+	if r.pos+n > len(r.data)-8 {
+		r.fail("truncated read of %d bytes", n)
+		return nil
+	}
+	b := r.data[r.pos : r.pos+n]
+	r.pos += n
+	return b
+}
+
+// U8 reads one byte.
+func (r *Reader) U8() uint8 {
+	b := r.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// Bool reads a boolean.
+func (r *Reader) Bool() bool { return r.U8() != 0 }
+
+// U32 reads a little-endian uint32.
+func (r *Reader) U32() uint32 {
+	b := r.take(4)
+	if b == nil {
+		return 0
+	}
+	return uint32(b[0]) | uint32(b[1])<<8 | uint32(b[2])<<16 | uint32(b[3])<<24
+}
+
+// U64 reads a little-endian uint64.
+func (r *Reader) U64() uint64 {
+	b := r.take(8)
+	if b == nil {
+		return 0
+	}
+	return uint64(b[0]) | uint64(b[1])<<8 | uint64(b[2])<<16 | uint64(b[3])<<24 |
+		uint64(b[4])<<32 | uint64(b[5])<<40 | uint64(b[6])<<48 | uint64(b[7])<<56
+}
+
+// I64 reads an int64.
+func (r *Reader) I64() int64 { return int64(r.U64()) }
+
+// Int reads an int written by Writer.Int.
+func (r *Reader) Int() int { return int(r.I64()) }
+
+// String reads a length-prefixed string.
+func (r *Reader) String() string {
+	n := int(r.U32())
+	b := r.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Section verifies the next section marker carries the expected name.
+func (r *Reader) Section(name string) {
+	if m := r.U32(); r.err == nil && m != 0x5EC7_10A5 {
+		r.fail("expected section marker for %q, found %#x", name, m)
+		return
+	}
+	if got := r.String(); r.err == nil && got != name {
+		r.fail("section desync: expected %q, found %q", name, got)
+	}
+}
+
+// WriteFile writes a snapshot to path (0644).
+func WriteFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+// ReadFile loads a snapshot file.
+func ReadFile(path string) ([]byte, error) {
+	return os.ReadFile(path)
+}

@@ -1,0 +1,183 @@
+package snapshot
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// roundTrip builds a small snapshot exercising every primitive.
+func roundTrip(t *testing.T) []byte {
+	t.Helper()
+	w := NewWriter("strict-fp", "fork-fp", 12345)
+	w.Section("alpha")
+	w.U8(7)
+	w.Bool(true)
+	w.Bool(false)
+	w.U32(0xDEADBEEF)
+	w.U64(1<<63 | 42)
+	w.I64(-99)
+	w.Int(123456)
+	w.String("payload")
+	w.Section("omega")
+	w.U64(1)
+	return w.Finish()
+}
+
+func TestReaderRoundTrip(t *testing.T) {
+	data := roundTrip(t)
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdr := r.Header()
+	if hdr.Version != Version || hdr.StrictFP != "strict-fp" || hdr.ForkFP != "fork-fp" || hdr.Cycle != 12345 {
+		t.Fatalf("header mismatch: %+v", hdr)
+	}
+	r.Section("alpha")
+	if v := r.U8(); v != 7 {
+		t.Errorf("U8 = %d", v)
+	}
+	if !r.Bool() || r.Bool() {
+		t.Error("Bool sequence mismatch")
+	}
+	if v := r.U32(); v != 0xDEADBEEF {
+		t.Errorf("U32 = %#x", v)
+	}
+	if v := r.U64(); v != 1<<63|42 {
+		t.Errorf("U64 = %#x", v)
+	}
+	if v := r.I64(); v != -99 {
+		t.Errorf("I64 = %d", v)
+	}
+	if v := r.Int(); v != 123456 {
+		t.Errorf("Int = %d", v)
+	}
+	if v := r.String(); v != "payload" {
+		t.Errorf("String = %q", v)
+	}
+	r.Section("omega")
+	if v := r.U64(); v != 1 {
+		t.Errorf("trailing U64 = %d", v)
+	}
+	if err := r.Err(); err != nil {
+		t.Fatal(err)
+	}
+	hdr2, err := ReadHeader(data)
+	if err != nil || hdr2 != hdr {
+		t.Fatalf("ReadHeader disagreed with NewReader: %+v vs %+v (err %v)", hdr2, hdr, err)
+	}
+}
+
+// TestRefusals is the loud-failure table: every way a snapshot can be
+// unusable must fail with the right sentinel and a single-line diagnostic,
+// never a silent mis-restore.
+func TestRefusals(t *testing.T) {
+	good := roundTrip(t)
+	mutate := func(f func([]byte) []byte) []byte {
+		c := append([]byte(nil), good...)
+		return f(c)
+	}
+	cases := []struct {
+		name string
+		data []byte
+		want error
+		msg  string
+	}{
+		{"empty", nil, ErrMismatch, "bad magic"},
+		{"not a snapshot", []byte("PNG\x0d\x0a\x1a\x0a plus padding to pass the length check"), ErrMismatch, "bad magic"},
+		{"future format version", mutate(func(b []byte) []byte {
+			b[len(Magic)] = 99 // little-endian low byte of the version u32
+			return b
+		}), ErrMismatch, "format v99"},
+		{"truncated", good[:len(good)-3], ErrCorrupt, "hash mismatch"},
+		{"bit flip in payload", mutate(func(b []byte) []byte {
+			b[len(b)-20] ^= 0x40
+			return b
+		}), ErrCorrupt, "hash mismatch"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewReader(tc.data)
+			if err == nil {
+				t.Fatal("NewReader accepted an unusable snapshot")
+			}
+			if !errors.Is(err, tc.want) {
+				t.Fatalf("error %v is not wrapped in %v", err, tc.want)
+			}
+			if strings.Contains(err.Error(), "\n") {
+				t.Fatalf("diagnostic is not a single line: %q", err)
+			}
+			if !strings.Contains(err.Error(), tc.msg) {
+				t.Fatalf("diagnostic %q does not mention %q", err, tc.msg)
+			}
+		})
+	}
+}
+
+// TestSectionDesync pins the marker mechanism: a reader that drifts off the
+// encoder's layout fails at the next section with both names in the error,
+// instead of silently decoding garbage into component state.
+func TestSectionDesync(t *testing.T) {
+	data := roundTrip(t)
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Section("alpha")
+	r.U8() // leave the reader mid-section, misaligned for the next marker
+	r.Section("omega")
+	err = r.Err()
+	if err == nil {
+		t.Fatal("desynced Section call reported no error")
+	}
+	if !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("desync error %v is not ErrCorrupt", err)
+	}
+	r2, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.Section("beta") // wrong name at a real marker
+	if err := r2.Err(); err == nil || !strings.Contains(err.Error(), "alpha") || !strings.Contains(err.Error(), "beta") {
+		t.Fatalf("wrong-name error should carry both names, got %v", err)
+	}
+}
+
+// TestDeterministicBytes pins the container's purity: the same write
+// sequence yields byte-identical snapshots (and so equal content hashes) —
+// the property run-memo keys rely on.
+func TestDeterministicBytes(t *testing.T) {
+	a, b := roundTrip(t), roundTrip(t)
+	if string(a) != string(b) {
+		t.Fatal("identical write sequences produced different bytes")
+	}
+	if Hash(a) != Hash(b) {
+		t.Fatal("identical bytes hash differently")
+	}
+	w := NewWriter("strict-fp", "fork-fp", 12346) // one cycle later
+	w.Section("alpha")
+	if Hash(w.Finish()) == Hash(a) {
+		t.Fatal("different snapshots share a content hash")
+	}
+}
+
+// TestReaderStopsAtTrailer verifies reads can never consume the trailer as
+// payload: a read past the last section fails instead of interpreting the
+// content hash as data.
+func TestReaderStopsAtTrailer(t *testing.T) {
+	w := NewWriter("s", "f", 0)
+	w.U8(1)
+	data := w.Finish()
+	r, err := NewReader(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := r.U8(); v != 1 || r.Err() != nil {
+		t.Fatalf("payload read failed: %d, %v", v, r.Err())
+	}
+	r.U64() // would overlap the trailer
+	if err := r.Err(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("trailer overlap not refused: %v", err)
+	}
+}

@@ -1,0 +1,232 @@
+package pushmulticast
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// snapshotKernels are the executor variants the checkpoint/restore contract
+// must hold on: a snapshot taken under any of them restores into any of
+// them, because the serialized state is kernel-independent.
+var snapshotKernels = []struct {
+	name string
+	with func(Config) Config
+}{
+	{"serial", func(cfg Config) Config { return cfg }},
+	{"dense", func(cfg Config) Config { cfg.DenseKernel = true; return cfg }},
+	{"parallel", func(cfg Config) Config { return withParallel(cfg, 4) }},
+}
+
+// coldAndWarm runs the configuration twice — once cold to completion, once
+// paused at barrier, snapshotted, restored into a fresh machine, and
+// finished — and returns both results plus the snapshot.
+func coldAndWarm(t *testing.T, cfg Config, wl Workload, sc Scale, barrier uint64) (cold, warm Results, snap []byte) {
+	t.Helper()
+	cold, err := RunWorkload(cfg, wl, sc)
+	if err != nil {
+		t.Fatalf("cold run: %v", err)
+	}
+	m, err := NewMachine(cfg, wl, sc)
+	if err != nil {
+		t.Fatalf("NewMachine: %v", err)
+	}
+	if err := m.RunTo(barrier); err != nil {
+		t.Fatalf("RunTo(%d): %v", barrier, err)
+	}
+	snap, err = m.Snapshot()
+	if err != nil {
+		t.Fatalf("Snapshot: %v", err)
+	}
+	if at, err := SnapshotCycle(snap); err != nil || at < barrier {
+		t.Fatalf("SnapshotCycle = %d, %v; want >= barrier %d", at, err, barrier)
+	}
+	restored, err := RestoreMachine(snap, cfg, wl, sc)
+	if err != nil {
+		t.Fatalf("RestoreMachine: %v", err)
+	}
+	warm, err = restored.Finish()
+	if err != nil {
+		t.Fatalf("restored Finish: %v", err)
+	}
+	return cold, warm, snap
+}
+
+// TestSnapshotRestoreEquivalence is the tentpole contract: a run paused at a
+// mid-run cycle barrier, serialized, restored into a freshly built machine,
+// and continued to completion is byte-identical to a cold run — same cycle
+// count, same full counter bundle, same causal event history (trace hash) —
+// on the serial, dense, and parallel kernels alike.
+func TestSnapshotRestoreEquivalence(t *testing.T) {
+	for _, sch := range []Scheme{Baseline(), OrdPush()} {
+		for _, k := range snapshotKernels {
+			sch, k := sch, k
+			t.Run(sch.Name+"/"+k.name, func(t *testing.T) {
+				t.Parallel()
+				cfg := k.with(withCheck(ScaledConfig(Default16()).WithScheme(sch)))
+				wl, err := WorkloadByName("cachebw")
+				if err != nil {
+					t.Fatal(err)
+				}
+				// Probe the total once so the barrier genuinely straddles the
+				// run (ClearRunMemo-independent: direct runs, no memo).
+				probe, err := RunWorkload(cfg, wl, ScaleTiny)
+				if err != nil {
+					t.Fatal(err)
+				}
+				barrier := probe.Cycles / 2
+				if barrier == 0 {
+					t.Fatalf("degenerate probe run: %d cycles", probe.Cycles)
+				}
+				cold, warm, _ := coldAndWarm(t, cfg, wl, ScaleTiny, barrier)
+				checkIdentical(t, "cold", "restored", cold, warm)
+			})
+		}
+	}
+}
+
+// TestSnapshotRestoreLossyStraddle pins the hardest restore case: an active
+// lossy fault plan (drops, duplicates, corruptions with in-flight
+// retransmit/anti-replay state) straddling the snapshot barrier. The
+// injector's schedule position, the per-stream sequence and retransmission
+// windows, and the checker's loss bookkeeping all cross the barrier and must
+// resume exactly.
+func TestSnapshotRestoreLossyStraddle(t *testing.T) {
+	for _, k := range snapshotKernels {
+		k := k
+		t.Run(k.name, func(t *testing.T) {
+			t.Parallel()
+			cfg := k.with(withCheck(ScaledConfig(Default16()).WithScheme(OrdPush())))
+			plan := GenerateLossyPlan(cfg.Tiles(), 7, 40)
+			cfg.Faults = &plan
+			wl, err := WorkloadByName("cachebw")
+			if err != nil {
+				t.Fatal(err)
+			}
+			probe, err := RunWorkload(cfg, wl, ScaleTiny)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if probe.Stats.Net.MsgDropped == 0 {
+				t.Fatal("lossy plan injected no drops; the straddle tests nothing")
+			}
+			cold, warm, _ := coldAndWarm(t, cfg, wl, ScaleTiny, probe.Cycles/2)
+			checkIdentical(t, "cold", "restored", cold, warm)
+		})
+	}
+}
+
+// TestSnapshotDeterminism asserts the snapshot itself is a pure function of
+// machine state: two machines driven identically to the same barrier
+// serialize to byte-identical snapshots, and a restored machine re-paused at
+// the same (post-barrier) state re-serializes to the same bytes as a
+// never-restored one. This property is what makes SnapshotHash a valid memo
+// identity.
+func TestSnapshotDeterminism(t *testing.T) {
+	cfg := withCheck(ScaledConfig(Default16()).WithScheme(OrdPush()))
+	wl, err := WorkloadByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	pauseAt := func(barrier uint64) []byte {
+		m, err := NewMachine(cfg, wl, ScaleTiny)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := m.RunTo(barrier); err != nil {
+			t.Fatal(err)
+		}
+		snap, err := m.Snapshot()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	a, b := pauseAt(5000), pauseAt(5000)
+	if !bytes.Equal(a, b) {
+		t.Errorf("identical machine states serialized to different bytes (%d vs %d, hashes %#x vs %#x)",
+			len(a), len(b), SnapshotHash(a), SnapshotHash(b))
+	}
+	// Restore the first snapshot, advance to a later barrier, and compare
+	// against a cold machine paused at that same barrier: the restored
+	// machine must be indistinguishable even to the serializer.
+	m, err := RestoreMachine(a, cfg, wl, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunTo(8000); err != nil {
+		t.Fatal(err)
+	}
+	viaRestore, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct := pauseAt(8000)
+	if !bytes.Equal(viaRestore, direct) {
+		t.Errorf("restore-then-advance state diverged from cold state at the same barrier (hashes %#x vs %#x)",
+			SnapshotHash(viaRestore), SnapshotHash(direct))
+	}
+}
+
+// TestSnapshotRestoreMismatch verifies restore refuses loudly — with
+// ErrSnapshotMismatch, before touching any state — when the restoring
+// configuration genuinely differs, and accepts knob-only forks.
+func TestSnapshotRestoreMismatch(t *testing.T) {
+	base := withCheck(ScaledConfig(Default16()).WithScheme(OrdPush()))
+	wl, err := WorkloadByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewMachine(base, wl, ScaleTiny)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunTo(2000); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		mutate func(Config) Config
+		wantOK bool
+	}{
+		{"identical config", func(c Config) Config { return c }, true},
+		{"knob-only fork (TPCThreshold)", func(c Config) Config { c.TPCThreshold = 99; return c }, true},
+		{"knob-only fork (TimeWindow)", func(c Config) Config { c.TimeWindow = 1234; return c }, true},
+		{"different scheme", func(c Config) Config { return c.WithScheme(Baseline()) }, false},
+		{"different cache geometry", func(c Config) Config { c.L2Size *= 2; return c }, false},
+		{"checker stripped", func(c Config) Config { c.Check = false; c.TraceN = 0; return c }, false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := RestoreMachine(snap, tc.mutate(base), wl, ScaleTiny)
+			if tc.wantOK && err != nil {
+				t.Fatalf("restore refused a legitimate target: %v", err)
+			}
+			if !tc.wantOK {
+				if err == nil {
+					t.Fatal("restore accepted a mismatched configuration")
+				}
+				if !errors.Is(err, ErrSnapshotMismatch) {
+					t.Fatalf("mismatch not wrapped in ErrSnapshotMismatch: %v", err)
+				}
+			}
+		})
+	}
+	t.Run("different workload", func(t *testing.T) {
+		other, err := WorkloadByName("bfs")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := RestoreMachine(snap, base, other, ScaleTiny); !errors.Is(err, ErrSnapshotMismatch) {
+			t.Fatalf("want ErrSnapshotMismatch, got %v", err)
+		}
+	})
+	t.Run("truncated snapshot", func(t *testing.T) {
+		if _, err := RestoreMachine(snap[:len(snap)-9], base, wl, ScaleTiny); !errors.Is(err, ErrSnapshotCorrupt) {
+			t.Fatalf("want ErrSnapshotCorrupt, got %v", err)
+		}
+	})
+}
