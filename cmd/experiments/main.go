@@ -19,7 +19,7 @@ import (
 
 func main() {
 	var (
-		figs  = flag.String("fig", "all", "comma-separated figure list: 2,3,4,11,12,13,14,15,16,17,18,19,20,t1,t2,interplay,recent,future,faults,lossy or 'all' (all excludes the chaos campaigns 'faults' and 'lossy'; request them by name)")
+		figs  = flag.String("fig", "all", "comma-separated figure list: 2,3,4,11,12,13,14,15,16,17,18,19,20,t1,t2,collective,interplay,recent,future,faults,lossy or 'all' (all excludes the chaos campaigns 'faults' and 'lossy'; request them by name)")
 		cores = flag.Int("cores", 16, "core count: 16 or 64")
 		scale = flag.String("scale", "quick", "input scale: tiny|quick|full")
 		par   = flag.Int("par", 0, "max concurrent simulations (0 = NumCPU)")
@@ -69,6 +69,7 @@ func main() {
 		{"18", func() (fmt.Stringer, error) { return pushmulticast.Fig18(o) }},
 		{"19", func() (fmt.Stringer, error) { return pushmulticast.Fig19(o) }},
 		{"20", func() (fmt.Stringer, error) { return pushmulticast.Fig20(o) }},
+		{"collective", func() (fmt.Stringer, error) { return pushmulticast.ExpCollective(o) }},
 		{"interplay", func() (fmt.Stringer, error) { return pushmulticast.ExtInterplay(o) }},
 		{"recent", func() (fmt.Stringer, error) { return pushmulticast.ExtRecentPushTable(o) }},
 		{"future", func() (fmt.Stringer, error) { return pushmulticast.ExtFutureDirections(o) }},

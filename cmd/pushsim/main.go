@@ -21,6 +21,11 @@ import (
 func main() {
 	var (
 		wlName   = flag.String("workload", "cachebw", "workload name (see -list)")
+		sharers  = flag.Int("sharers", 0, "collective workloads: participating core count (0 = all cores)")
+		fanout   = flag.Int("fanout", 0, "collective workloads: broadcast tree radix / prodcons consumers per producer / allreduce ring channels (0 = workload default)")
+		chunk    = flag.Int("chunk", 0, "collective workloads: chunk granularity in cache lines (0 = default 16)")
+		payload  = flag.Int("payload", 0, "collective workloads: payload size in cache lines; must be chunk- and sharer-divisible (0 = scale-derived default)")
+		iters    = flag.Int("iters", 0, "collective workloads: collective repetitions (0 = scale default)")
 		scheme   = flag.String("scheme", "OrdPush", "scheme: Baseline|NoPrefetch|Coalesce|MSP|PushAck|OrdPush|Push|Push+Multicast|Push+Multicast+Filter")
 		cores    = flag.Int("cores", 16, "core count: 16, 64, or 256")
 		scale    = flag.String("scale", "quick", "input scale: tiny|quick|full")
@@ -56,6 +61,9 @@ func main() {
 
 	if *list {
 		for _, w := range pushmulticast.Workloads() {
+			fmt.Printf("%-16s %-14s %s\n", w.Name, "["+w.Class+"]", w.Description)
+		}
+		for _, w := range pushmulticast.CollectiveWorkloads() {
 			fmt.Printf("%-16s %-14s %s\n", w.Name, "["+w.Class+"]", w.Description)
 		}
 		return
@@ -94,7 +102,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
 		os.Exit(1)
 	}
-	res, err := execute(cfg, *wlName, sc, *snapFile, *snapAt, *restoreF)
+	wl, err := resolveWorkload(*wlName, pushmulticast.CollectiveParams{
+		Sharers: *sharers, Fanout: *fanout, ChunkLines: *chunk, PayloadLines: *payload, Iters: *iters,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pushsim:", err)
+		os.Exit(1)
+	}
+	res, err := execute(cfg, wl, sc, *snapFile, *snapAt, *restoreF)
 	if err != nil {
 		stopProf() // flush profiles of the failed run before exiting
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
@@ -110,22 +125,34 @@ func main() {
 	report(res)
 }
 
+// resolveWorkload maps the -workload name (plus the collective parameter
+// flags) to a workload value. A zero CollectiveParams means no collective
+// flag was set, so plain registry names resolve unchanged; any set flag
+// requires the name to be a collective. Errors are one-line diagnostics.
+func resolveWorkload(name string, p pushmulticast.CollectiveParams) (pushmulticast.Workload, error) {
+	if p == (pushmulticast.CollectiveParams{}) {
+		return pushmulticast.WorkloadByName(name)
+	}
+	wl, err := pushmulticast.CollectiveWorkload(name, p)
+	if err != nil {
+		return pushmulticast.Workload{}, fmt.Errorf("collective flags (-sharers/-fanout/-chunk/-payload/-iters) set: %v", err)
+	}
+	return wl, nil
+}
+
 // execute runs the simulation, honoring the checkpoint/restore flags. Plain
 // runs take the one-shot path; -snapshot pauses at the -snapat barrier,
 // writes the serialized machine, and continues to completion; -restore loads
 // a snapshot into the configured machine and finishes it. Every failure —
 // including a snapshot whose format version or config fingerprint does not
-// match — is a one-line diagnostic; the caller prints it and exits 1.
-func execute(cfg pushmulticast.Config, wlName string, sc pushmulticast.Scale, snapFile string, snapAt uint64, restoreF string) (pushmulticast.Results, error) {
+// match, or collective parameters inconsistent with the machine's core
+// count — is a one-line diagnostic; the caller prints it and exits 1.
+func execute(cfg pushmulticast.Config, wl pushmulticast.Workload, sc pushmulticast.Scale, snapFile string, snapAt uint64, restoreF string) (pushmulticast.Results, error) {
 	if snapFile == "" && restoreF == "" {
-		return pushmulticast.Run(cfg, wlName, sc)
+		return pushmulticast.RunWorkload(cfg, wl, sc)
 	}
 	if snapFile != "" && restoreF != "" {
 		return pushmulticast.Results{}, fmt.Errorf("-snapshot cannot be combined with -restore")
-	}
-	wl, err := pushmulticast.WorkloadByName(wlName)
-	if err != nil {
-		return pushmulticast.Results{}, err
 	}
 	if restoreF != "" {
 		data, err := os.ReadFile(restoreF)

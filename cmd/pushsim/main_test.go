@@ -105,15 +105,19 @@ func TestExecuteSnapshotRoundTrip(t *testing.T) {
 	cfg.Check = true
 	snapFile := filepath.Join(t.TempDir(), "pause.snap")
 
-	plain, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, "", 0, "")
+	cachebw, err := pushmulticast.WorkloadByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, "", 0, "")
 	if err != nil {
 		t.Fatalf("plain run: %v", err)
 	}
-	saved, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, snapFile, 5000, "")
+	saved, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, snapFile, 5000, "")
 	if err != nil {
 		t.Fatalf("snapshotting run: %v", err)
 	}
-	restored, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, "", 0, snapFile)
+	restored, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, "", 0, snapFile)
 	if err != nil {
 		t.Fatalf("restored run: %v", err)
 	}
@@ -142,7 +146,11 @@ func TestExecuteBadInput(t *testing.T) {
 	cfg.Check = true
 	dir := t.TempDir()
 	snapFile := filepath.Join(dir, "donor.snap")
-	if _, err := execute(cfg, "cachebw", pushmulticast.ScaleTiny, snapFile, 5000, ""); err != nil {
+	cachebw, err := pushmulticast.WorkloadByName("cachebw")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, snapFile, 5000, ""); err != nil {
 		t.Fatalf("writing the donor snapshot: %v", err)
 	}
 	snap, err := os.ReadFile(snapFile)
@@ -170,25 +178,41 @@ func TestExecuteBadInput(t *testing.T) {
 		name     string
 		cfg      pushmulticast.Config
 		workload string
+		params   pushmulticast.CollectiveParams
 		snapFile string
 		snapAt   uint64
 		restore  string
 		want     string
 	}{
-		{"snapshot combined with restore", cfg, "cachebw", snapFile, 5000, snapFile, "cannot be combined"},
-		{"snapshot without snapat", cfg, "cachebw", filepath.Join(dir, "x.snap"), 0, "", "-snapat"},
-		{"restore file missing", cfg, "cachebw", "", 0, filepath.Join(dir, "no-such.snap"), "no-such.snap"},
-		{"restore file is not a snapshot", cfg, "cachebw", "", 0, write("noise.snap", []byte("definitely not a snapshot file")), "bad magic"},
-		{"truncated snapshot", cfg, "cachebw", "", 0, write("trunc.snap", snap[:len(snap)-7]), "hash mismatch"},
-		{"newer format version", cfg, "cachebw", "", 0, write("future.snap", futureSnap), "format v2"},
-		{"different scheme", baseline, "cachebw", "", 0, snapFile, "snapshot mismatch"},
-		{"different workload", cfg, "bfs", "", 0, snapFile, "snapshot mismatch"},
+		{"snapshot combined with restore", cfg, "cachebw", pushmulticast.CollectiveParams{}, snapFile, 5000, snapFile, "cannot be combined"},
+		{"snapshot without snapat", cfg, "cachebw", pushmulticast.CollectiveParams{}, filepath.Join(dir, "x.snap"), 0, "", "-snapat"},
+		{"restore file missing", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, filepath.Join(dir, "no-such.snap"), "no-such.snap"},
+		{"restore file is not a snapshot", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, write("noise.snap", []byte("definitely not a snapshot file")), "bad magic"},
+		{"truncated snapshot", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, write("trunc.snap", snap[:len(snap)-7]), "hash mismatch"},
+		{"newer format version", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, write("future.snap", futureSnap), "format v2"},
+		{"different scheme", baseline, "cachebw", pushmulticast.CollectiveParams{}, "", 0, snapFile, "snapshot mismatch"},
+		{"different workload", cfg, "bfs", pushmulticast.CollectiveParams{}, "", 0, snapFile, "snapshot mismatch"},
+		// Collective bad inputs: -workload/-cores combinations inconsistent
+		// with the collective's structure must surface the same one-line
+		// diagnostic + exit 1 contract, not a panic.
+		{"unknown workload lists valid names", cfg, "allredcue", pushmulticast.CollectiveParams{}, "", 0, "", "valid: allreduce, backprop"},
+		{"collective sharers exceed cores", cfg, "allreduce", pushmulticast.CollectiveParams{Sharers: 32}, "", 0, "", "32 sharers exceed the 16-core machine"},
+		{"collective sharers below minimum", cfg, "broadcast", pushmulticast.CollectiveParams{Sharers: 1}, "", 0, "", "below the minimum"},
+		{"chunk does not divide payload", cfg, "broadcast", pushmulticast.CollectiveParams{ChunkLines: 7, PayloadLines: 100}, "", 0, "", "does not divide"},
+		{"prodcons group mismatch", cfg, "prodcons", pushmulticast.CollectiveParams{Sharers: 16, Fanout: 2}, "", 0, "", "do not split into groups"},
+		{"negative iters", cfg, "allreduce", pushmulticast.CollectiveParams{Iters: -1}, "", 0, "", "Iters -1 is negative"},
+		{"collective flags on a fixed workload", cfg, "cachebw", pushmulticast.CollectiveParams{Fanout: 4}, "", 0, "", "not a collective"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			_, err := execute(tc.cfg, tc.workload, pushmulticast.ScaleTiny, tc.snapFile, tc.snapAt, tc.restore)
+			// Mirror main's pipeline: resolve the workload, then execute.
+			// Either stage may be the one that rejects the input.
+			wl, err := resolveWorkload(tc.workload, tc.params)
 			if err == nil {
-				t.Fatal("execute accepted bad checkpoint flags")
+				_, err = execute(tc.cfg, wl, pushmulticast.ScaleTiny, tc.snapFile, tc.snapAt, tc.restore)
+			}
+			if err == nil {
+				t.Fatal("execute accepted bad input")
 			}
 			if strings.Contains(err.Error(), "\n") {
 				t.Fatalf("diagnostic is not a single line: %q", err)

@@ -117,7 +117,10 @@ type memoKey struct {
 	cfg      string
 	faults   string
 	workload string
-	scale    Scale
+	// params is the workload's canonical parameter signature: two collective
+	// variants share a Name but must never share a cached run.
+	params string
+	scale  Scale
 	// snap is the content hash of the snapshot a warm-started run forked
 	// from, 0 for cold runs. A warm fork's results legitimately differ from
 	// the same configuration's cold results (the warm-up executed under the
@@ -132,7 +135,7 @@ func newMemoKey(cfg Config, wl Workload, sc Scale) memoKey {
 		faults = fmt.Sprintf("%+v", *cfg.Faults)
 	}
 	cfg.Faults = nil
-	return memoKey{cfg: fmt.Sprintf("%+v", cfg), faults: faults, workload: wl.Name, scale: sc}
+	return memoKey{cfg: fmt.Sprintf("%+v", cfg), faults: faults, workload: wl.Name, params: wl.Params, scale: sc}
 }
 
 // memoEntry is one in-flight or completed run; done closes when res/err are

@@ -65,6 +65,16 @@ func Build(cfg config.System, wl workload.Workload, sc workload.Scale) (*System,
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if wl.Validate != nil {
+		// Parameterized workloads (the collective family) check their knobs
+		// against the machine's core count here, before any stream is built,
+		// so every entry point — Run, RunWorkload, NewMachine, the harness —
+		// rejects a degenerate combination with one diagnostic line instead
+		// of building a lopsided or panicking stream.
+		if err := wl.Validate(cfg.Tiles()); err != nil {
+			return nil, err
+		}
+	}
 	st := stats.New()
 	eng := sim.NewEngine(200_000, 500_000_000)
 	eng.SetDense(cfg.DenseKernel)

@@ -123,6 +123,12 @@ func (s *segStream) Next() Op {
 				s.didWork = true
 				return Op{Kind: OpWork, N: seg.workPer}
 			}
+			if seg.span <= 0 {
+				// A zero span would be an integer divide-by-zero below;
+				// surface the degenerate parameter instead of a runtime panic
+				// deep in the kernel.
+				panic("workload: segRand span must be positive (degenerate generator parameters)")
+			}
 			if s.rng == 0 {
 				s.rng = lcg(seg.seed | 1)
 			}

@@ -6,7 +6,12 @@
 // documents the substitution.
 package workload
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
 
 // OpKind is the kind of one stream operation.
 type OpKind uint8
@@ -76,6 +81,15 @@ type Workload struct {
 	// Class is the paper's qualitative sharing/load classification, used
 	// in reports.
 	Class string
+	// Params is the canonical parameter signature for parameterized
+	// workloads (the collective family); it is part of the harness memo
+	// identity so same-named variants with different knobs never alias.
+	// Empty for the fixed Table II generators.
+	Params string
+	// Validate, when non-nil, checks the workload's parameters against the
+	// machine's core count before any stream is built. core.Build calls it
+	// right after config validation; errors must be one-line diagnostics.
+	Validate func(cores int) error
 	// Build returns the stream for core `core` of `cores` total.
 	Build func(core, cores int, sc Scale) Stream
 }
@@ -95,21 +109,48 @@ func Registry() []Workload {
 	}
 }
 
-// ByName returns the named workload.
-func ByName(name string) (Workload, error) {
-	for _, w := range Registry() {
-		if w.Name == name {
-			return w, nil
-		}
-	}
-	return Workload{}, fmt.Errorf("workload: unknown workload %q", name)
+// All returns every bundled workload: the Table II set plus the collective
+// family (default parameters). Registry stays the paper set so figure
+// defaults (Fig 11, Table II) are unchanged by the collectives.
+func All() []Workload {
+	return append(Registry(), Collectives()...)
 }
 
-// Names lists registry names in order.
+// byNameIndex is built once: ByName used to rebuild the whole Registry slice
+// on every miss and answer with a bare "unknown workload" that named no
+// valid alternatives.
+var byNameIndex struct {
+	once  sync.Once
+	m     map[string]Workload
+	names string // sorted, comma-joined, for the miss diagnostic
+}
+
+// ByName returns the named workload (paper set or collective defaults). On a
+// miss the error lists every valid name, sorted.
+func ByName(name string) (Workload, error) {
+	byNameIndex.once.Do(func() {
+		all := All()
+		byNameIndex.m = make(map[string]Workload, len(all))
+		names := make([]string, 0, len(all))
+		for _, w := range all {
+			byNameIndex.m[w.Name] = w
+			names = append(names, w.Name)
+		}
+		sort.Strings(names)
+		byNameIndex.names = strings.Join(names, ", ")
+	})
+	if w, ok := byNameIndex.m[name]; ok {
+		return w, nil
+	}
+	return Workload{}, fmt.Errorf("workload: unknown workload %q (valid: %s)", name, byNameIndex.names)
+}
+
+// Names lists every bundled workload name: the registry in figure order,
+// then the collective family.
 func Names() []string {
-	r := Registry()
-	out := make([]string, len(r))
-	for i, w := range r {
+	all := All()
+	out := make([]string, len(all))
+	for i, w := range all {
 		out[i] = w.Name
 	}
 	return out

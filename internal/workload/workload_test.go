@@ -21,9 +21,12 @@ func drain(t *testing.T, s Stream, limit int) []Op {
 }
 
 func TestRegistryComplete(t *testing.T) {
+	if got := len(Registry()); got != 15 {
+		t.Fatalf("registry has %d workloads, want 15 (Table II)", got)
+	}
 	names := Names()
-	if len(names) != 15 {
-		t.Fatalf("registry has %d workloads, want 15 (Table II)", len(names))
+	if len(names) != 19 {
+		t.Fatalf("Names lists %d workloads, want 19 (Table II + 4 collectives)", len(names))
 	}
 	for _, n := range names {
 		wl, err := ByName(n)

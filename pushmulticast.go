@@ -179,8 +179,31 @@ func PrivateBase(core int) uint64 { return workload.PrivateBase(core) }
 // Workloads returns the full registry in the paper's order (Table II).
 func Workloads() []Workload { return workload.Registry() }
 
-// WorkloadNames lists the registry names.
+// WorkloadNames lists every bundled workload name: the Table II registry in
+// figure order, then the collective family.
 func WorkloadNames() []string { return workload.Names() }
+
+// Collective-communication workload family (not part of the paper's
+// Table II set): ring AllReduce, tree Broadcast, ring ReduceScatter, and a
+// producer–consumer pipeline, modelling DNN gradient aggregation and
+// serving fan-out — the one-producer/many-consumer traffic push multicast
+// targets. See ExpCollective for the comparison figure.
+
+// CollectiveParams parameterizes the collective workloads: sharer count,
+// fan-out/radix/ring channels, chunk granularity, payload size, and
+// iteration count. Zero fields select defaults; invalid combinations are
+// rejected with one-line diagnostics when the run is built.
+type CollectiveParams = workload.CollectiveParams
+
+// CollectiveWorkloads returns the collective family with default
+// parameters.
+func CollectiveWorkloads() []Workload { return workload.Collectives() }
+
+// CollectiveWorkload builds the named collective ("allreduce", "broadcast",
+// "reducescatter", "prodcons") with explicit parameters.
+func CollectiveWorkload(name string, p CollectiveParams) (Workload, error) {
+	return workload.Collective(name, p)
+}
 
 // Run simulates the named workload on the configuration and returns its
 // results.

@@ -390,7 +390,7 @@ func TestSchemeAccessors(t *testing.T) {
 		t.Fatal("scheme names changed; experiment row keys depend on them")
 	}
 	names := WorkloadNames()
-	if len(names) != 15 || names[0] != "cachebw" {
+	if len(names) != 19 || names[0] != "cachebw" || names[15] != "allreduce" {
 		t.Fatalf("workload names changed: %v", names)
 	}
 }
