@@ -324,7 +324,7 @@ func buildConfig(cores int, scheme, scale string, linkBits int) (pushmulticast.C
 	default:
 		return cfg, fmt.Errorf("unsupported core count %d (use 16, 64, or 256)", cores)
 	}
-	sch, err := schemeByName(scheme)
+	sch, err := pushmulticast.SchemeByName(scheme)
 	if err != nil {
 		return cfg, err
 	}
@@ -334,23 +334,6 @@ func buildConfig(cores int, scheme, scale string, linkBits int) (pushmulticast.C
 		cfg = pushmulticast.ScaledConfig(cfg)
 	}
 	return cfg, nil
-}
-
-func schemeByName(name string) (pushmulticast.Scheme, error) {
-	all := []pushmulticast.Scheme{
-		pushmulticast.Baseline(), pushmulticast.NoPrefetch(), pushmulticast.Coalesce(),
-		pushmulticast.MSP(), pushmulticast.PushAck(), pushmulticast.OrdPush(),
-		pushmulticast.AblationPush(), pushmulticast.AblationPushMulticast(),
-		pushmulticast.AblationPushMulticastFilter(),
-		pushmulticast.PushPrefetch(), pushmulticast.PredictivePush(), pushmulticast.DeepPush(),
-	}
-	for _, s := range all {
-		if strings.EqualFold(s.Name, name) ||
-			(strings.EqualFold(name, "baseline") && s.Name == "L1Bingo-L2Stride") {
-			return s, nil
-		}
-	}
-	return pushmulticast.Scheme{}, fmt.Errorf("unknown scheme %q", name)
 }
 
 func parseScale(s string) (pushmulticast.Scale, error) {

@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"fmt"
 
 	"pushmulticast/internal/workload"
@@ -41,7 +43,7 @@ func Fig20(o ExpOptions) (*Fig20Result, error) {
 		return nil, err
 	}
 	schemes := append([]Scheme{Baseline()}, ablationStages()...)
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 
@@ -127,7 +129,7 @@ func bandwidthRows(o ExpOptions, unit stats.Unit) ([]Fig15Row, error) {
 		return nil, err
 	}
 	schemes := []Scheme{Baseline(), PushAck(), OrdPush()}
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"fmt"
 	"strings"
 )
@@ -92,7 +94,7 @@ func ExpCollective(o ExpOptions) (*ExpCollectiveResult, error) {
 		wls[i] = v.wl
 	}
 	schemes := []Scheme{Baseline(), PushAck(), OrdPush()}
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}

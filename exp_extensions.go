@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"pushmulticast/internal/config"
 	"pushmulticast/internal/workload"
 )
@@ -42,7 +44,7 @@ func ExtInterplay(o ExpOptions) (*InterplayResult, error) {
 		return nil, err
 	}
 	schemes := []Scheme{Baseline(), OrdPush(), PushPrefetch()}
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -97,7 +99,7 @@ func ExtFutureDirections(o ExpOptions) (*FutureResult, error) {
 		return nil, err
 	}
 	schemes := []Scheme{Baseline(), OrdPush(), PredictivePush(), DeepPush()}
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -164,12 +166,12 @@ func ExtRecentPushTable(o ExpOptions) (*RecentTableResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	with, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) },
+	with, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) },
 		[]Scheme{OrdPush()}, wls)
 	if err != nil {
 		return nil, err
 	}
-	without, err := matrix(o, func(s Scheme) Config {
+	without, err := matrix(context.Background(), o, func(s Scheme) Config {
 		cfg := o.baseConfig().WithScheme(s)
 		cfg.NoRecentPushTable = true
 		return cfg

@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"fmt"
 
 	"pushmulticast/internal/workload"
@@ -62,7 +64,7 @@ func ExpFaults(o ExpOptions) (*FaultResult, error) {
 			p := GenerateFaultPlan(o.baseConfig().Tiles(), chaosSeed, intensity)
 			plan = &p
 		}
-		res, err := matrix(o, func(s Scheme) Config {
+		res, err := matrix(context.Background(), o, func(s Scheme) Config {
 			cfg := o.baseConfig().WithScheme(s)
 			cfg.Check = true
 			cfg.Faults = plan
@@ -144,7 +146,7 @@ func ExpLossy(o ExpOptions) (*LossyResult, error) {
 			p := GenerateLossyPlan(o.baseConfig().Tiles(), chaosSeed, rate)
 			plan = &p
 		}
-		res, err := matrix(o, func(s Scheme) Config {
+		res, err := matrix(context.Background(), o, func(s Scheme) Config {
 			cfg := o.baseConfig().WithScheme(s)
 			cfg.Check = true
 			cfg.Faults = plan

@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"fmt"
 	"sort"
 
@@ -31,7 +33,7 @@ func Fig2(o ExpOptions) (*Fig2Result, error) {
 		return nil, err
 	}
 	cfg := o.baseConfig().WithScheme(Baseline())
-	res, err := matrix(o, func(Scheme) Config { return cfg }, []Scheme{Baseline()}, wls)
+	res, err := matrix(context.Background(), o, func(Scheme) Config { return cfg }, []Scheme{Baseline()}, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -84,7 +86,7 @@ func Fig3(o ExpOptions) (*Fig3Result, error) {
 		return nil, err
 	}
 	cfg := o.baseConfig().WithScheme(Baseline())
-	res, err := matrix(o, func(Scheme) Config { return cfg }, []Scheme{Baseline()}, wls)
+	res, err := matrix(context.Background(), o, func(Scheme) Config { return cfg }, []Scheme{Baseline()}, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -160,12 +162,12 @@ func Fig4(o ExpOptions) (*Fig4Result, error) {
 		s := sortU64(res.Stats.SharerGaps[k].Samples)
 		out.Pairs = append(out.Pairs, Fig4Pair{
 			Prev: k / 64, Next: k % 64, Samples: len(s),
-			Min: s[0], P25: quantile(s, 0.25), Median: quantile(s, 0.5),
-			P75: quantile(s, 0.75), Max: s[len(s)-1],
+			Min: s[0], P25: Quantile(s, 0.25), Median: Quantile(s, 0.5),
+			P75: Quantile(s, 0.75), Max: s[len(s)-1],
 		})
 	}
 	if len(all) > 0 {
-		out.AllMedian = quantile(sortU64(all), 0.5)
+		out.AllMedian = Quantile(sortU64(all), 0.5)
 	}
 	// Keep the report readable: the densest 16 pairs.
 	if len(out.Pairs) > 16 {

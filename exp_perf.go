@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"fmt"
 
 	"pushmulticast/internal/stats"
@@ -47,7 +49,7 @@ func Fig11(o ExpOptions) (*Fig11Result, error) {
 		return nil, err
 	}
 	schemes := append([]Scheme{Baseline()}, perfSchemes()...)
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -146,7 +148,7 @@ func Fig12(o ExpOptions) (*Fig12Result, error) {
 		return nil, err
 	}
 	schemes := []Scheme{MSP(), PushAck(), OrdPush()}
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}
@@ -206,7 +208,7 @@ func Fig13(o ExpOptions) (*Fig13Result, error) {
 		return nil, err
 	}
 	schemes := []Scheme{Baseline(), MSP(), PushAck(), OrdPush()}
-	res, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
+	res, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) }, schemes, wls)
 	if err != nil {
 		return nil, err
 	}

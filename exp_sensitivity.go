@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"fmt"
 
 	"pushmulticast/internal/workload"
@@ -57,7 +59,7 @@ func fig17(o ExpOptions, axis string, sweep []int, apply func(Config, int) Confi
 	}
 	out := &Fig17Result{Axis: axis}
 	// Baselines per workload.
-	base, err := matrix(o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) },
+	base, err := matrix(context.Background(), o, func(s Scheme) Config { return o.baseConfig().WithScheme(s) },
 		[]Scheme{Baseline()}, wls)
 	if err != nil {
 		return nil, err
@@ -65,7 +67,7 @@ func fig17(o ExpOptions, axis string, sweep []int, apply func(Config, int) Confi
 	for _, v := range sweep {
 		v := v
 		schemes := []Scheme{OrdPush()}
-		res, err := matrix(o, func(s Scheme) Config {
+		res, err := matrix(context.Background(), o, func(s Scheme) Config {
 			return apply(o.baseConfig().WithScheme(s), v)
 		}, schemes, wls)
 		if err != nil {
@@ -116,7 +118,7 @@ func Fig18(o ExpOptions) (*Fig18Result, error) {
 	for _, width := range []int{64, 128, 256, 512} {
 		width := width
 		schemes := []Scheme{Baseline(), PushAck(), OrdPush()}
-		res, err := matrix(o, func(s Scheme) Config {
+		res, err := matrix(context.Background(), o, func(s Scheme) Config {
 			cfg := o.baseConfig().WithScheme(s)
 			cfg.NoC.LinkWidthBits = width
 			return cfg
@@ -200,7 +202,7 @@ func Fig19(o ExpOptions) (*Fig19Result, error) {
 	for _, pt := range fig19Points(o.baseConfig()) {
 		pt := pt
 		schemes := []Scheme{Baseline(), PushAck(), OrdPush()}
-		res, err := matrix(o, func(s Scheme) Config {
+		res, err := matrix(context.Background(), o, func(s Scheme) Config {
 			cfg := o.baseConfig().WithScheme(s)
 			cfg.L2Size = pt.l2
 			cfg.LLCSliceSize = pt.slice

@@ -1,6 +1,7 @@
 package pushmulticast
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -112,7 +113,7 @@ func ExpWarmStart(o ExpOptions) (*WarmStartReport, error) {
 	// Warm phase: one donor run to the barrier, one snapshot, N forks.
 	ClearRunMemo() // a memo hit would time a map lookup, not a fork
 	warmupStart := time.Now()
-	warmRes, snap, err := WarmStartSweep(o, base, variants, wl, rep.BarrierCycle)
+	warmRes, snap, err := WarmStartSweep(context.Background(), o, base, variants, wl, rep.BarrierCycle)
 	if err != nil {
 		return nil, err
 	}

@@ -1,8 +1,12 @@
 package pushmulticast
 
 import (
+	"container/list"
+	"context"
 	"errors"
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"runtime"
 	"sort"
@@ -22,13 +26,17 @@ type ExpOptions struct {
 	Cores int
 	// Workloads restricts the workload set (nil = figure default).
 	Workloads []string
-	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS, divided by
-	// SimWorkers when the parallel kernel is on so the host is not
-	// oversubscribed with Parallelism × SimWorkers goroutines).
+	// Parallelism bounds concurrent simulations (0 = GOMAXPROCS). Whether
+	// defaulted or set explicitly, it is clamped so that
+	// Parallelism × max(SimWorkers, 1) never exceeds GOMAXPROCS: the two
+	// levels of parallelism multiply, and an explicit Parallelism used to
+	// bypass the divide-by-SimWorkers guard and silently oversubscribe the
+	// host with Parallelism × SimWorkers runnable goroutines.
 	Parallelism int
 	// SimWorkers runs each simulation on the parallel tick executor with
 	// this many workers (0 or 1 = serial kernel). Results are byte-identical
-	// either way.
+	// either way. Values above GOMAXPROCS are clamped to it: extra workers
+	// past the processor count only add contention, never speed.
 	SimWorkers int
 	// Check enables the runtime invariant checker on every simulation in
 	// the campaign (tier-1 tests and short campaigns; leave off for
@@ -43,15 +51,23 @@ func (o ExpOptions) withDefaults() ExpOptions {
 	if o.Cores == 0 {
 		o.Cores = 16
 	}
-	if o.Parallelism <= 0 {
-		o.Parallelism = runtime.GOMAXPROCS(0)
-		if o.SimWorkers > 1 {
-			// Split host cores between concurrent matrix jobs and intra-sim
-			// workers instead of stacking the two levels of parallelism.
-			if o.Parallelism /= o.SimWorkers; o.Parallelism < 1 {
-				o.Parallelism = 1
-			}
+	// Split host cores between concurrent matrix jobs and intra-sim workers
+	// instead of stacking the two levels of parallelism. The budget applies
+	// to explicit Parallelism values too: the guard used to cover only the
+	// defaulted path, so Parallelism=8 with SimWorkers=4 silently ran 32
+	// runnable goroutines on the host.
+	budget := runtime.GOMAXPROCS(0)
+	if o.SimWorkers > budget {
+		// Intra-sim workers alone must not oversubscribe the host either.
+		o.SimWorkers = budget
+	}
+	if o.SimWorkers > 1 {
+		if budget /= o.SimWorkers; budget < 1 {
+			budget = 1
 		}
+	}
+	if o.Parallelism <= 0 || o.Parallelism > budget {
+		o.Parallelism = budget
 	}
 	return o
 }
@@ -96,16 +112,104 @@ type runKey struct {
 	workload string
 }
 
-// runMemo caches completed runs across the whole experiment campaign, keyed
-// by the full configuration plus workload and scale: several exp_* figures
-// share identical baseline runs, and the kernel's determinism guarantees a
-// cached Results is indistinguishable from a fresh one. Entries are shared
-// read-only — Results.Stats points at one bundle, and figure code must not
-// mutate it. Each key is simulated exactly once: a goroutine arriving while
-// the run is in flight waits on the entry instead of duplicating the work.
+// runMemo caches completed runs across the whole campaign (experiment
+// figures and the simd service alike), keyed by the full configuration plus
+// workload and scale: several exp_* figures share identical baseline runs,
+// and the kernel's determinism guarantees a cached Results is
+// indistinguishable from a fresh one. Entries are shared read-only —
+// Results.Stats points at one bundle, and figure code must not mutate it.
+// Each key is simulated exactly once: a goroutine arriving while the run is
+// in flight waits on the entry instead of duplicating the work.
+//
+// Completed entries live on a size-bounded LRU list (lru front = most
+// recent); the memo used to grow without bound, pinning every distinct run's
+// full Results forever — a real leak for a long-lived daemon. In-flight
+// entries are not on the list and therefore can never be evicted; eviction
+// only unlinks an entry from the map, so waiters holding the entry pointer
+// are never broken — an evicted key simply re-simulates on next lookup, and
+// determinism makes the re-run byte-identical.
 var runMemo struct {
 	sync.Mutex
-	m map[memoKey]*memoEntry
+	m   map[memoKey]*memoEntry
+	lru *list.List // completed entries only; front = most recently used
+	cap int        // 0 = DefaultRunMemoCapacity; set via SetRunMemoCapacity
+	// Campaign-level counters (see RunMemoStats). A hit is a lookup that
+	// found an entry, completed or in flight; a miss starts a simulation.
+	hits, misses, evictions uint64
+}
+
+// DefaultRunMemoCapacity bounds the completed-run memo when
+// SetRunMemoCapacity was never called. Sized for campaign reuse (every
+// figure of the paper's evaluation fits with room to spare) while keeping a
+// long-lived daemon's footprint bounded: a full Results bundle is a few
+// hundred KB at 256 cores.
+const DefaultRunMemoCapacity = 512
+
+// SetRunMemoCapacity bounds the number of completed runs the campaign memo
+// retains (least-recently-used eviction; in-flight runs are pinned and never
+// count against the bound). n <= 0 restores DefaultRunMemoCapacity. It
+// returns the previous bound. Shrinking evicts immediately.
+func SetRunMemoCapacity(n int) int {
+	runMemo.Lock()
+	defer runMemo.Unlock()
+	prev := runMemo.cap
+	if prev == 0 {
+		prev = DefaultRunMemoCapacity
+	}
+	if n <= 0 {
+		n = DefaultRunMemoCapacity
+	}
+	runMemo.cap = n
+	evictLocked()
+	return prev
+}
+
+// MemoStats is the campaign memo's observability snapshot (see /metrics in
+// the simd service).
+type MemoStats struct {
+	// Hits counts lookups that found an entry — completed or joined in
+	// flight; Misses counts lookups that started a simulation. Evictions
+	// counts completed entries dropped by the LRU bound.
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Evictions uint64 `json:"evictions"`
+	// Entries is the completed-entry count; InFlight the pinned running runs.
+	Entries  int `json:"entries"`
+	InFlight int `json:"in_flight"`
+}
+
+// RunMemoStats returns the campaign memo's counters. ClearRunMemo resets
+// them.
+func RunMemoStats() MemoStats {
+	runMemo.Lock()
+	defer runMemo.Unlock()
+	s := MemoStats{Hits: runMemo.hits, Misses: runMemo.misses, Evictions: runMemo.evictions}
+	if runMemo.lru != nil {
+		s.Entries = runMemo.lru.Len()
+	}
+	s.InFlight = len(runMemo.m) - s.Entries
+	return s
+}
+
+// evictLocked drops least-recently-used completed entries until the memo is
+// within its bound. In-flight entries are not on the list, so a running
+// simulation — and every waiter parked on it — is immune.
+func evictLocked() {
+	if runMemo.lru == nil {
+		return
+	}
+	max := runMemo.cap
+	if max == 0 {
+		max = DefaultRunMemoCapacity
+	}
+	for runMemo.lru.Len() > max {
+		back := runMemo.lru.Back()
+		old := back.Value.(*memoEntry)
+		runMemo.lru.Remove(back)
+		old.elem = nil
+		delete(runMemo.m, old.key)
+		runMemo.evictions++
+	}
 }
 
 // memoKey identifies a run. The fields are kept separate (instead of one
@@ -141,17 +245,31 @@ func newMemoKey(cfg Config, wl Workload, sc Scale) memoKey {
 // memoEntry is one in-flight or completed run; done closes when res/err are
 // final.
 type memoEntry struct {
+	key  memoKey
 	done chan struct{}
 	res  Results
 	err  error
+	// refs counts waiters interested in an in-flight run and cancel aborts
+	// it (both guarded by the runMemo mutex; cancel is nil once the run
+	// settles). The simulation executes under its own context, detached from
+	// any single waiter: a canceled request only stops the machine loop when
+	// it was the LAST waiter — concurrent identical requests neither kill
+	// each other's shared run nor keep a run alive after everyone left.
+	refs   int
+	cancel context.CancelFunc
+	// elem is the entry's LRU position; nil while in flight (pinned — an
+	// in-flight entry can never be evicted) and again after eviction.
+	elem *list.Element
 }
 
-// ClearRunMemo empties the campaign-level run memo (tests). In-flight runs
-// complete normally and release their waiters; their entries are simply no
-// longer found by later lookups.
+// ClearRunMemo empties the campaign-level run memo and resets its counters
+// (tests). In-flight runs complete normally and release their waiters; their
+// entries are simply no longer found by later lookups.
 func ClearRunMemo() {
 	runMemo.Lock()
 	runMemo.m = nil
+	runMemo.lru = nil
+	runMemo.hits, runMemo.misses, runMemo.evictions = 0, 0, 0
 	runMemo.Unlock()
 }
 
@@ -159,56 +277,148 @@ func ClearRunMemo() {
 // simulates and caches. Concurrent callers with the same key share one
 // simulation. Failed runs are not cached: the entry is dropped before its
 // waiters are released, so a later retry re-simulates.
-func memoizedRun(cfg Config, wl Workload, sc Scale) (Results, error) {
-	return memoized(newMemoKey(cfg, wl, sc), func() (Results, error) {
-		return RunWorkload(cfg, wl, sc)
+func memoizedRun(ctx context.Context, cfg Config, wl Workload, sc Scale) (Results, bool, error) {
+	return memoized(ctx, newMemoKey(cfg, wl, sc), func(runCtx context.Context) (Results, error) {
+		return RunWorkloadCtx(runCtx, cfg, wl, sc)
 	})
 }
 
 // memoizedWarmRun is memoizedRun for a run forked from a warmed snapshot:
 // the key carries the snapshot's content hash, so warm and cold runs of the
 // same configuration occupy distinct entries.
-func memoizedWarmRun(cfg Config, wl Workload, sc Scale, snap []byte) (Results, error) {
+func memoizedWarmRun(ctx context.Context, cfg Config, wl Workload, sc Scale, snap []byte) (Results, bool, error) {
 	key := newMemoKey(cfg, wl, sc)
 	key.snap = SnapshotHash(snap)
-	return memoized(key, func() (Results, error) {
+	return memoized(ctx, key, func(runCtx context.Context) (Results, error) {
 		m, err := RestoreMachine(snap, cfg, wl, sc)
 		if err != nil {
 			return Results{}, err
 		}
-		return m.Finish()
+		return m.FinishCtx(runCtx)
 	})
 }
 
-func memoized(key memoKey, run func() (Results, error)) (Results, error) {
+// memoized runs the singleflight-and-cache protocol for one key. The hit
+// return is true when the lookup found an existing entry (completed, or
+// joined in flight). The simulation executes on its own goroutine under a
+// context detached from any individual caller; every caller — the one that
+// started the run included — waits on the entry or on its own ctx, whichever
+// fires first, so a canceled caller returns promptly while the run keeps
+// going for the remaining waiters and is aborted only when the last one
+// abandons it.
+func memoized(ctx context.Context, key memoKey, run func(context.Context) (Results, error)) (Results, bool, error) {
 	runMemo.Lock()
 	if runMemo.m == nil {
 		runMemo.m = make(map[memoKey]*memoEntry)
+		runMemo.lru = list.New()
 	}
 	if e, ok := runMemo.m[key]; ok {
+		runMemo.hits++
+		if e.elem != nil {
+			// Completed: res/err are final (published under this mutex).
+			runMemo.lru.MoveToFront(e.elem)
+			runMemo.Unlock()
+			return e.res, true, e.err
+		}
+		e.refs++
 		runMemo.Unlock()
-		<-e.done
-		return e.res, e.err
+		return waitMemo(ctx, e, true)
 	}
-	e := &memoEntry{done: make(chan struct{})}
+	runMemo.misses++
+	// The run's context carries the first caller's values but not its
+	// cancellation: it is canceled when the last interested waiter leaves,
+	// not when any one of them does.
+	runCtx, cancel := context.WithCancel(context.WithoutCancel(ctx))
+	e := &memoEntry{key: key, done: make(chan struct{}), refs: 1, cancel: cancel}
 	runMemo.m[key] = e
 	runMemo.Unlock()
-	e.res, e.err = run()
-	if e.err != nil {
+	go func() {
+		res, err := run(runCtx)
+		cancel() // release the context's resources; res/err are already final
 		runMemo.Lock()
-		if runMemo.m[key] == e {
-			delete(runMemo.m, key)
+		e.res, e.err = res, err
+		e.cancel = nil
+		if runMemo.m[key] == e { // may have been cleared mid-flight
+			if err != nil {
+				delete(runMemo.m, key)
+			} else {
+				e.elem = runMemo.lru.PushFront(e)
+				evictLocked()
+			}
+		}
+		close(e.done)
+		runMemo.Unlock()
+	}()
+	return waitMemo(ctx, e, false)
+}
+
+// waitMemo parks one caller on an in-flight entry. A caller whose own
+// context fires first drops its reference — the last to leave cancels the
+// run — and returns a wrapped ErrCanceled without waiting for the machine
+// loop to notice.
+func waitMemo(ctx context.Context, e *memoEntry, hit bool) (Results, bool, error) {
+	select {
+	case <-e.done:
+		return e.res, hit, e.err
+	case <-ctx.Done():
+		runMemo.Lock()
+		e.refs--
+		if e.refs == 0 && e.cancel != nil {
+			e.cancel()
 		}
 		runMemo.Unlock()
+		return Results{}, hit, fmt.Errorf("%w: %v", ErrCanceled, context.Cause(ctx))
 	}
-	close(e.done)
-	return e.res, e.err
+}
+
+// CampaignRun is the simd service's run entry point: a memoized,
+// cancellation-aware simulation. Identical concurrent calls share one
+// simulation (singleflight through the campaign memo); the hit return is
+// true when the call was served from the memo — completed, or joined in
+// flight. A canceled ctx returns promptly with a wrapped ErrCanceled, and
+// the underlying simulation is aborted only when the last caller interested
+// in it has gone.
+func CampaignRun(ctx context.Context, cfg Config, wl Workload, sc Scale) (Results, bool, error) {
+	return memoizedRun(ctx, cfg, wl, sc)
+}
+
+// CampaignWarmRun is CampaignRun for a run forked from a warm-start snapshot
+// donor; the memo identity carries the snapshot's content hash so warm and
+// cold runs of one configuration never alias.
+func CampaignWarmRun(ctx context.Context, cfg Config, wl Workload, sc Scale, snap []byte) (Results, bool, error) {
+	return memoizedWarmRun(ctx, cfg, wl, sc, snap)
+}
+
+// RunIdentity returns the run's deterministic cache identity: the hex FNV-1a
+// of the campaign memo key (configuration, fault plan, workload and its
+// parameters, scale, and — when snap is non-empty — the warm-start donor's
+// content hash). Two runs with equal identities return byte-identical
+// Results; the simd service uses it as the run ID and response-cache key.
+func RunIdentity(cfg Config, wl Workload, sc Scale, snap []byte) string {
+	key := newMemoKey(cfg, wl, sc)
+	if len(snap) > 0 {
+		key.snap = SnapshotHash(snap)
+	}
+	h := fnv.New64a()
+	for _, part := range []string{key.cfg, key.faults, key.workload, key.params} {
+		io.WriteString(h, part)
+		h.Write([]byte{0}) // separator: no formatting artifact may alias parts
+	}
+	var tail [9]byte
+	tail[0] = byte(key.scale)
+	for i := 0; i < 8; i++ {
+		tail[1+i] = byte(key.snap >> (8 * i))
+	}
+	h.Write(tail[:])
+	return fmt.Sprintf("%016x", h.Sum64())
 }
 
 // matrix runs every (scheme, workload) pair concurrently, with cfgFor
 // producing the per-scheme configuration, and returns results keyed by
-// scheme then workload.
-func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Workload) (map[runKey]Results, error) {
+// scheme then workload. A fired ctx stops the campaign: queued pairs drain
+// unrun and in-flight simulations are abandoned (aborted outright unless
+// another campaign still waits on them), surfacing as a wrapped ErrCanceled.
+func matrix(ctx context.Context, o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Workload) (map[runKey]Results, error) {
 	type job struct {
 		sch Scheme
 		wl  Workload
@@ -260,10 +470,10 @@ func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Wo
 		go func() {
 			defer wg.Done()
 			for j := range jobsCh {
-				if stopped() {
-					continue // a simulation already failed; drain the queue
+				if stopped() || ctx.Err() != nil {
+					continue // a simulation already failed or the campaign was canceled; drain the queue
 				}
-				res, err := memoizedRun(cfgFor(j.sch), j.wl, o.Scale)
+				res, _, err := memoizedRun(ctx, cfgFor(j.sch), j.wl, o.Scale)
 				if err != nil {
 					fail(fmt.Errorf("%s/%s: %w", j.sch.Name, j.wl.Name, err))
 					continue
@@ -300,13 +510,13 @@ func matrix(o ExpOptions, cfgFor func(Scheme) Config, schemes []Scheme, wls []Wo
 // byte-identical to its cold run; any other variant is an approximation in
 // exactly one sense: its pre-barrier history executed under base's knob
 // values.
-func WarmStartSweep(o ExpOptions, base Config, variants []Config, wl Workload, barrier uint64) ([]Results, []byte, error) {
+func WarmStartSweep(ctx context.Context, o ExpOptions, base Config, variants []Config, wl Workload, barrier uint64) ([]Results, []byte, error) {
 	o = o.withDefaults()
 	m, err := NewMachine(base, wl, o.Scale)
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := m.RunTo(barrier); err != nil {
+	if err := m.RunToCtx(ctx, barrier); err != nil {
 		return nil, nil, err
 	}
 	snap, err := m.Snapshot()
@@ -329,7 +539,7 @@ func WarmStartSweep(o ExpOptions, base Config, variants []Config, wl Workload, b
 		go func() {
 			defer wg.Done()
 			for i := range idxCh {
-				res, err := memoizedWarmRun(variants[i], wl, o.Scale, snap)
+				res, _, err := memoizedWarmRun(ctx, variants[i], wl, o.Scale, snap)
 				if err != nil {
 					mu.Lock()
 					errs = append(errs, fmt.Errorf("warm fork %d: %w", i, err))
@@ -380,11 +590,13 @@ func geomean(vals []float64) (float64, error) {
 	return math.Exp(sum / float64(len(vals))), nil
 }
 
-// quantile returns the q-quantile (0..1) of sorted samples, linearly
+// Quantile returns the q-quantile (0..1) of sorted samples, linearly
 // interpolating between the two nearest ranks and rounding to the nearest
 // integer. Truncating to the lower rank instead would bias high quantiles
-// (P99 on a handful of samples) toward the smaller neighbour.
-func quantile(sorted []uint64, q float64) uint64 {
+// (P99 on a handful of samples) toward the smaller neighbour. Exported for
+// the simd service's per-tenant wait-time quantiles; the experiment figures
+// use it for the paper's gap distributions.
+func Quantile(sorted []uint64, q float64) uint64 {
 	if len(sorted) == 0 {
 		return 0
 	}

@@ -1,6 +1,7 @@
 package pushmulticast
 
 import (
+	"context"
 	"sync"
 	"testing"
 
@@ -27,7 +28,7 @@ func TestMemoSingleFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			res, err := memoizedRun(cfg, wl, ScaleTiny)
+			res, _, err := memoizedRun(context.Background(), cfg, wl, ScaleTiny)
 			if err != nil {
 				t.Error(err)
 				return
@@ -97,7 +98,7 @@ func TestMemoClearDuringFlight(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := memoizedRun(cfg, wl, ScaleTiny); err != nil {
+			if _, _, err := memoizedRun(context.Background(), cfg, wl, ScaleTiny); err != nil {
 				t.Error(err)
 			}
 		}()
@@ -144,14 +145,14 @@ func TestMemoWarmColdNoAlias(t *testing.T) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := memoizedRun(target, wl, ScaleTiny); err != nil {
+			if _, _, err := memoizedRun(context.Background(), target, wl, ScaleTiny); err != nil {
 				t.Error(err)
 			}
 		}()
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if _, err := memoizedWarmRun(target, wl, ScaleTiny, snap); err != nil {
+			if _, _, err := memoizedWarmRun(context.Background(), target, wl, ScaleTiny, snap); err != nil {
 				t.Error(err)
 			}
 		}()

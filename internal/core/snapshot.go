@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"pushmulticast/internal/coherence"
@@ -230,6 +231,13 @@ func (s *System) loadOptional(r *snapshot.Reader, what string, have bool, load f
 // final completion, so a pause-snapshot-continue sequence cannot
 // double-count them.
 func (s *System) RunTo(barrier sim.Cycle, checkEvery uint64) error {
+	return s.RunToCtx(context.Background(), barrier, checkEvery)
+}
+
+// RunToCtx is RunTo with cooperative cancellation, polled at cycle barriers
+// exactly like RunCtx: a fired context stops the machine loop promptly with a
+// wrapped ErrCanceled instead of running to the pause barrier at full cost.
+func (s *System) RunToCtx(ctx context.Context, barrier sim.Cycle, checkEvery uint64) error {
 	defer func() {
 		if r := recover(); r != nil {
 			s.DumpTrace()
@@ -237,7 +245,12 @@ func (s *System) RunTo(barrier sim.Cycle, checkEvery uint64) error {
 		}
 	}()
 	var checkErr error
+	barriers := uint64(0)
 	finished := func() bool {
+		if barriers++; barriers%cancelCheckPeriod == 0 && ctx.Err() != nil {
+			checkErr = canceledAt(ctx, s.Eng.Now())
+			return true
+		}
 		if s.Checker != nil && s.Checker.Err() != nil {
 			checkErr = s.Checker.Err()
 			return true

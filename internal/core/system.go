@@ -6,6 +6,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -269,10 +270,38 @@ func (r Results) TotalNoCFlits() uint64 { return r.Stats.Net.TotalFlits() }
 // ErrCoherence wraps coherence invariant violations.
 var ErrCoherence = errors.New("coherence violation")
 
+// ErrCanceled is reported (wrapped, test with errors.Is) when a run's context
+// is canceled: the machine loop stops at the next cancellation barrier and
+// the abort carries a trace tail like every other abort path, instead of the
+// simulation burning CPU to completion for a caller that is gone.
+var ErrCanceled = errors.New("core: run canceled")
+
+// cancelCheckPeriod is how many cycle barriers pass between context polls.
+// The finished closure runs between every cycle; polling the context there
+// would put a mutex acquisition on the per-cycle hot path, so cancellation is
+// checked every cancelCheckPeriod cycles instead — still a few milliseconds
+// of wall time even on a 256-core machine, and free when ctx has no deadline
+// or cancel (Background's Done is nil).
+const cancelCheckPeriod = 256
+
+// canceledAt builds the ErrCanceled diagnostic for a context that fired.
+func canceledAt(ctx context.Context, now sim.Cycle) error {
+	return fmt.Errorf("%w at cycle %d: %v", ErrCanceled, now, context.Cause(ctx))
+}
+
 // Run executes the workload to completion and returns results. checkEvery,
 // when nonzero, runs the coherence invariant checker every that many cycles
 // (tests); violations abort the run.
 func (s *System) Run(checkEvery uint64) (Results, error) {
+	return s.RunCtx(context.Background(), checkEvery)
+}
+
+// RunCtx is Run with cooperative cancellation: the context is polled at cycle
+// barriers (between cycles, on the coordinating goroutine, after any parallel
+// section's commit), and a fired context aborts the run with a wrapped
+// ErrCanceled and a trace tail. Determinism is unaffected — cancellation only
+// decides where the run stops, never what any cycle computes.
+func (s *System) RunCtx(ctx context.Context, checkEvery uint64) (Results, error) {
 	defer func() {
 		if r := recover(); r != nil {
 			s.DumpTrace()
@@ -280,7 +309,12 @@ func (s *System) Run(checkEvery uint64) (Results, error) {
 		}
 	}()
 	var checkErr error
+	barriers := uint64(0)
 	finished := func() bool {
+		if barriers++; barriers%cancelCheckPeriod == 0 && ctx.Err() != nil {
+			checkErr = canceledAt(ctx, s.Eng.Now())
+			return true
+		}
 		if s.Checker != nil && s.Checker.Err() != nil {
 			checkErr = s.Checker.Err()
 			return true

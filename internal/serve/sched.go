@@ -1,0 +1,224 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"pushmulticast"
+)
+
+// task is one scheduled run: a function executed on a worker slot under a
+// context that fires when the submitting request is gone or the scheduler
+// hard-aborts.
+type task struct {
+	tenant   string
+	ctx      context.Context
+	fn       func(ctx context.Context)
+	enqueued time.Time
+}
+
+// scheduler dispatches tasks across a bounded worker pool with fair
+// per-tenant queueing: tenants hold FIFO queues and worker slots round-robin
+// across the tenants that have work, so one tenant's thousand-run campaign
+// cannot starve another's single interactive run. Per-request cancellation
+// is cooperative — a task whose request context fires before dispatch is
+// completed without running; one that fires mid-run stops at the
+// simulation's next cancellation barrier.
+type scheduler struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	queues   map[string][]*task // per-tenant FIFO
+	ring     []string           // round-robin order over tenants with work
+	cursor   int
+	queued   int
+	maxQueue int
+	running  map[*task]context.CancelFunc
+	closed   bool // no new submits; workers drain and exit
+	aborting bool // drain deadline passed: running tasks are being canceled
+
+	wg sync.WaitGroup // worker goroutines
+	// waits holds recent queue-wait samples per tenant (nanoseconds, bounded
+	// ring) for the /metrics wait quantiles.
+	waits map[string][]uint64
+}
+
+// waitSamples bounds the per-tenant wait history backing the quantiles.
+const waitSamples = 256
+
+// newScheduler starts a scheduler with the given worker count and total
+// queued-task bound.
+func newScheduler(workers, maxQueue int) *scheduler {
+	s := &scheduler{
+		queues:   make(map[string][]*task),
+		running:  make(map[*task]context.CancelFunc),
+		waits:    make(map[string][]uint64),
+		maxQueue: maxQueue,
+	}
+	s.cond = sync.NewCond(&s.mu)
+	s.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// submit queues one task. It fails fast when the scheduler is shutting down
+// or the queue bound is hit — the caller surfaces the one-line reason, and
+// an admitted task always eventually runs or is canceled.
+func (s *scheduler) submit(t *task) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("scheduler: shutting down")
+	}
+	if s.queued >= s.maxQueue {
+		return fmt.Errorf("scheduler: queue full (%d tasks)", s.queued)
+	}
+	if _, ok := s.queues[t.tenant]; !ok {
+		s.ring = append(s.ring, t.tenant)
+	}
+	t.enqueued = time.Now()
+	s.queues[t.tenant] = append(s.queues[t.tenant], t)
+	s.queued++
+	s.cond.Signal()
+	return nil
+}
+
+// next pops the next task in tenant round-robin order, blocking until one is
+// available or shutdown drains the queues. A nil return means the worker
+// should exit.
+func (s *scheduler) next() *task {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		for range s.ring {
+			tenant := s.ring[s.cursor%len(s.ring)]
+			s.cursor++
+			q := s.queues[tenant]
+			if len(q) == 0 {
+				continue
+			}
+			t := q[0]
+			s.queues[tenant] = q[1:]
+			s.queued--
+			s.recordWaitLocked(tenant, time.Since(t.enqueued))
+			return t
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// worker executes tasks until shutdown. A task whose request context already
+// fired is skipped (its fn still runs, under the dead context, so the
+// submitter's completion accounting is never lost — the simulation layer
+// returns ErrCanceled without burning cycles).
+func (s *scheduler) worker() {
+	defer s.wg.Done()
+	for {
+		t := s.next()
+		if t == nil {
+			return
+		}
+		runCtx, cancel := context.WithCancel(t.ctx)
+		s.mu.Lock()
+		if s.aborting {
+			cancel() // shutdown already past the drain deadline
+		}
+		s.running[t] = cancel
+		s.mu.Unlock()
+		t.fn(runCtx)
+		cancel()
+		s.mu.Lock()
+		delete(s.running, t)
+		s.mu.Unlock()
+	}
+}
+
+// stop shuts the scheduler down: new submits are refused immediately,
+// queued and running tasks get the drain window to finish, and whatever is
+// still running when it closes is canceled (stopping at the simulation's
+// next cancellation barrier). stop returns once every worker has exited,
+// and reports whether the drain was clean (true) or had to hard-cancel.
+func (s *scheduler) stop(drain time.Duration) bool {
+	s.mu.Lock()
+	s.closed = true
+	s.cond.Broadcast()
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return true
+	case <-time.After(drain):
+	}
+	s.mu.Lock()
+	s.aborting = true
+	for _, cancel := range s.running {
+		cancel()
+	}
+	s.mu.Unlock()
+	<-done
+	return false
+}
+
+// recordWaitLocked appends one queue-wait sample to the tenant's bounded
+// ring. Caller holds s.mu.
+func (s *scheduler) recordWaitLocked(tenant string, d time.Duration) {
+	w := append(s.waits[tenant], uint64(d))
+	if len(w) > waitSamples {
+		w = w[len(w)-waitSamples:]
+	}
+	s.waits[tenant] = w
+}
+
+// schedStats is the scheduler's /metrics contribution.
+type schedStats struct {
+	QueueDepth int                    `json:"queue_depth"`
+	Running    int                    `json:"running"`
+	Tenants    map[string]tenantStats `json:"tenants,omitempty"`
+}
+
+// tenantStats reports one tenant's queue depth and wait quantiles
+// (interpolated; nanoseconds), computed over its recent dispatch history.
+type tenantStats struct {
+	QueueDepth int    `json:"queue_depth"`
+	WaitP50Ns  uint64 `json:"wait_p50_ns"`
+	WaitP90Ns  uint64 `json:"wait_p90_ns"`
+	WaitP99Ns  uint64 `json:"wait_p99_ns"`
+}
+
+func (s *scheduler) stats() schedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := schedStats{
+		QueueDepth: s.queued,
+		Running:    len(s.running),
+		Tenants:    make(map[string]tenantStats),
+	}
+	for tenant, w := range s.waits {
+		sorted := append([]uint64(nil), w...)
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		st.Tenants[tenant] = tenantStats{
+			QueueDepth: len(s.queues[tenant]),
+			WaitP50Ns:  pushmulticast.Quantile(sorted, 0.50),
+			WaitP90Ns:  pushmulticast.Quantile(sorted, 0.90),
+			WaitP99Ns:  pushmulticast.Quantile(sorted, 0.99),
+		}
+	}
+	for tenant, q := range s.queues {
+		if _, ok := st.Tenants[tenant]; !ok && len(q) > 0 {
+			st.Tenants[tenant] = tenantStats{QueueDepth: len(q)}
+		}
+	}
+	return st
+}

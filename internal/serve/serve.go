@@ -1,0 +1,308 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"pushmulticast"
+)
+
+// Options configures a campaign server. Zero values select sensible
+// defaults for a single-host daemon.
+type Options struct {
+	// Workers bounds concurrently executing simulations (0 = GOMAXPROCS).
+	// Together with each campaign's sim_workers it is the host budget: the
+	// harness clamps intra-sim workers so the product cannot oversubscribe.
+	Workers int
+	// MaxQueue bounds queued-but-not-running tasks across all tenants
+	// (0 = 1024). Submits past the bound fail fast with HTTP 503.
+	MaxQueue int
+	// MemoCapacity bounds the completed-run memo
+	// (0 = pushmulticast.DefaultRunMemoCapacity).
+	MemoCapacity int
+	// SnapshotCapacity bounds retained warm-start donor snapshots (0 = 16).
+	SnapshotCapacity int
+	// RunCacheCapacity bounds the completed-run record cache served by
+	// GET /runs/{id} (0 = 4096).
+	RunCacheCapacity int
+	// MaxSnapshotBytes bounds one snapshot upload (0 = 256 MiB).
+	MaxSnapshotBytes int64
+}
+
+// Server is the simd campaign service: expansion, dedup, fair scheduling,
+// and result caching over the simulation harness. Create with New, mount
+// Handler, and Close on shutdown.
+type Server struct {
+	opts  Options
+	sched *scheduler
+	snaps *snapStore
+	runs  *runStore
+	mux   *http.ServeMux
+	start time.Time
+
+	completed atomic.Uint64 // runs finished successfully
+	canceled  atomic.Uint64 // runs ended by cancellation
+	failed    atomic.Uint64 // runs ended by a simulation error
+	closing   atomic.Bool
+}
+
+// New builds a campaign server and starts its worker pool.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	if opts.MaxQueue <= 0 {
+		opts.MaxQueue = 1024
+	}
+	if opts.SnapshotCapacity <= 0 {
+		opts.SnapshotCapacity = 16
+	}
+	if opts.RunCacheCapacity <= 0 {
+		opts.RunCacheCapacity = 4096
+	}
+	if opts.MaxSnapshotBytes <= 0 {
+		opts.MaxSnapshotBytes = 256 << 20
+	}
+	if opts.MemoCapacity > 0 {
+		pushmulticast.SetRunMemoCapacity(opts.MemoCapacity)
+	}
+	s := &Server{
+		opts:  opts,
+		sched: newScheduler(opts.Workers, opts.MaxQueue),
+		snaps: newSnapStore(opts.SnapshotCapacity),
+		runs:  newRunStore(opts.RunCacheCapacity),
+		mux:   http.NewServeMux(),
+		start: time.Now(),
+	}
+	s.mux.HandleFunc("POST /campaigns", s.handleCampaign)
+	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
+	s.mux.HandleFunc("POST /snapshots", s.handleSnapshot)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Close shuts the service down: new campaigns are refused immediately,
+// in-flight runs get the drain window to finish, and whatever is still
+// running afterwards is canceled at its next cancellation barrier. Close
+// returns once every worker has exited; the error reports a drain that had
+// to hard-cancel.
+func (s *Server) Close(drain time.Duration) error {
+	s.closing.Store(true)
+	if clean := s.sched.stop(drain); !clean {
+		return fmt.Errorf("serve: drain window (%s) expired; in-flight runs were canceled", drain)
+	}
+	return nil
+}
+
+// runLine is one NDJSON line of a campaign response: a completed run, in
+// completion order. The final line of every response is a summary instead
+// (see campaignSummary).
+type campaignSummary struct {
+	Summary  bool `json:"summary"`
+	Runs     int  `json:"runs"`
+	Cached   int  `json:"cached"`
+	Failed   int  `json:"failed"`
+	Canceled int  `json:"canceled"`
+}
+
+// handleCampaign validates, expands, schedules, and streams one campaign.
+// The whole spec is validated before anything is queued: a bad spec is one
+// HTTP 400 with a one-line diagnostic and zero side effects. Results stream
+// back as NDJSON in completion order; a disconnected client cancels every
+// run the campaign still has in flight (shared simulations keep running
+// while any other request still waits on them).
+func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		httpError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	}
+	spec, err := decodeSpec(r.Body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	runs, err := expand(spec, s.snaps.get)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	tenant := spec.Tenant
+	if tenant == "" {
+		tenant = "default"
+	}
+	// Buffered to the campaign size: a worker's send never blocks, so a
+	// client that disconnected mid-stream cannot wedge a worker slot.
+	out := make(chan runRecord, len(runs))
+	submitted := 0
+	for _, rs := range runs {
+		rs := rs
+		err := s.sched.submit(&task{
+			tenant: tenant,
+			ctx:    r.Context(),
+			fn: func(ctx context.Context) {
+				out <- s.execute(ctx, rs)
+			},
+		})
+		if err != nil {
+			if submitted == 0 {
+				httpError(w, http.StatusServiceUnavailable, oneLine(err))
+				return
+			}
+			// Later runs hit the bound: report the admitted prefix and the
+			// refusal, rather than dropping the whole campaign mid-flight.
+			out <- runRecord{ID: rs.id, Scheme: rs.scheme, Workload: rs.workload, Error: oneLine(err)}
+		}
+		submitted++
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	sum := campaignSummary{Summary: true}
+	for i := 0; i < len(runs); i++ {
+		rec := <-out
+		sum.Runs++
+		if rec.Cached {
+			sum.Cached++
+		}
+		if rec.Canceled {
+			sum.Canceled++
+		} else if rec.Error != "" {
+			sum.Failed++
+		}
+		enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	enc.Encode(sum)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// execute runs one expanded run under the scheduler's context and returns
+// its result record, recording it in the run cache on success.
+func (s *Server) execute(ctx context.Context, rs runSpec) runRecord {
+	var (
+		res pushmulticast.Results
+		hit bool
+		err error
+	)
+	if rs.snap != nil {
+		res, hit, err = pushmulticast.CampaignWarmRun(ctx, rs.cfg, rs.wl, rs.sc, rs.snap)
+	} else {
+		res, hit, err = pushmulticast.CampaignRun(ctx, rs.cfg, rs.wl, rs.sc)
+	}
+	rec := runRecord{ID: rs.id, Scheme: rs.scheme, Workload: rs.workload, Cached: hit}
+	if err != nil {
+		rec.Error = oneLine(err)
+		if errors.Is(err, pushmulticast.ErrCanceled) {
+			rec.Canceled = true
+			s.canceled.Add(1)
+		} else {
+			s.failed.Add(1)
+		}
+		return rec
+	}
+	s.completed.Add(1)
+	rec.Cycles = res.Cycles
+	rec.Instructions = res.Stats.Core.Instructions
+	if res.Cycles > 0 {
+		rec.IPC = float64(res.Stats.Core.Instructions) / float64(res.Cycles)
+	}
+	rec.L1MPKI = res.L1MPKI()
+	rec.L2MPKI = res.L2MPKI()
+	rec.NoCFlits = res.TotalNoCFlits()
+	if res.TraceEvents > 0 {
+		rec.TraceHash = fmt.Sprintf("%#x", res.TraceHash)
+		rec.TraceEvents = res.TraceEvents
+	}
+	s.runs.put(rec)
+	return rec
+}
+
+// handleRun serves a completed run record by identity.
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	rec, ok := s.runs.get(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("run %q not found (completed runs are cached by identity; re-POST its campaign to regenerate)", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, rec)
+}
+
+// handleSnapshot accepts a warm-start donor snapshot upload (raw bytes) and
+// returns its content id for use as a campaign's warm_start.
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	data, err := io.ReadAll(io.LimitReader(r.Body, s.opts.MaxSnapshotBytes+1))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("snapshot upload: %v", oneLine(err)))
+		return
+	}
+	if int64(len(data)) > s.opts.MaxSnapshotBytes {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("snapshot exceeds the %d-byte upload bound", s.opts.MaxSnapshotBytes))
+		return
+	}
+	id, cycle, err := s.snaps.put(data)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	writeJSON(w, map[string]any{"id": id, "cycle": cycle, "bytes": len(data)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, map[string]any{
+		"status":   "ok",
+		"uptime_s": int64(time.Since(s.start).Seconds()),
+	})
+}
+
+// metrics is the GET /metrics schema.
+type metrics struct {
+	Scheduler schedStats              `json:"scheduler"`
+	Memo      pushmulticast.MemoStats `json:"memo"`
+	Runs      map[string]uint64       `json:"runs"`
+	Snapshots int                     `json:"snapshots"`
+	RunCache  int                     `json:"run_cache"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, metrics{
+		Scheduler: s.sched.stats(),
+		Memo:      pushmulticast.RunMemoStats(),
+		Runs: map[string]uint64{
+			"completed": s.completed.Load(),
+			"canceled":  s.canceled.Load(),
+			"failed":    s.failed.Load(),
+		},
+		Snapshots: s.snaps.len(),
+		RunCache:  s.runs.len(),
+	})
+}
+
+// httpError writes a one-line diagnostic with the given status. The body is
+// exactly one line (newline-terminated), keeping the service's error
+// contract greppable from shell scripts and CI alike.
+func httpError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(status)
+	fmt.Fprintln(w, msg)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}

@@ -1,0 +1,454 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pushmulticast"
+)
+
+// tiny16 is the smallest real campaign: one scheme, one workload, tiny
+// inputs on the quick-scaled 16-core machine.
+const tiny16 = `{"scale":"tiny","schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`
+
+func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
+	t.Helper()
+	pushmulticast.ClearRunMemo()
+	s := New(opts)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		if err := s.Close(30 * time.Second); err != nil {
+			t.Errorf("close: %v", err)
+		}
+		pushmulticast.ClearRunMemo()
+	})
+	return s, ts
+}
+
+// postCampaign POSTs a campaign body and returns the status, the per-run
+// records, and the trailing summary.
+func postCampaign(t *testing.T, url, body string) (int, []runRecord, campaignSummary) {
+	t.Helper()
+	resp, err := http.Post(url+"/campaigns", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, resp.Body)
+		return resp.StatusCode, nil, campaignSummary{Summary: true}
+	}
+	var (
+		recs []runRecord
+		sum  campaignSummary
+	)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if bytes.Contains(line, []byte(`"summary":true`)) {
+			if err := json.Unmarshal(line, &sum); err != nil {
+				t.Fatalf("summary line %q: %v", line, err)
+			}
+			continue
+		}
+		var rec runRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			t.Fatalf("run line %q: %v", line, err)
+		}
+		recs = append(recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, recs, sum
+}
+
+// TestCampaignDedupConcurrent fires N identical campaigns at the service
+// concurrently and requires exactly one simulation: the memo records one
+// miss, every response carries the same run identity and cycle count, and
+// all but one response line was served from the memo. Run with -race in CI —
+// this is the regression test for the service's dedup path end to end.
+func TestCampaignDedupConcurrent(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 4})
+	const callers = 8
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		recs []runRecord
+	)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			status, rs, sum := postCampaign(t, ts.URL, tiny16)
+			if status != http.StatusOK {
+				t.Errorf("status %d", status)
+				return
+			}
+			if len(rs) != 1 || sum.Runs != 1 {
+				t.Errorf("got %d records, summary %+v; want 1 run", len(rs), sum)
+				return
+			}
+			mu.Lock()
+			recs = append(recs, rs[0])
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	if st := pushmulticast.RunMemoStats(); st.Misses != 1 {
+		t.Fatalf("memo misses = %d for %d identical concurrent campaigns; exactly 1 simulation must have run", st.Misses, callers)
+	}
+	cached := 0
+	for _, rec := range recs {
+		if rec.Error != "" {
+			t.Fatalf("run failed: %s", rec.Error)
+		}
+		if rec.ID != recs[0].ID || rec.Cycles != recs[0].Cycles {
+			t.Fatalf("responses diverged: %+v vs %+v", rec, recs[0])
+		}
+		if rec.Cached {
+			cached++
+		}
+	}
+	if cached < callers-1 {
+		t.Fatalf("only %d of %d responses were memo-served; at most one may have simulated", cached, callers)
+	}
+}
+
+// TestCampaignRepeatIsCacheHit is the smoke-test contract: a repeated
+// identical campaign is served from the memo ("cached":true) without a new
+// simulation, and /metrics shows the hit.
+func TestCampaignRepeatIsCacheHit(t *testing.T) {
+	s, ts := newTestServer(t, Options{Workers: 2})
+	if _, recs, _ := postCampaign(t, ts.URL, tiny16); len(recs) != 1 || recs[0].Error != "" {
+		t.Fatalf("first campaign: %+v", recs)
+	}
+	_, recs, sum := postCampaign(t, ts.URL, tiny16)
+	if len(recs) != 1 || !recs[0].Cached || sum.Cached != 1 {
+		t.Fatalf("repeat campaign was not memo-served: recs %+v summary %+v", recs, sum)
+	}
+	var m metrics
+	getJSON(t, ts.URL+"/metrics", &m)
+	if m.Memo.Hits < 1 || m.Memo.Misses != 1 {
+		t.Fatalf("metrics memo = %+v; want 1 miss and >= 1 hit", m.Memo)
+	}
+	if m.Runs["completed"] != 2 {
+		t.Fatalf("metrics completed = %d; want 2", m.Runs["completed"])
+	}
+	// The completed run is retrievable by identity.
+	var rec runRecord
+	getJSON(t, ts.URL+"/runs/"+recs[0].ID, &rec)
+	if rec.Cycles != recs[0].Cycles {
+		t.Fatalf("GET /runs/%s = %+v; want cycles %d", recs[0].ID, rec, recs[0].Cycles)
+	}
+	_ = s
+}
+
+// TestCampaignMalformedSpecs table-drives the validation contract: every
+// malformed spec is HTTP 400 with a one-line diagnostic (exactly one
+// newline, at the end) and zero scheduled work.
+func TestCampaignMalformedSpecs(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	cases := []struct {
+		name string
+		body string
+	}{
+		{"invalid-json", `{"schemes":`},
+		{"unknown-field", `{"scheems":["OrdPush"],"workloads":[{"name":"cachebw"}]}`},
+		{"no-schemes", `{"workloads":[{"name":"cachebw"}]}`},
+		{"no-workloads", `{"schemes":["OrdPush"]}`},
+		{"unknown-scheme", `{"schemes":["TurboPush"],"workloads":[{"name":"cachebw"}]}`},
+		{"unknown-workload", `{"schemes":["OrdPush"],"workloads":[{"name":"nosuch"}]}`},
+		{"bad-scale", `{"scale":"huge","schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`},
+		{"bad-cores", `{"cores":48,"schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`},
+		{"negative-sim-workers", `{"sim_workers":-2,"schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`},
+		{"collective-params-on-registry-workload", `{"schemes":["OrdPush"],"workloads":[{"name":"cachebw","sharers":4}]}`},
+		{"inconsistent-collective-params", `{"schemes":["OrdPush"],"workloads":[{"name":"broadcast","fanout":1}]}`},
+		{"unknown-warm-start", `{"warm_start":"deadbeef","schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`},
+		{"fault-intensity-out-of-range", `{"faults":{"intensity":1.5},"schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`},
+		{"lossy-rate-out-of-range", `{"faults":{"lossy_per_mille":2000},"schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			body, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusBadRequest {
+				t.Fatalf("status %d, body %q; want 400", resp.StatusCode, body)
+			}
+			if n := strings.Count(string(body), "\n"); n != 1 || !strings.HasSuffix(string(body), "\n") {
+				t.Fatalf("diagnostic is not one line (%d newlines): %q", n, body)
+			}
+			if len(strings.TrimSpace(string(body))) == 0 {
+				t.Fatal("empty diagnostic")
+			}
+		})
+	}
+	if st := pushmulticast.RunMemoStats(); st.Misses != 0 {
+		t.Fatalf("malformed specs started %d simulations; want 0", st.Misses)
+	}
+}
+
+// TestCampaignClientCancellation disconnects a client mid-run and requires
+// the simulation to be canceled instead of simulated to completion: the
+// canceled-run counter moves and the worker slot frees promptly.
+func TestCampaignClientCancellation(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	// A 256-core run is far too slow to finish under this test; the request
+	// context is canceled shortly after it starts.
+	big := `{"cores":256,"scale":"tiny","schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, ts.URL+"/campaigns", strings.NewReader(big))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	time.Sleep(100 * time.Millisecond)
+	cancel()
+	<-done
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		var m metrics
+		getJSON(t, ts.URL+"/metrics", &m)
+		if m.Runs["canceled"] >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("canceled campaign never registered a canceled run: %+v", m.Runs)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// TestSnapshotWarmStart uploads a warm donor snapshot and runs a campaign
+// forked from it: the warm run succeeds, and its identity differs from the
+// cold run of the same configuration (the memo separates them by donor
+// content hash).
+func TestSnapshotWarmStart(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 2})
+	// Build the donor under the exact configuration the campaign will
+	// expand to, by expanding the same spec.
+	spec := CampaignSpec{Scale: "tiny", Schemes: []string{"OrdPush"}, Workloads: []WorkloadSpec{{Name: "cachebw"}}}
+	runs, err := expand(spec, func(string) ([]byte, bool) { return nil, false })
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := pushmulticast.NewMachine(runs[0].cfg, runs[0].wl, runs[0].sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.RunTo(4000); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := m.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/snapshots", "application/octet-stream", bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var up struct {
+		ID    string `json:"id"`
+		Cycle uint64 `json:"cycle"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&up); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if up.ID == "" || up.Cycle == 0 {
+		t.Fatalf("snapshot upload returned %+v", up)
+	}
+	warmBody := fmt.Sprintf(`{"scale":"tiny","warm_start":%q,"schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`, up.ID)
+	status, warmRecs, _ := postCampaign(t, ts.URL, warmBody)
+	if status != http.StatusOK || len(warmRecs) != 1 || warmRecs[0].Error != "" {
+		t.Fatalf("warm campaign: status %d recs %+v", status, warmRecs)
+	}
+	_, coldRecs, _ := postCampaign(t, ts.URL, tiny16)
+	if warmRecs[0].ID == coldRecs[0].ID {
+		t.Fatal("warm and cold runs of one configuration share a run identity")
+	}
+	// A malformed snapshot upload is refused with one line.
+	resp, err = http.Post(ts.URL+"/snapshots", "application/octet-stream", strings.NewReader("not a snapshot"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest || strings.Count(string(body), "\n") != 1 {
+		t.Fatalf("malformed snapshot: status %d body %q; want 400 and one line", resp.StatusCode, body)
+	}
+}
+
+// TestGracefulShutdownDrains starts a short campaign and closes the server
+// with a generous drain: the in-flight run completes and Close reports a
+// clean drain.
+func TestGracefulShutdownDrains(t *testing.T) {
+	pushmulticast.ClearRunMemo()
+	t.Cleanup(pushmulticast.ClearRunMemo)
+	s := New(Options{Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	if status, recs, _ := postCampaign(t, ts.URL, tiny16); status != http.StatusOK || len(recs) != 1 {
+		t.Fatalf("campaign: status %d recs %+v", status, recs)
+	}
+	if err := s.Close(30 * time.Second); err != nil {
+		t.Fatalf("clean close after an idle drain: %v", err)
+	}
+	// Campaigns after shutdown are refused with 503.
+	resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(tiny16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("post-shutdown campaign got %d; want 503", resp.StatusCode)
+	}
+}
+
+// TestShutdownHardCancelsStragglers closes the server while a long run is
+// in flight with a tiny drain window: Close must hard-cancel the run and
+// return promptly with the drain-expired error rather than wait out the
+// full simulation.
+func TestShutdownHardCancelsStragglers(t *testing.T) {
+	pushmulticast.ClearRunMemo()
+	t.Cleanup(pushmulticast.ClearRunMemo)
+	s := New(Options{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	big := `{"cores":256,"scale":"tiny","schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`
+	go func() {
+		resp, err := http.Post(ts.URL+"/campaigns", "application/json", strings.NewReader(big))
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+	}()
+	// Wait for the run to occupy the worker.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if st := s.sched.stats(); st.Running >= 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("run never started")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	start := time.Now()
+	err := s.Close(100 * time.Millisecond)
+	if err == nil {
+		t.Fatal("Close reported a clean drain while a 256-core run was in flight")
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("Close took %s; hard-cancel must stop the run at its next cancellation barrier", elapsed)
+	}
+}
+
+// TestSchedulerFairRoundRobin pins the per-tenant fairness property with a
+// single worker: while tenant A's backlog holds the queue, a newly arrived
+// tenant B task is dispatched before A's remaining backlog.
+func TestSchedulerFairRoundRobin(t *testing.T) {
+	sched := newScheduler(1, 64)
+	defer sched.stop(time.Second)
+	gate := make(chan struct{})
+	var mu sync.Mutex
+	var order []string
+	record := func(name string) func(context.Context) {
+		return func(context.Context) {
+			mu.Lock()
+			order = append(order, name)
+			mu.Unlock()
+		}
+	}
+	// The gate task occupies the single worker while the backlog builds.
+	if err := sched.submit(&task{tenant: "a", ctx: context.Background(), fn: func(context.Context) { <-gate }}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"a1", "a2", "a3"} {
+		if err := sched.submit(&task{tenant: "a", ctx: context.Background(), fn: record(name)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := sched.submit(&task{tenant: "b", ctx: context.Background(), fn: record("b1")}); err != nil {
+		t.Fatal(err)
+	}
+	close(gate)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		mu.Lock()
+		n := len(order)
+		mu.Unlock()
+		if n == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d of 4 tasks ran", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	posB := -1
+	for i, name := range order {
+		if name == "b1" {
+			posB = i
+		}
+	}
+	if posB < 0 || posB > 1 {
+		t.Fatalf("tenant b's task ran at position %d of %v; fair round-robin must dispatch it ahead of tenant a's backlog", posB, order)
+	}
+}
+
+// TestHealthz covers the liveness endpoint.
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, Options{Workers: 1})
+	var h struct {
+		Status string `json:"status"`
+	}
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" {
+		t.Fatalf("healthz status %q", h.Status)
+	}
+}
+
+func getJSON(t *testing.T, url string, v any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("GET %s: status %d body %q", url, resp.StatusCode, body)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+		t.Fatal(err)
+	}
+}

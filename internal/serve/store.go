@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+
+	"pushmulticast"
+)
+
+// snapStore holds uploaded warm-start donor snapshots, keyed by their FNV-1a
+// content hash (the same identity the run memo separates warm runs by).
+// Uploading the same bytes twice is idempotent. The store is LRU-bounded:
+// snapshots are large (full machine state), and a long-lived daemon must not
+// accumulate every donor ever uploaded.
+type snapStore struct {
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru *list.List // of snapEntry; front = most recently used
+	cap int
+}
+
+type snapEntry struct {
+	id    string
+	data  []byte
+	cycle uint64
+}
+
+func newSnapStore(capacity int) *snapStore {
+	return &snapStore{m: make(map[string]*list.Element), lru: list.New(), cap: capacity}
+}
+
+// put validates and stores a snapshot, returning its content id and the
+// cycle it was taken at. Malformed snapshots are refused with a one-line
+// diagnostic before anything is retained.
+func (st *snapStore) put(data []byte) (id string, cycle uint64, err error) {
+	cycle, err = pushmulticast.SnapshotCycle(data)
+	if err != nil {
+		return "", 0, fmt.Errorf("snapshot: %v", oneLine(err))
+	}
+	id = fmt.Sprintf("%016x", pushmulticast.SnapshotHash(data))
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.m[id]; ok {
+		st.lru.MoveToFront(e)
+		return id, cycle, nil
+	}
+	st.m[id] = st.lru.PushFront(&snapEntry{id: id, data: data, cycle: cycle})
+	for st.lru.Len() > st.cap {
+		back := st.lru.Back()
+		st.lru.Remove(back)
+		delete(st.m, back.Value.(*snapEntry).id)
+	}
+	return id, cycle, nil
+}
+
+// get returns the snapshot bytes for an id.
+func (st *snapStore) get(id string) ([]byte, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[id]
+	if !ok {
+		return nil, false
+	}
+	st.lru.MoveToFront(e)
+	return e.Value.(*snapEntry).data, true
+}
+
+func (st *snapStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lru.Len()
+}
+
+// runRecord is one completed run as served by GET /runs/{id}: the result
+// line the campaign stream carried, retrievable later by run identity.
+type runRecord struct {
+	ID           string  `json:"id"`
+	Scheme       string  `json:"scheme"`
+	Workload     string  `json:"workload"`
+	Cycles       uint64  `json:"cycles,omitempty"`
+	Instructions uint64  `json:"instructions,omitempty"`
+	IPC          float64 `json:"ipc,omitempty"`
+	L1MPKI       float64 `json:"l1_mpki,omitempty"`
+	L2MPKI       float64 `json:"l2_mpki,omitempty"`
+	NoCFlits     uint64  `json:"noc_flits,omitempty"`
+	// Cached is true when the campaign stream served this run from the memo
+	// (completed earlier, or joined while another request simulated it).
+	Cached bool `json:"cached"`
+	// TraceHash/TraceEvents identify the causal event history when tracing
+	// was on; equal values mean identical histories.
+	TraceHash   string `json:"trace_hash,omitempty"`
+	TraceEvents uint64 `json:"trace_events,omitempty"`
+	// Error carries a failed or canceled run's one-line diagnostic.
+	Error    string `json:"error,omitempty"`
+	Canceled bool   `json:"canceled,omitempty"`
+}
+
+// runStore caches completed run records by identity, LRU-bounded. Records
+// are tiny (aggregates, not machine state), but unbounded growth is still a
+// leak on a daemon serving millions of distinct runs.
+type runStore struct {
+	mu  sync.Mutex
+	m   map[string]*list.Element
+	lru *list.List
+	cap int
+}
+
+func newRunStore(capacity int) *runStore {
+	return &runStore{m: make(map[string]*list.Element), lru: list.New(), cap: capacity}
+}
+
+// put stores a completed (successful) run record.
+func (st *runStore) put(rec runRecord) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e, ok := st.m[rec.ID]; ok {
+		e.Value = rec
+		st.lru.MoveToFront(e)
+		return
+	}
+	st.m[rec.ID] = st.lru.PushFront(rec)
+	for st.lru.Len() > st.cap {
+		back := st.lru.Back()
+		st.lru.Remove(back)
+		delete(st.m, back.Value.(runRecord).ID)
+	}
+}
+
+func (st *runStore) get(id string) (runRecord, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.m[id]
+	if !ok {
+		return runRecord{}, false
+	}
+	st.lru.MoveToFront(e)
+	return e.Value.(runRecord), true
+}
+
+func (st *runStore) len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.lru.Len()
+}

@@ -1,6 +1,8 @@
 package pushmulticast
 
 import (
+	"context"
+
 	"pushmulticast/internal/core"
 	"pushmulticast/internal/sim"
 	"pushmulticast/internal/snapshot"
@@ -61,6 +63,14 @@ func (m *Machine) Now() uint64 { return uint64(m.sys.Eng.Now()) }
 // trajectory is state-identical to an unpaused run at every cycle.
 func (m *Machine) RunTo(cycle uint64) error { return m.sys.RunTo(sim.Cycle(cycle), 0) }
 
+// RunToCtx is RunTo with cooperative cancellation: the context is polled at
+// cycle barriers, and a fired context stops the machine loop promptly with a
+// wrapped ErrCanceled (trace tail included) instead of burning CPU to the
+// barrier for a caller that is gone.
+func (m *Machine) RunToCtx(ctx context.Context, cycle uint64) error {
+	return m.sys.RunToCtx(ctx, sim.Cycle(cycle), 0)
+}
+
 // Snapshot serializes the machine's full state. It must be called while the
 // machine is paused (after NewMachine or RunTo, never concurrently with
 // Finish). Identical states yield byte-identical snapshots.
@@ -68,8 +78,12 @@ func (m *Machine) Snapshot() ([]byte, error) { return m.sys.Snapshot() }
 
 // Finish runs the simulation to completion and returns its results. The
 // machine is spent afterwards.
-func (m *Machine) Finish() (Results, error) {
-	res, err := m.sys.Run(0)
+func (m *Machine) Finish() (Results, error) { return m.FinishCtx(context.Background()) }
+
+// FinishCtx is Finish with cooperative cancellation, polled at cycle barriers
+// like RunToCtx.
+func (m *Machine) FinishCtx(ctx context.Context) (Results, error) {
+	res, err := m.sys.RunCtx(ctx, 0)
 	if err != nil {
 		return Results{}, err
 	}

@@ -21,6 +21,10 @@
 package pushmulticast
 
 import (
+	"context"
+	"fmt"
+	"strings"
+
 	"pushmulticast/internal/config"
 	"pushmulticast/internal/core"
 	"pushmulticast/internal/fault"
@@ -93,6 +97,26 @@ func AblationPush() Scheme                { return config.AblationPush() }
 func AblationPushMulticast() Scheme       { return config.AblationPushMulticast() }
 func AblationPushMulticastFilter() Scheme { return config.AblationPushMulticastFilter() }
 func AblationFull() Scheme                { return config.AblationFull() }
+
+// SchemeByName resolves a scheme by its result-row name (case-insensitive;
+// "baseline" is accepted as an alias of the prefetching baseline). The
+// pushsim CLI and the simd campaign service both resolve user-supplied
+// scheme names through it; unknown names get a one-line diagnostic listing
+// nothing — the caller's context already names the offender.
+func SchemeByName(name string) (Scheme, error) {
+	all := []Scheme{
+		Baseline(), NoPrefetch(), Coalesce(), MSP(), PushAck(), OrdPush(),
+		AblationPush(), AblationPushMulticast(), AblationPushMulticastFilter(),
+		PushPrefetch(), PredictivePush(), DeepPush(),
+	}
+	for _, s := range all {
+		if strings.EqualFold(s.Name, name) ||
+			(strings.EqualFold(name, "baseline") && s.Name == "L1Bingo-L2Stride") {
+			return s, nil
+		}
+	}
+	return Scheme{}, fmt.Errorf("unknown scheme %q", name)
+}
 
 // Fault-injection surface (see internal/fault for the determinism and
 // graceful-degradation contracts).
@@ -205,6 +229,12 @@ func CollectiveWorkload(name string, p CollectiveParams) (Workload, error) {
 	return workload.Collective(name, p)
 }
 
+// ErrCanceled is reported (wrapped, test with errors.Is) when a run's
+// context fires: the machine loop stops at the next cancellation barrier
+// with a trace tail instead of simulating to completion for a caller that
+// is gone. See RunWorkloadCtx, Machine.RunToCtx, and CampaignRun.
+var ErrCanceled = core.ErrCanceled
+
 // Run simulates the named workload on the configuration and returns its
 // results.
 func Run(cfg Config, workloadName string, sc Scale) (Results, error) {
@@ -218,11 +248,19 @@ func Run(cfg Config, workloadName string, sc Scale) (Results, error) {
 // RunWorkload simulates a workload value (including user-defined ones) on
 // the configuration.
 func RunWorkload(cfg Config, wl Workload, sc Scale) (Results, error) {
+	return RunWorkloadCtx(context.Background(), cfg, wl, sc)
+}
+
+// RunWorkloadCtx is RunWorkload with cooperative cancellation: the context
+// is polled at cycle barriers, and a fired context aborts the run with a
+// wrapped ErrCanceled. Cancellation never changes what any simulated cycle
+// computes — only where the run stops — so determinism is unaffected.
+func RunWorkloadCtx(ctx context.Context, cfg Config, wl Workload, sc Scale) (Results, error) {
 	sys, err := core.Build(cfg, wl, sc)
 	if err != nil {
 		return Results{}, err
 	}
-	res, err := sys.Run(0)
+	res, err := sys.RunCtx(ctx, 0)
 	if err != nil {
 		return Results{}, err
 	}

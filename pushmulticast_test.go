@@ -56,20 +56,20 @@ func TestSpeedupGuards(t *testing.T) {
 
 func TestQuantile(t *testing.T) {
 	s := sortU64([]uint64{5, 1, 9, 3, 7})
-	if quantile(s, 0) != 1 || quantile(s, 1) != 9 || quantile(s, 0.5) != 5 {
+	if Quantile(s, 0) != 1 || Quantile(s, 1) != 9 || Quantile(s, 0.5) != 5 {
 		t.Errorf("quantiles wrong: %v", s)
 	}
-	if quantile(nil, 0.5) != 0 {
+	if Quantile(nil, 0.5) != 0 {
 		t.Error("empty quantile should be 0")
 	}
 	// Off-rank quantiles interpolate linearly instead of truncating down.
-	if got := quantile([]uint64{1, 3, 5, 9}, 0.5); got != 4 {
+	if got := Quantile([]uint64{1, 3, 5, 9}, 0.5); got != 4 {
 		t.Errorf("median of {1,3,5,9} = %d, want interpolated 4", got)
 	}
-	if got := quantile([]uint64{1, 3, 5, 7, 9}, 0.99); got != 9 {
+	if got := Quantile([]uint64{1, 3, 5, 7, 9}, 0.99); got != 9 {
 		t.Errorf("P99 of {1..9} = %d, want 9 (rounded from 8.92)", got)
 	}
-	if got := quantile([]uint64{10, 20}, 0.75); got != 18 {
+	if got := Quantile([]uint64{10, 20}, 0.75); got != 18 {
 		t.Errorf("P75 of {10,20} = %d, want 18", got)
 	}
 }

@@ -31,8 +31,8 @@ func TestQuantileEdgeCases(t *testing.T) {
 		{"p99 on small set", []uint64{1, 2, 3, 100}, 0.99, 97},
 	}
 	for _, tc := range tests {
-		if got := quantile(tc.sorted, tc.q); got != tc.want {
-			t.Errorf("%s: quantile(%v, %v) = %d, want %d", tc.name, tc.sorted, tc.q, got, tc.want)
+		if got := Quantile(tc.sorted, tc.q); got != tc.want {
+			t.Errorf("%s: Quantile(%v, %v) = %d, want %d", tc.name, tc.sorted, tc.q, got, tc.want)
 		}
 	}
 }
@@ -43,7 +43,7 @@ func TestQuantileMonotone(t *testing.T) {
 	sorted := []uint64{3, 7, 7, 11, 20, 41, 100, 250}
 	prev := uint64(0)
 	for q := -0.1; q <= 1.1; q += 0.01 {
-		v := quantile(sorted, q)
+		v := Quantile(sorted, q)
 		if v < prev {
 			t.Fatalf("quantile not monotone: q=%.2f gave %d after %d", q, v, prev)
 		}
