@@ -46,6 +46,7 @@ func main() {
 		mshrTO   = flag.Int("mshrtimeout", 0, "lossy recovery: cycles before an L2 MSHR reissues an unanswered request (0 = default 300)")
 		snapFile = flag.String("snapshot", "", "write a full-state snapshot to FILE at the -snapat cycle barrier, then continue the run to completion (output is byte-identical to a run that never snapshotted)")
 		snapAt   = flag.Uint64("snapat", 0, "cycle barrier for -snapshot (required with it; the wake-driven kernel may pause a little later if every component sleeps across the barrier)")
+		snapEv   = flag.Int64("snapevery", 0, "auto-checkpoint: rewrite the -snapshot FILE every N cycles (atomic rename-into-place, never a torn file); combine with -restore to resume a killed run and keep checkpointing (0 = off; exclusive with -snapat)")
 		restoreF = flag.String("restore", "", "restore a snapshot FILE into this configuration and run it to completion; the config must match the snapshot exactly, or differ only in tuning knobs (warm-start fork)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to FILE")
 		memProf  = flag.String("memprofile", "", "write an allocation (heap) profile to FILE at exit")
@@ -109,7 +110,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
 		os.Exit(1)
 	}
-	res, err := execute(cfg, wl, sc, *snapFile, *snapAt, *restoreF)
+	snapEverySet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "snapevery" {
+			snapEverySet = true
+		}
+	})
+	if err := checkSnapEvery(snapEverySet, *snapEv); err != nil {
+		fmt.Fprintln(os.Stderr, "pushsim:", err)
+		os.Exit(1)
+	}
+	res, err := execute(cfg, wl, sc, *snapFile, *snapAt, uint64(*snapEv), *restoreF)
 	if err != nil {
 		stopProf() // flush profiles of the failed run before exiting
 		fmt.Fprintln(os.Stderr, "pushsim:", err)
@@ -140,14 +151,35 @@ func resolveWorkload(name string, p pushmulticast.CollectiveParams) (pushmultica
 	return wl, nil
 }
 
+// checkSnapEvery validates the -snapevery flag value: the flag must be a
+// positive cycle count whenever it was set at all.
+func checkSnapEvery(set bool, n int64) error {
+	if set && n <= 0 {
+		return fmt.Errorf("-snapevery %d is not a positive cycle count", n)
+	}
+	return nil
+}
+
 // execute runs the simulation, honoring the checkpoint/restore flags. Plain
 // runs take the one-shot path; -snapshot pauses at the -snapat barrier,
-// writes the serialized machine, and continues to completion; -restore loads
-// a snapshot into the configured machine and finishes it. Every failure —
+// writes the serialized machine, and continues to completion; -snapevery
+// instead rewrites the snapshot file every N cycles (atomically, so a crash
+// never leaves a torn file) until the workload retires; -restore loads a
+// snapshot into the configured machine and finishes it — combined with
+// -snapevery it resumes a killed run and keeps checkpointing. Every failure —
 // including a snapshot whose format version or config fingerprint does not
 // match, or collective parameters inconsistent with the machine's core
 // count — is a one-line diagnostic; the caller prints it and exits 1.
-func execute(cfg pushmulticast.Config, wl pushmulticast.Workload, sc pushmulticast.Scale, snapFile string, snapAt uint64, restoreF string) (pushmulticast.Results, error) {
+func execute(cfg pushmulticast.Config, wl pushmulticast.Workload, sc pushmulticast.Scale, snapFile string, snapAt, snapEvery uint64, restoreF string) (pushmulticast.Results, error) {
+	if snapEvery > 0 {
+		if snapFile == "" {
+			return pushmulticast.Results{}, fmt.Errorf("-snapevery requires -snapshot FILE")
+		}
+		if snapAt != 0 {
+			return pushmulticast.Results{}, fmt.Errorf("-snapevery cannot be combined with -snapat (periodic versus one-shot)")
+		}
+		return executeCheckpointed(cfg, wl, sc, snapFile, snapEvery, restoreF)
+	}
 	if snapFile == "" && restoreF == "" {
 		return pushmulticast.RunWorkload(cfg, wl, sc)
 	}
@@ -179,12 +211,79 @@ func execute(cfg pushmulticast.Config, wl pushmulticast.Workload, sc pushmultica
 	if err != nil {
 		return pushmulticast.Results{}, err
 	}
-	if err := os.WriteFile(snapFile, snap, 0o644); err != nil {
+	if err := writeFileAtomic(snapFile, snap); err != nil {
 		return pushmulticast.Results{}, fmt.Errorf("snapshot: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "pushsim: snapshot written to %s (cycle %d, %d bytes, hash %#x)\n",
 		snapFile, m.Now(), len(snap), pushmulticast.SnapshotHash(snap))
 	return m.Finish()
+}
+
+// executeCheckpointed runs the workload in -snapevery slices, rewriting the
+// snapshot file at each boundary. The final results are byte-identical to an
+// uncheckpointed run (pausing is state-transparent), and the file on disk is
+// always a complete snapshot of some barrier — a SIGKILL at any instant
+// loses at most one slice of progress, which -restore -snapevery resumes.
+func executeCheckpointed(cfg pushmulticast.Config, wl pushmulticast.Workload, sc pushmulticast.Scale, snapFile string, every uint64, restoreF string) (pushmulticast.Results, error) {
+	var m *pushmulticast.Machine
+	var err error
+	if restoreF != "" {
+		data, rerr := os.ReadFile(restoreF)
+		if rerr != nil {
+			return pushmulticast.Results{}, fmt.Errorf("restore: %w", rerr)
+		}
+		if m, err = pushmulticast.RestoreMachine(data, cfg, wl, sc); err != nil {
+			return pushmulticast.Results{}, fmt.Errorf("restore %s: %w", restoreF, err)
+		}
+		fmt.Fprintf(os.Stderr, "pushsim: resumed from %s at cycle %d; checkpointing every %d cycles\n", restoreF, m.Now(), every)
+	} else if m, err = pushmulticast.NewMachine(cfg, wl, sc); err != nil {
+		return pushmulticast.Results{}, err
+	}
+	checkpoints := 0
+	for !m.Done() {
+		if err := m.RunTo(m.Now() + every); err != nil {
+			return pushmulticast.Results{}, err
+		}
+		if m.Done() {
+			break // the workload retired inside the slice; skip a dead checkpoint
+		}
+		snap, err := m.Snapshot()
+		if err != nil {
+			return pushmulticast.Results{}, err
+		}
+		if err := writeFileAtomic(snapFile, snap); err != nil {
+			return pushmulticast.Results{}, fmt.Errorf("checkpoint: %w", err)
+		}
+		checkpoints++
+	}
+	fmt.Fprintf(os.Stderr, "pushsim: %d checkpoints written to %s (last at cycle %d)\n", checkpoints, snapFile, m.Now())
+	return m.Finish()
+}
+
+// writeFileAtomic writes data next to path and renames it into place, so a
+// crash mid-write can never leave a torn file at path: readers see either
+// the previous complete snapshot or the new one.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // buildFaultPlan resolves the three fault sources into one plan: a JSON plan

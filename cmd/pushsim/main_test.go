@@ -109,27 +109,70 @@ func TestExecuteSnapshotRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	plain, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, "", 0, "")
+	plain, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, "", 0, 0, "")
 	if err != nil {
 		t.Fatalf("plain run: %v", err)
 	}
-	saved, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, snapFile, 5000, "")
+	saved, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, snapFile, 5000, 0, "")
 	if err != nil {
 		t.Fatalf("snapshotting run: %v", err)
 	}
-	restored, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, "", 0, snapFile)
+	restored, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, "", 0, 0, snapFile)
 	if err != nil {
 		t.Fatalf("restored run: %v", err)
+	}
+	// Periodic auto-checkpointing must also be output-transparent, and the
+	// file left behind must be a complete restorable snapshot.
+	ckptFile := filepath.Join(t.TempDir(), "auto.snap")
+	auto, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, ckptFile, 0, 5000, "")
+	if err != nil {
+		t.Fatalf("auto-checkpointing run: %v", err)
+	}
+	resumed, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, ckptFile, 0, 5000, ckptFile)
+	if err != nil {
+		t.Fatalf("resumed auto-checkpointing run: %v", err)
 	}
 	for _, res := range []struct {
 		name string
 		got  pushmulticast.Results
-	}{{"snapshotting", saved}, {"restored", restored}} {
+	}{{"snapshotting", saved}, {"restored", restored}, {"auto-checkpointing", auto}, {"resumed", resumed}} {
 		if res.got.Cycles != plain.Cycles || res.got.TraceHash != plain.TraceHash ||
 			res.got.Stats.Core.Instructions != plain.Stats.Core.Instructions {
 			t.Errorf("%s run diverged from plain run: cycles %d vs %d, trace %#x vs %#x",
 				res.name, res.got.Cycles, plain.Cycles, res.got.TraceHash, plain.TraceHash)
 		}
+	}
+}
+
+// TestCheckSnapEvery is the -snapevery bad-input table: any explicitly set
+// non-positive value is one one-line diagnostic; unset stays silent.
+func TestCheckSnapEvery(t *testing.T) {
+	cases := []struct {
+		name string
+		set  bool
+		n    int64
+		ok   bool
+	}{
+		{"unset", false, 0, true},
+		{"positive", true, 5000, true},
+		{"zero", true, 0, false},
+		{"negative", true, -3, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := checkSnapEvery(tc.set, tc.n)
+			if tc.ok && err != nil {
+				t.Fatalf("checkSnapEvery(%v, %d) = %v; want nil", tc.set, tc.n, err)
+			}
+			if !tc.ok {
+				if err == nil {
+					t.Fatalf("checkSnapEvery(%v, %d) accepted bad input", tc.set, tc.n)
+				}
+				if strings.Contains(err.Error(), "\n") {
+					t.Fatalf("diagnostic is not a single line: %q", err)
+				}
+			}
+		})
 	}
 }
 
@@ -150,7 +193,7 @@ func TestExecuteBadInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, snapFile, 5000, ""); err != nil {
+	if _, err := execute(cfg, cachebw, pushmulticast.ScaleTiny, snapFile, 5000, 0, ""); err != nil {
 		t.Fatalf("writing the donor snapshot: %v", err)
 	}
 	snap, err := os.ReadFile(snapFile)
@@ -175,33 +218,36 @@ func TestExecuteBadInput(t *testing.T) {
 	baseline.Check = true
 
 	cases := []struct {
-		name     string
-		cfg      pushmulticast.Config
-		workload string
-		params   pushmulticast.CollectiveParams
-		snapFile string
-		snapAt   uint64
-		restore  string
-		want     string
+		name      string
+		cfg       pushmulticast.Config
+		workload  string
+		params    pushmulticast.CollectiveParams
+		snapFile  string
+		snapAt    uint64
+		snapEvery uint64
+		restore   string
+		want      string
 	}{
-		{"snapshot combined with restore", cfg, "cachebw", pushmulticast.CollectiveParams{}, snapFile, 5000, snapFile, "cannot be combined"},
-		{"snapshot without snapat", cfg, "cachebw", pushmulticast.CollectiveParams{}, filepath.Join(dir, "x.snap"), 0, "", "-snapat"},
-		{"restore file missing", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, filepath.Join(dir, "no-such.snap"), "no-such.snap"},
-		{"restore file is not a snapshot", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, write("noise.snap", []byte("definitely not a snapshot file")), "bad magic"},
-		{"truncated snapshot", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, write("trunc.snap", snap[:len(snap)-7]), "hash mismatch"},
-		{"newer format version", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, write("future.snap", futureSnap), "format v2"},
-		{"different scheme", baseline, "cachebw", pushmulticast.CollectiveParams{}, "", 0, snapFile, "snapshot mismatch"},
-		{"different workload", cfg, "bfs", pushmulticast.CollectiveParams{}, "", 0, snapFile, "snapshot mismatch"},
+		{"snapshot combined with restore", cfg, "cachebw", pushmulticast.CollectiveParams{}, snapFile, 5000, 0, snapFile, "cannot be combined"},
+		{"snapshot without snapat", cfg, "cachebw", pushmulticast.CollectiveParams{}, filepath.Join(dir, "x.snap"), 0, 0, "", "-snapat"},
+		{"snapevery without snapshot", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, 5000, "", "-snapevery requires -snapshot"},
+		{"snapevery combined with snapat", cfg, "cachebw", pushmulticast.CollectiveParams{}, filepath.Join(dir, "y.snap"), 5000, 5000, "", "cannot be combined with -snapat"},
+		{"restore file missing", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, 0, filepath.Join(dir, "no-such.snap"), "no-such.snap"},
+		{"restore file is not a snapshot", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, 0, write("noise.snap", []byte("definitely not a snapshot file")), "bad magic"},
+		{"truncated snapshot", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, 0, write("trunc.snap", snap[:len(snap)-7]), "hash mismatch"},
+		{"newer format version", cfg, "cachebw", pushmulticast.CollectiveParams{}, "", 0, 0, write("future.snap", futureSnap), "format v2"},
+		{"different scheme", baseline, "cachebw", pushmulticast.CollectiveParams{}, "", 0, 0, snapFile, "snapshot mismatch"},
+		{"different workload", cfg, "bfs", pushmulticast.CollectiveParams{}, "", 0, 0, snapFile, "snapshot mismatch"},
 		// Collective bad inputs: -workload/-cores combinations inconsistent
 		// with the collective's structure must surface the same one-line
 		// diagnostic + exit 1 contract, not a panic.
-		{"unknown workload lists valid names", cfg, "allredcue", pushmulticast.CollectiveParams{}, "", 0, "", "valid: allreduce, backprop"},
-		{"collective sharers exceed cores", cfg, "allreduce", pushmulticast.CollectiveParams{Sharers: 32}, "", 0, "", "32 sharers exceed the 16-core machine"},
-		{"collective sharers below minimum", cfg, "broadcast", pushmulticast.CollectiveParams{Sharers: 1}, "", 0, "", "below the minimum"},
-		{"chunk does not divide payload", cfg, "broadcast", pushmulticast.CollectiveParams{ChunkLines: 7, PayloadLines: 100}, "", 0, "", "does not divide"},
-		{"prodcons group mismatch", cfg, "prodcons", pushmulticast.CollectiveParams{Sharers: 16, Fanout: 2}, "", 0, "", "do not split into groups"},
-		{"negative iters", cfg, "allreduce", pushmulticast.CollectiveParams{Iters: -1}, "", 0, "", "Iters -1 is negative"},
-		{"collective flags on a fixed workload", cfg, "cachebw", pushmulticast.CollectiveParams{Fanout: 4}, "", 0, "", "not a collective"},
+		{"unknown workload lists valid names", cfg, "allredcue", pushmulticast.CollectiveParams{}, "", 0, 0, "", "valid: allreduce, backprop"},
+		{"collective sharers exceed cores", cfg, "allreduce", pushmulticast.CollectiveParams{Sharers: 32}, "", 0, 0, "", "32 sharers exceed the 16-core machine"},
+		{"collective sharers below minimum", cfg, "broadcast", pushmulticast.CollectiveParams{Sharers: 1}, "", 0, 0, "", "below the minimum"},
+		{"chunk does not divide payload", cfg, "broadcast", pushmulticast.CollectiveParams{ChunkLines: 7, PayloadLines: 100}, "", 0, 0, "", "does not divide"},
+		{"prodcons group mismatch", cfg, "prodcons", pushmulticast.CollectiveParams{Sharers: 16, Fanout: 2}, "", 0, 0, "", "do not split into groups"},
+		{"negative iters", cfg, "allreduce", pushmulticast.CollectiveParams{Iters: -1}, "", 0, 0, "", "Iters -1 is negative"},
+		{"collective flags on a fixed workload", cfg, "cachebw", pushmulticast.CollectiveParams{Fanout: 4}, "", 0, 0, "", "not a collective"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -209,7 +255,7 @@ func TestExecuteBadInput(t *testing.T) {
 			// Either stage may be the one that rejects the input.
 			wl, err := resolveWorkload(tc.workload, tc.params)
 			if err == nil {
-				_, err = execute(tc.cfg, wl, pushmulticast.ScaleTiny, tc.snapFile, tc.snapAt, tc.restore)
+				_, err = execute(tc.cfg, wl, pushmulticast.ScaleTiny, tc.snapFile, tc.snapAt, tc.snapEvery, tc.restore)
 			}
 			if err == nil {
 				t.Fatal("execute accepted bad input")

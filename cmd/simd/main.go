@@ -9,14 +9,24 @@
 //
 //	POST /campaigns   run a campaign spec, streaming NDJSON results
 //	GET  /runs/{id}   fetch a completed run record by identity
+//	POST /shards      execute one shard of a distributed campaign (worker side)
 //	POST /snapshots   upload a warm-start donor snapshot
 //	GET  /healthz     liveness
-//	GET  /metrics     queue depth, memo hit rate, per-tenant wait quantiles
+//	GET  /metrics     queue depth, memo hit rate, per-tenant wait quantiles,
+//	                  journal and shard-coordinator counters
 //
 // A minimal campaign:
 //
 //	curl -sS localhost:8080/campaigns -d \
 //	  '{"scale":"tiny","schemes":["Baseline","OrdPush"],"workloads":[{"name":"cachebw"}]}'
+//
+// With -peers the daemon is a shard coordinator: campaigns are split into
+// shards and dispatched across the listed simd replicas with retry,
+// reassignment on worker death, and degradation to local execution when no
+// replica is healthy. With -journal completed runs persist to an append-only
+// NDJSON journal, and a killed daemon restarted on the same journal serves
+// recovered runs without recomputing them. -quota bounds one tenant's
+// in-flight runs (HTTP 429 over it).
 //
 // SIGINT/SIGTERM shut the daemon down gracefully: new campaigns are refused,
 // in-flight runs get the -drain window to finish, and stragglers are
@@ -31,6 +41,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -44,16 +55,46 @@ func main() {
 		maxQueue = flag.Int("maxqueue", 0, "queued-run bound across all tenants (0 = 1024)")
 		memoCap  = flag.Int("memocap", 0, "completed-run memo capacity, LRU-evicted (0 = library default)")
 		drain    = flag.Duration("drain", 30*time.Second, "shutdown drain window for in-flight runs before they are canceled")
+
+		quota       = flag.Int("quota", 0, "max in-flight (queued+running) runs per tenant; over-quota campaigns are refused with 429 (0 = unlimited)")
+		peers       = flag.String("peers", "", "comma-separated simd replica base URLs; non-empty makes this daemon a shard coordinator")
+		shardSize   = flag.Int("shardsize", 0, "runs per dispatched shard (0 = 1)")
+		shardRetry  = flag.Int("shardretries", 0, "remote re-dispatches per shard before degrading to local execution (0 = 4)")
+		shardTO     = flag.Duration("shardtimeout", 0, "one shard dispatch attempt bound (0 = 2m)")
+		healthEvery = flag.Duration("healthevery", 0, "replica /healthz probe period (0 = 2s)")
+		journal     = flag.String("journal", "", "crash-resume journal path (append-only NDJSON); empty keeps a memory-only journal")
 	)
 	flag.Parse()
-	if err := run(*addr, *workers, *maxQueue, *memoCap, *drain); err != nil {
+	opts := serve.Options{
+		Workers:        *workers,
+		MaxQueue:       *maxQueue,
+		MemoCapacity:   *memoCap,
+		TenantQuota:    *quota,
+		ShardSize:      *shardSize,
+		ShardRetries:   *shardRetry,
+		ShardTimeout:   *shardTO,
+		HealthInterval: *healthEvery,
+		JournalPath:    *journal,
+	}
+	for _, p := range strings.Split(*peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			opts.Peers = append(opts.Peers, strings.TrimSuffix(p, "/"))
+		}
+	}
+	if err := run(*addr, opts, *drain); err != nil {
 		fmt.Fprintln(os.Stderr, "simd:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr string, workers, maxQueue, memoCap int, drain time.Duration) error {
-	app := serve.New(serve.Options{Workers: workers, MaxQueue: maxQueue, MemoCapacity: memoCap})
+func run(addr string, opts serve.Options, drain time.Duration) error {
+	app, err := serve.New(opts)
+	if err != nil {
+		return err
+	}
+	if len(opts.Peers) > 0 {
+		fmt.Fprintf(os.Stderr, "simd: coordinating shards across %d replicas: %s\n", len(opts.Peers), strings.Join(opts.Peers, ", "))
+	}
 	srv := &http.Server{Addr: addr, Handler: app.Handler()}
 
 	errc := make(chan error, 1)

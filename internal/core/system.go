@@ -415,6 +415,18 @@ func (s *System) Drain(limit sim.Cycle) error {
 }
 
 // Quiescent reports whether no transaction is in flight anywhere.
+// Finished reports whether every core has retired its workload — the same
+// termination condition the run loop checks at cycle barriers. A paused
+// machine (RunTo) uses it to decide whether another slice remains.
+func (s *System) Finished() bool {
+	for _, c := range s.Cores {
+		if !c.Finished() {
+			return false
+		}
+	}
+	return true
+}
+
 func (s *System) Quiescent() bool {
 	if !s.Net.Quiescent() {
 		return false

@@ -18,6 +18,9 @@ type task struct {
 	ctx      context.Context
 	fn       func(ctx context.Context)
 	enqueued time.Time
+	// exempt skips the per-tenant in-flight quota: degraded-local shard
+	// execution must never be refused by the quota it exists to survive.
+	exempt bool
 }
 
 // scheduler dispatches tasks across a bounded worker pool with fair
@@ -35,6 +38,9 @@ type scheduler struct {
 	cursor   int
 	queued   int
 	maxQueue int
+	quota    int            // max in-flight (queued+running) runs per tenant; 0 = unlimited
+	inflight map[string]int // per-tenant in-flight count (quota-subject tasks only)
+	rejected uint64         // submissions refused over quota
 	running  map[*task]context.CancelFunc
 	closed   bool // no new submits; workers drain and exit
 	aborting bool // drain deadline passed: running tasks are being canceled
@@ -48,14 +54,16 @@ type scheduler struct {
 // waitSamples bounds the per-tenant wait history backing the quantiles.
 const waitSamples = 256
 
-// newScheduler starts a scheduler with the given worker count and total
-// queued-task bound.
-func newScheduler(workers, maxQueue int) *scheduler {
+// newScheduler starts a scheduler with the given worker count, total
+// queued-task bound, and per-tenant in-flight quota (0 = unlimited).
+func newScheduler(workers, maxQueue, quota int) *scheduler {
 	s := &scheduler{
 		queues:   make(map[string][]*task),
 		running:  make(map[*task]context.CancelFunc),
 		waits:    make(map[string][]uint64),
+		inflight: make(map[string]int),
 		maxQueue: maxQueue,
+		quota:    quota,
 	}
 	s.cond = sync.NewCond(&s.mu)
 	s.wg.Add(workers)
@@ -65,25 +73,68 @@ func newScheduler(workers, maxQueue int) *scheduler {
 	return s
 }
 
-// submit queues one task. It fails fast when the scheduler is shutting down
-// or the queue bound is hit — the caller surfaces the one-line reason, and
-// an admitted task always eventually runs or is canceled.
+// overQuotaError is the typed refusal for a tenant past its in-flight
+// quota; the HTTP layer maps it to 429 with the one-line diagnostic.
+type overQuotaError struct {
+	tenant          string
+	quota, inflight int
+	want            int
+}
+
+func (e overQuotaError) Error() string {
+	return fmt.Sprintf("tenant %q over quota: %d in flight + %d submitted exceeds the per-tenant bound of %d", e.tenant, e.inflight, e.want, e.quota)
+}
+
+// submit queues one task (see submitAll).
 func (s *scheduler) submit(t *task) error {
+	return s.submitAll([]*task{t})
+}
+
+// submitAll queues a batch of tasks atomically: either every task is
+// admitted or none is and the one-line reason comes back — a campaign never
+// half-queues. It fails fast when the scheduler is shutting down, the queue
+// bound is hit, or any task's tenant would exceed its in-flight quota.
+// An admitted task always eventually runs or is canceled.
+func (s *scheduler) submitAll(tasks []*task) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return fmt.Errorf("scheduler: shutting down")
 	}
-	if s.queued >= s.maxQueue {
-		return fmt.Errorf("scheduler: queue full (%d tasks)", s.queued)
+	if s.queued+len(tasks) > s.maxQueue {
+		return fmt.Errorf("scheduler: queue full (%d tasks queued, %d submitted, bound %d)", s.queued, len(tasks), s.maxQueue)
 	}
-	if _, ok := s.queues[t.tenant]; !ok {
-		s.ring = append(s.ring, t.tenant)
+	if s.quota > 0 {
+		want := make(map[string]int)
+		for _, t := range tasks {
+			if !t.exempt {
+				want[t.tenant]++
+			}
+		}
+		for tenant, n := range want {
+			if s.inflight[tenant]+n > s.quota {
+				s.rejected++
+				return overQuotaError{tenant: tenant, quota: s.quota, inflight: s.inflight[tenant], want: n}
+			}
+		}
 	}
-	t.enqueued = time.Now()
-	s.queues[t.tenant] = append(s.queues[t.tenant], t)
-	s.queued++
-	s.cond.Signal()
+	now := time.Now()
+	for _, t := range tasks {
+		if _, ok := s.queues[t.tenant]; !ok {
+			s.ring = append(s.ring, t.tenant)
+		}
+		t.enqueued = now
+		s.queues[t.tenant] = append(s.queues[t.tenant], t)
+		s.queued++
+		if !t.exempt {
+			s.inflight[t.tenant]++
+		}
+	}
+	if len(tasks) == 1 {
+		s.cond.Signal()
+	} else {
+		s.cond.Broadcast()
+	}
 	return nil
 }
 
@@ -136,6 +187,11 @@ func (s *scheduler) worker() {
 		cancel()
 		s.mu.Lock()
 		delete(s.running, t)
+		if !t.exempt {
+			if s.inflight[t.tenant]--; s.inflight[t.tenant] <= 0 {
+				delete(s.inflight, t.tenant)
+			}
+		}
 		s.mu.Unlock()
 	}
 }
@@ -183,15 +239,20 @@ func (s *scheduler) recordWaitLocked(tenant string, d time.Duration) {
 
 // schedStats is the scheduler's /metrics contribution.
 type schedStats struct {
-	QueueDepth int                    `json:"queue_depth"`
-	Running    int                    `json:"running"`
-	Tenants    map[string]tenantStats `json:"tenants,omitempty"`
+	QueueDepth int `json:"queue_depth"`
+	Running    int `json:"running"`
+	// Quota is the per-tenant in-flight bound (0 = unlimited);
+	// QuotaRejected counts submissions refused over it.
+	Quota         int                    `json:"quota,omitempty"`
+	QuotaRejected uint64                 `json:"quota_rejected"`
+	Tenants       map[string]tenantStats `json:"tenants,omitempty"`
 }
 
-// tenantStats reports one tenant's queue depth and wait quantiles
-// (interpolated; nanoseconds), computed over its recent dispatch history.
+// tenantStats reports one tenant's queue depth, in-flight count, and wait
+// quantiles (interpolated; nanoseconds) over its recent dispatch history.
 type tenantStats struct {
 	QueueDepth int    `json:"queue_depth"`
+	Inflight   int    `json:"inflight"`
 	WaitP50Ns  uint64 `json:"wait_p50_ns"`
 	WaitP90Ns  uint64 `json:"wait_p90_ns"`
 	WaitP99Ns  uint64 `json:"wait_p99_ns"`
@@ -201,15 +262,18 @@ func (s *scheduler) stats() schedStats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	st := schedStats{
-		QueueDepth: s.queued,
-		Running:    len(s.running),
-		Tenants:    make(map[string]tenantStats),
+		QueueDepth:    s.queued,
+		Running:       len(s.running),
+		Quota:         s.quota,
+		QuotaRejected: s.rejected,
+		Tenants:       make(map[string]tenantStats),
 	}
 	for tenant, w := range s.waits {
 		sorted := append([]uint64(nil), w...)
 		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 		st.Tenants[tenant] = tenantStats{
 			QueueDepth: len(s.queues[tenant]),
+			Inflight:   s.inflight[tenant],
 			WaitP50Ns:  pushmulticast.Quantile(sorted, 0.50),
 			WaitP90Ns:  pushmulticast.Quantile(sorted, 0.90),
 			WaitP99Ns:  pushmulticast.Quantile(sorted, 0.99),
@@ -217,7 +281,7 @@ func (s *scheduler) stats() schedStats {
 	}
 	for tenant, q := range s.queues {
 		if _, ok := st.Tenants[tenant]; !ok && len(q) > 0 {
-			st.Tenants[tenant] = tenantStats{QueueDepth: len(q)}
+			st.Tenants[tenant] = tenantStats{QueueDepth: len(q), Inflight: s.inflight[tenant]}
 		}
 	}
 	return st

@@ -1,17 +1,22 @@
 package serve
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
+	"log"
 	"net/http"
 	"runtime"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
 	"pushmulticast"
+	"pushmulticast/internal/shard"
 )
 
 // Options configures a campaign server. Zero values select sensible
@@ -34,27 +39,60 @@ type Options struct {
 	RunCacheCapacity int
 	// MaxSnapshotBytes bounds one snapshot upload (0 = 256 MiB).
 	MaxSnapshotBytes int64
+	// TenantQuota bounds one tenant's in-flight (queued + running) runs
+	// beyond fair round-robin (0 = unlimited). Over-quota submissions are
+	// refused whole with HTTP 429 and a one-line diagnostic.
+	TenantQuota int
+	// Peers lists simd worker replica base URLs. Non-empty turns this daemon
+	// into a shard coordinator: campaigns are split into shards and
+	// dispatched across the replicas with retry, reassignment, and local
+	// degradation; empty keeps every run on this process.
+	Peers []string
+	// ShardSize groups this many runs per dispatched shard (0 = 1).
+	ShardSize int
+	// ShardRetries bounds remote re-dispatches per shard (0 = 4).
+	ShardRetries int
+	// ShardTimeout bounds one shard dispatch attempt (0 = 2m).
+	ShardTimeout time.Duration
+	// HealthInterval is the replica /healthz probe period (0 = 2s).
+	HealthInterval time.Duration
+	// JournalPath enables the crash-resume journal: completed run records
+	// and uploaded snapshot identities are appended there, and a restarted
+	// daemon serves journaled runs without recomputing them. Empty keeps a
+	// memory-only journal (dedup without persistence).
+	JournalPath string
 }
 
 // Server is the simd campaign service: expansion, dedup, fair scheduling,
 // and result caching over the simulation harness. Create with New, mount
 // Handler, and Close on shutdown.
 type Server struct {
-	opts  Options
-	sched *scheduler
-	snaps *snapStore
-	runs  *runStore
-	mux   *http.ServeMux
-	start time.Time
+	opts    Options
+	sched   *scheduler
+	snaps   *snapStore
+	runs    *runStore
+	journal *shard.Journal
+	coord   *shard.Coordinator // nil unless Peers configured
+	// recovered is the journal's content at startup — the recovery set a
+	// restarted worker serves without recomputing. It is immutable after New:
+	// runs completed during this process's lifetime are served by the live
+	// memo, not the journal, so memo hit accounting stays truthful.
+	recovered map[string]shard.RunRecord
+	mux       *http.ServeMux
+	start     time.Time
 
-	completed atomic.Uint64 // runs finished successfully
-	canceled  atomic.Uint64 // runs ended by cancellation
-	failed    atomic.Uint64 // runs ended by a simulation error
-	closing   atomic.Bool
+	completed       atomic.Uint64 // runs finished successfully
+	canceled        atomic.Uint64 // runs ended by cancellation
+	failed          atomic.Uint64 // runs ended by a simulation error
+	recoveredServed atomic.Uint64 // runs served from the startup journal
+	closing         atomic.Bool
 }
 
-// New builds a campaign server and starts its worker pool.
-func New(opts Options) *Server {
+// New builds a campaign server and starts its worker pool. With Peers set it
+// also starts the shard coordinator and its replica health probes; with
+// JournalPath set it loads the crash-resume journal, loudly reporting what a
+// restart recovered.
+func New(opts Options) (*Server, error) {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -73,20 +111,55 @@ func New(opts Options) *Server {
 	if opts.MemoCapacity > 0 {
 		pushmulticast.SetRunMemoCapacity(opts.MemoCapacity)
 	}
+	journal := shard.NewMemJournal()
+	if opts.JournalPath != "" {
+		var err error
+		if journal, err = shard.OpenJournal(opts.JournalPath); err != nil {
+			return nil, fmt.Errorf("serve: %v", err)
+		}
+	}
 	s := &Server{
-		opts:  opts,
-		sched: newScheduler(opts.Workers, opts.MaxQueue),
-		snaps: newSnapStore(opts.SnapshotCapacity),
-		runs:  newRunStore(opts.RunCacheCapacity),
-		mux:   http.NewServeMux(),
-		start: time.Now(),
+		opts:      opts,
+		sched:     newScheduler(opts.Workers, opts.MaxQueue, opts.TenantQuota),
+		snaps:     newSnapStore(opts.SnapshotCapacity),
+		runs:      newRunStore(opts.RunCacheCapacity),
+		journal:   journal,
+		recovered: journal.Seen(),
+		mux:       http.NewServeMux(),
+		start:     time.Now(),
+	}
+	if n := len(s.recovered); n > 0 || journal.Skipped() > 0 {
+		log.Printf("serve: journal %s: recovered %d completed runs, %d snapshot identities (%d unparsable lines skipped); recovered runs will be served without recomputing",
+			journal.Path(), n, journal.Snapshots(), journal.Skipped())
+	}
+	for _, rec := range s.recovered {
+		rec.Cached = true
+		s.runs.put(rec)
+	}
+	if len(opts.Peers) > 0 {
+		coord, err := shard.New(shard.Options{
+			Workers:        opts.Peers,
+			ShardSize:      opts.ShardSize,
+			MaxRetries:     opts.ShardRetries,
+			Timeout:        opts.ShardTimeout,
+			HealthInterval: opts.HealthInterval,
+			Journal:        journal,
+			Local:          s.localUnit,
+			Logf:           log.Printf,
+		})
+		if err != nil {
+			journal.Close()
+			return nil, fmt.Errorf("serve: %v", err)
+		}
+		s.coord = coord
 	}
 	s.mux.HandleFunc("POST /campaigns", s.handleCampaign)
+	s.mux.HandleFunc("POST /shards", s.handleShard)
 	s.mux.HandleFunc("GET /runs/{id}", s.handleRun)
 	s.mux.HandleFunc("POST /snapshots", s.handleSnapshot)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
-	return s
+	return s, nil
 }
 
 // Handler returns the service's HTTP handler.
@@ -99,7 +172,12 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // to hard-cancel.
 func (s *Server) Close(drain time.Duration) error {
 	s.closing.Store(true)
-	if clean := s.sched.stop(drain); !clean {
+	clean := s.sched.stop(drain)
+	if s.coord != nil {
+		s.coord.Close()
+	}
+	s.journal.Close()
+	if !clean {
 		return fmt.Errorf("serve: drain window (%s) expired; in-flight runs were canceled", drain)
 	}
 	return nil
@@ -114,6 +192,16 @@ type campaignSummary struct {
 	Cached   int  `json:"cached"`
 	Failed   int  `json:"failed"`
 	Canceled int  `json:"canceled"`
+	// Distribution accounting, present only on coordinator responses: how
+	// many shards the campaign split into, how many runs were recovered from
+	// the journal versus freshly computed, and what the fault-tolerance
+	// machinery had to do to get them.
+	Shards          int `json:"shards,omitempty"`
+	Recovered       int `json:"recovered,omitempty"`
+	Recomputed      int `json:"recomputed,omitempty"`
+	ShardRetries    int `json:"shard_retries,omitempty"`
+	ShardReassigned int `json:"shard_reassigned,omitempty"`
+	DegradedLocal   int `json:"degraded_local,omitempty"`
 }
 
 // handleCampaign validates, expands, schedules, and streams one campaign.
@@ -141,29 +229,29 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	if tenant == "" {
 		tenant = "default"
 	}
+	if s.coord != nil {
+		s.streamShardedCampaign(w, r, spec, runs, tenant)
+		return
+	}
 	// Buffered to the campaign size: a worker's send never blocks, so a
 	// client that disconnected mid-stream cannot wedge a worker slot.
 	out := make(chan runRecord, len(runs))
-	submitted := 0
+	tasks := make([]*task, 0, len(runs))
 	for _, rs := range runs {
 		rs := rs
-		err := s.sched.submit(&task{
+		tasks = append(tasks, &task{
 			tenant: tenant,
 			ctx:    r.Context(),
 			fn: func(ctx context.Context) {
 				out <- s.execute(ctx, rs)
 			},
 		})
-		if err != nil {
-			if submitted == 0 {
-				httpError(w, http.StatusServiceUnavailable, oneLine(err))
-				return
-			}
-			// Later runs hit the bound: report the admitted prefix and the
-			// refusal, rather than dropping the whole campaign mid-flight.
-			out <- runRecord{ID: rs.id, Scheme: rs.scheme, Workload: rs.workload, Error: oneLine(err)}
-		}
-		submitted++
+	}
+	// All-or-nothing admission: a campaign that cannot queue whole (bound or
+	// quota) is refused whole, never half-run.
+	if err := s.sched.submitAll(tasks); err != nil {
+		httpError(w, refusalStatus(err), oneLine(err))
+		return
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -192,9 +280,185 @@ func (s *Server) handleCampaign(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// refusalStatus maps a scheduler refusal to its HTTP status: 429 for an
+// over-quota tenant, 503 for a full queue or a shutdown.
+func refusalStatus(err error) int {
+	var oq overQuotaError
+	if errors.As(err, &oq) {
+		return http.StatusTooManyRequests
+	}
+	return http.StatusServiceUnavailable
+}
+
+// streamShardedCampaign runs one campaign through the shard coordinator:
+// every expanded run becomes a dispatch unit (a self-contained single-run
+// spec), the coordinator shards and distributes them, and merged records
+// stream back in completion order followed by a summary carrying the
+// distribution accounting.
+func (s *Server) streamShardedCampaign(w http.ResponseWriter, r *http.Request, spec CampaignSpec, runs []runSpec, tenant string) {
+	units := make([]shard.Unit, 0, len(runs))
+	for _, rs := range runs {
+		raw, err := unitSpec(spec, rs)
+		if err != nil {
+			httpError(w, http.StatusInternalServerError, oneLine(err))
+			return
+		}
+		units = append(units, shard.Unit{RunID: rs.id, Scheme: rs.scheme, Workload: rs.workload, Spec: raw})
+	}
+	var snap []byte
+	if len(runs) > 0 {
+		snap = runs[0].snap // campaign-level warm_start: every run shares one donor
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	var mu sync.Mutex // serializes the stream across shard goroutines
+	sum := campaignSummary{Summary: true}
+	st := s.coord.Run(r.Context(), tenant, units, snap, func(rec shard.RunRecord, recovered bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		sum.Runs++
+		if rec.Cached {
+			sum.Cached++
+		}
+		if recovered {
+			sum.Recovered++
+		} else {
+			sum.Recomputed++
+		}
+		if rec.Canceled {
+			sum.Canceled++
+		} else if rec.Error != "" {
+			sum.Failed++
+		} else {
+			s.runs.put(rec)
+		}
+		enc.Encode(rec)
+		if flusher != nil {
+			flusher.Flush()
+		}
+	})
+	sum.Shards = st.Shards
+	sum.ShardRetries = st.Retries
+	sum.ShardReassigned = st.Reassigned
+	sum.DegradedLocal = st.DegradedLocal
+	enc.Encode(sum)
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// localUnit is the coordinator's degradation-ladder bottom: execute one
+// dispatch unit on this process. The run still goes through the scheduler —
+// quota-exempt, so the fallback that exists to survive replica loss cannot
+// itself be refused — and through the same execute path as any other run.
+func (s *Server) localUnit(ctx context.Context, u shard.Unit) shard.RunRecord {
+	spec, err := decodeSpec(bytes.NewReader(u.Spec))
+	if err == nil {
+		var runs []runSpec
+		if runs, err = expand(spec, s.snaps.get); err == nil {
+			done := make(chan shard.RunRecord, 1)
+			err = s.sched.submit(&task{
+				tenant: tenant(spec),
+				ctx:    ctx,
+				exempt: true,
+				fn:     func(c context.Context) { done <- s.execute(c, runs[0]) },
+			})
+			if err == nil {
+				return <-done
+			}
+		}
+	}
+	return shard.RunRecord{ID: u.RunID, Scheme: u.Scheme, Workload: u.Workload, Error: oneLine(err)}
+}
+
+// tenant resolves a spec's fair-queueing bucket.
+func tenant(spec CampaignSpec) string {
+	if spec.Tenant == "" {
+		return "default"
+	}
+	return spec.Tenant
+}
+
+// handleShard is the worker side of shard dispatch: POST /shards carries a
+// shard of self-contained single-run specs; the worker expands and executes
+// them under its scheduler (tenant quota applies — the coordinator treats a
+// 429 as transient and backs off) and replies with the complete result set.
+// A spec whose warm-start donor is missing is HTTP 409 so the coordinator
+// re-uploads and retries; any other validation failure is a permanent 400.
+func (s *Server) handleShard(w http.ResponseWriter, r *http.Request) {
+	if s.closing.Load() {
+		httpError(w, http.StatusServiceUnavailable, "service shutting down")
+		return
+	}
+	var req shard.Request
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("shard request: %v", oneLine(err)))
+		return
+	}
+	if len(req.Runs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Sprintf("shard %s: no runs", req.ShardID))
+		return
+	}
+	reqTenant := req.Tenant
+	if reqTenant == "" {
+		reqTenant = "default"
+	}
+	var specs []runSpec
+	for i, raw := range req.Runs {
+		spec, err := decodeSpec(bytes.NewReader(raw))
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("shard %s run %d: %v", req.ShardID, i, oneLine(err)))
+			return
+		}
+		runs, err := expand(spec, s.snaps.get)
+		if err != nil {
+			status := http.StatusBadRequest
+			if strings.Contains(err.Error(), "warm_start snapshot") {
+				// The donor was uploaded once but is gone (LRU eviction or a
+				// worker restart): recoverable, not a spec defect.
+				status = http.StatusConflict
+			}
+			httpError(w, status, fmt.Sprintf("shard %s run %d: %v", req.ShardID, i, oneLine(err)))
+			return
+		}
+		specs = append(specs, runs...)
+	}
+	out := make(chan runRecord, len(specs))
+	tasks := make([]*task, 0, len(specs))
+	for _, rs := range specs {
+		rs := rs
+		tasks = append(tasks, &task{
+			tenant: reqTenant,
+			ctx:    r.Context(),
+			fn:     func(ctx context.Context) { out <- s.execute(ctx, rs) },
+		})
+	}
+	if err := s.sched.submitAll(tasks); err != nil {
+		httpError(w, refusalStatus(err), oneLine(err))
+		return
+	}
+	resp := shard.Response{ShardID: req.ShardID, Results: make([]shard.RunRecord, 0, len(specs))}
+	for range specs {
+		resp.Results = append(resp.Results, <-out)
+	}
+	writeJSON(w, resp)
+}
+
 // execute runs one expanded run under the scheduler's context and returns
 // its result record, recording it in the run cache on success.
 func (s *Server) execute(ctx context.Context, rs runSpec) runRecord {
+	// Crash resume: a run the startup journal already holds is served from
+	// it without recomputing — the loud recovery path a restarted worker
+	// takes for every shard it had already finished.
+	if rec, ok := s.recovered[rs.id]; ok {
+		rec.Cached = true
+		s.recoveredServed.Add(1)
+		return rec
+	}
 	var (
 		res pushmulticast.Results
 		hit bool
@@ -230,6 +494,9 @@ func (s *Server) execute(ctx context.Context, rs runSpec) runRecord {
 		rec.TraceEvents = res.TraceEvents
 	}
 	s.runs.put(rec)
+	if _, err := s.journal.Commit(rec); err != nil {
+		log.Printf("serve: %v", err)
+	}
 	return rec
 }
 
@@ -260,6 +527,9 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if err := s.journal.CommitSnapshot(id, cycle); err != nil {
+		log.Printf("serve: %v", err)
+	}
 	writeJSON(w, map[string]any{"id": id, "cycle": cycle, "bytes": len(data)})
 }
 
@@ -270,6 +540,20 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// journalMetrics is the crash-resume journal's /metrics contribution.
+type journalMetrics struct {
+	Path string `json:"path,omitempty"` // empty = memory-only
+	Runs int    `json:"runs"`           // journaled completed runs
+	// Snapshots counts journaled warm-start donor identities.
+	Snapshots int `json:"snapshots"`
+	// RecoveredServed counts runs served from the startup journal without
+	// recomputing — the loud proof a resume recovered rather than redid.
+	RecoveredServed uint64 `json:"recovered_served"`
+	// SkippedLines counts unparsable journal lines ignored at load (a torn
+	// final line from a crash mid-append is the expected case).
+	SkippedLines int `json:"skipped_lines,omitempty"`
+}
+
 // metrics is the GET /metrics schema.
 type metrics struct {
 	Scheduler schedStats              `json:"scheduler"`
@@ -277,10 +561,14 @@ type metrics struct {
 	Runs      map[string]uint64       `json:"runs"`
 	Snapshots int                     `json:"snapshots"`
 	RunCache  int                     `json:"run_cache"`
+	Journal   journalMetrics          `json:"journal"`
+	// Shard carries the coordinator's retry/reassignment/degradation
+	// counters and per-shard wait quantiles; absent on plain workers.
+	Shard *shard.Metrics `json:"shard,omitempty"`
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, metrics{
+	m := metrics{
 		Scheduler: s.sched.stats(),
 		Memo:      pushmulticast.RunMemoStats(),
 		Runs: map[string]uint64{
@@ -290,7 +578,19 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		},
 		Snapshots: s.snaps.len(),
 		RunCache:  s.runs.len(),
-	})
+		Journal: journalMetrics{
+			Path:            s.journal.Path(),
+			Runs:            s.journal.Runs(),
+			Snapshots:       s.journal.Snapshots(),
+			RecoveredServed: s.recoveredServed.Load(),
+			SkippedLines:    s.journal.Skipped(),
+		},
+	}
+	if s.coord != nil {
+		cm := s.coord.Metrics()
+		m.Shard = &cm
+	}
+	writeJSON(w, m)
 }
 
 // httpError writes a one-line diagnostic with the given status. The body is

@@ -24,7 +24,10 @@ const tiny16 = `{"scale":"tiny","schemes":["OrdPush"],"workloads":[{"name":"cach
 func newTestServer(t *testing.T, opts Options) (*Server, *httptest.Server) {
 	t.Helper()
 	pushmulticast.ClearRunMemo()
-	s := New(opts)
+	s, err := New(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -310,7 +313,10 @@ func TestSnapshotWarmStart(t *testing.T) {
 func TestGracefulShutdownDrains(t *testing.T) {
 	pushmulticast.ClearRunMemo()
 	t.Cleanup(pushmulticast.ClearRunMemo)
-	s := New(Options{Workers: 2})
+	s, err := New(Options{Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	if status, recs, _ := postCampaign(t, ts.URL, tiny16); status != http.StatusOK || len(recs) != 1 {
@@ -338,7 +344,10 @@ func TestGracefulShutdownDrains(t *testing.T) {
 func TestShutdownHardCancelsStragglers(t *testing.T) {
 	pushmulticast.ClearRunMemo()
 	t.Cleanup(pushmulticast.ClearRunMemo)
-	s := New(Options{Workers: 1})
+	s, err := New(Options{Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 	big := `{"cores":256,"scale":"tiny","schemes":["OrdPush"],"workloads":[{"name":"cachebw"}]}`
@@ -361,7 +370,7 @@ func TestShutdownHardCancelsStragglers(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 	start := time.Now()
-	err := s.Close(100 * time.Millisecond)
+	err = s.Close(100 * time.Millisecond)
 	if err == nil {
 		t.Fatal("Close reported a clean drain while a 256-core run was in flight")
 	}
@@ -374,7 +383,7 @@ func TestShutdownHardCancelsStragglers(t *testing.T) {
 // single worker: while tenant A's backlog holds the queue, a newly arrived
 // tenant B task is dispatched before A's remaining backlog.
 func TestSchedulerFairRoundRobin(t *testing.T) {
-	sched := newScheduler(1, 64)
+	sched := newScheduler(1, 64, 0)
 	defer sched.stop(time.Second)
 	gate := make(chan struct{})
 	var mu sync.Mutex

@@ -102,7 +102,8 @@ type runSpec struct {
 	cfg      pushmulticast.Config
 	wl       pushmulticast.Workload
 	sc       pushmulticast.Scale
-	snap     []byte // warm-start donor, nil for cold runs
+	snap     []byte       // warm-start donor, nil for cold runs
+	ws       WorkloadSpec // source workload entry, for re-specing one run
 }
 
 // decodeSpec parses a campaign body strictly: unknown fields are rejected so
@@ -187,6 +188,7 @@ func expand(spec CampaignSpec, lookupSnap func(id string) ([]byte, bool)) ([]run
 				wl:       wl,
 				sc:       sc,
 				snap:     snap,
+				ws:       ws,
 			})
 		}
 	}
@@ -306,6 +308,20 @@ func parseScale(s string) (pushmulticast.Scale, error) {
 		return pushmulticast.ScaleFull, nil
 	}
 	return 0, fmt.Errorf("unknown scale %q (use tiny, quick, or full)", s)
+}
+
+// unitSpec rebuilds one expanded run as a self-contained single-run campaign
+// spec — the dispatch payload a worker replica expands back to the identical
+// RunIdentity (same schema, same validation, same memo key).
+func unitSpec(spec CampaignSpec, rs runSpec) (json.RawMessage, error) {
+	single := spec
+	single.Schemes = []string{rs.scheme}
+	single.Workloads = []WorkloadSpec{rs.ws}
+	raw, err := json.Marshal(single)
+	if err != nil {
+		return nil, fmt.Errorf("run %s: re-spec: %v", rs.id, err)
+	}
+	return raw, nil
 }
 
 // oneLine flattens an error message onto one line, preserving the service's

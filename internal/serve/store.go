@@ -6,6 +6,7 @@ import (
 	"sync"
 
 	"pushmulticast"
+	"pushmulticast/internal/shard"
 )
 
 // snapStore holds uploaded warm-start donor snapshots, keyed by their FNV-1a
@@ -72,29 +73,10 @@ func (st *snapStore) len() int {
 	return st.lru.Len()
 }
 
-// runRecord is one completed run as served by GET /runs/{id}: the result
-// line the campaign stream carried, retrievable later by run identity.
-type runRecord struct {
-	ID           string  `json:"id"`
-	Scheme       string  `json:"scheme"`
-	Workload     string  `json:"workload"`
-	Cycles       uint64  `json:"cycles,omitempty"`
-	Instructions uint64  `json:"instructions,omitempty"`
-	IPC          float64 `json:"ipc,omitempty"`
-	L1MPKI       float64 `json:"l1_mpki,omitempty"`
-	L2MPKI       float64 `json:"l2_mpki,omitempty"`
-	NoCFlits     uint64  `json:"noc_flits,omitempty"`
-	// Cached is true when the campaign stream served this run from the memo
-	// (completed earlier, or joined while another request simulated it).
-	Cached bool `json:"cached"`
-	// TraceHash/TraceEvents identify the causal event history when tracing
-	// was on; equal values mean identical histories.
-	TraceHash   string `json:"trace_hash,omitempty"`
-	TraceEvents uint64 `json:"trace_events,omitempty"`
-	// Error carries a failed or canceled run's one-line diagnostic.
-	Error    string `json:"error,omitempty"`
-	Canceled bool   `json:"canceled,omitempty"`
-}
+// runRecord is one completed run as served by GET /runs/{id} and carried on
+// the campaign stream. The schema lives in internal/shard so coordinator,
+// worker, and journal all speak the identical record.
+type runRecord = shard.RunRecord
 
 // runStore caches completed run records by identity, LRU-bounded. Records
 // are tiny (aggregates, not machine state), but unbounded growth is still a

@@ -1,0 +1,223 @@
+package shard
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+)
+
+// Journal is the crash-resume record of a campaign coordinator or worker: an
+// append-only NDJSON file of completed run records and uploaded snapshot
+// content hashes. A process killed mid-campaign reopens its journal and
+// resumes — completed runs are served from the journal, only incomplete ones
+// recompute. The first committed record for a run identity wins; a repeat
+// commit whose outcome differs is a determinism violation and is reported
+// loudly instead of silently replacing either record.
+//
+// A Journal with an empty path is memory-only: it still deduplicates and
+// serves lookups, but nothing survives the process. Memory-only journals are
+// capped (memJournalCap) so a long-lived daemon cannot leak one record per
+// distinct run ever seen; file-backed journals are unbounded by design —
+// bounded retention would silently forfeit resumability.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File // nil = memory-only
+	path    string
+	seen    map[string]RunRecord
+	snaps   map[string]uint64 // snapshot content id -> cycle
+	skipped int               // unparsable lines ignored at load (torn tail)
+}
+
+// memJournalCap bounds a memory-only journal's retained records. Dedup
+// correctness does not depend on retention (determinism makes a recomputed
+// run byte-identical), so dropping commits past the cap only costs cache
+// hits, never correctness.
+const memJournalCap = 4096
+
+// journalLine is one NDJSON line of the journal file.
+type journalLine struct {
+	Kind     string     `json:"kind"` // "run" | "snapshot"
+	Record   *RunRecord `json:"record,omitempty"`
+	Snapshot string     `json:"snapshot,omitempty"`
+	Cycle    uint64     `json:"cycle,omitempty"`
+}
+
+// NewMemJournal returns a memory-only journal (no file backing).
+func NewMemJournal() *Journal {
+	return &Journal{seen: make(map[string]RunRecord), snaps: make(map[string]uint64)}
+}
+
+// OpenJournal opens (creating if absent) a file-backed journal and loads
+// every committed record. Unparsable lines — a torn final line from a crash
+// mid-append is the expected case — are counted and skipped, never fatal:
+// losing one record costs one recompute, losing the journal costs the whole
+// campaign.
+func OpenJournal(path string) (*Journal, error) {
+	j := NewMemJournal()
+	j.path = path
+	if data, err := os.ReadFile(path); err == nil {
+		sc := bufio.NewScanner(bytes.NewReader(data))
+		sc.Buffer(make([]byte, 1<<20), 1<<20)
+		for sc.Scan() {
+			line := sc.Bytes()
+			if len(line) == 0 {
+				continue
+			}
+			var l journalLine
+			if err := json.Unmarshal(line, &l); err != nil {
+				j.skipped++
+				continue
+			}
+			switch l.Kind {
+			case "run":
+				if l.Record != nil && l.Record.Error == "" && l.Record.ID != "" {
+					if _, ok := j.seen[l.Record.ID]; !ok {
+						j.seen[l.Record.ID] = *l.Record
+					}
+				} else {
+					j.skipped++
+				}
+			case "snapshot":
+				if l.Snapshot != "" {
+					j.snaps[l.Snapshot] = l.Cycle
+				} else {
+					j.skipped++
+				}
+			default:
+				j.skipped++
+			}
+		}
+	} else if !os.IsNotExist(err) {
+		return nil, fmt.Errorf("journal %s: %v", path, err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal %s: %v", path, err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// Path returns the journal's backing file path ("" for memory-only).
+func (j *Journal) Path() string { return j.path }
+
+// Persistent reports whether the journal survives the process.
+func (j *Journal) Persistent() bool { return j.path != "" }
+
+// Lookup returns the journaled record for a run identity.
+func (j *Journal) Lookup(id string) (RunRecord, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	rec, ok := j.seen[id]
+	return rec, ok
+}
+
+// Seen returns a copy of every journaled run record, keyed by run identity —
+// the recovery set a restarted process resumes from.
+func (j *Journal) Seen() map[string]RunRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string]RunRecord, len(j.seen))
+	for id, rec := range j.seen {
+		out[id] = rec
+	}
+	return out
+}
+
+// Commit records one completed run. Failed or canceled records are never
+// journaled (their retry may succeed later). The first commit for an
+// identity wins and is persisted; a repeat returns dup=true, and a repeat
+// whose outcome differs from the first also returns an error — determinism
+// says two computations of one run identity must agree, so a disagreement
+// means a broken replica.
+func (j *Journal) Commit(rec RunRecord) (dup bool, err error) {
+	if rec.ID == "" || rec.Error != "" {
+		return false, nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if prev, ok := j.seen[rec.ID]; ok {
+		if !sameOutcome(prev, rec) {
+			return true, fmt.Errorf(
+				"journal: run %s recomputed with a different outcome (cycles %d vs %d, trace %s vs %s): determinism violation — a replica is broken",
+				rec.ID, prev.Cycles, rec.Cycles, prev.TraceHash, rec.TraceHash)
+		}
+		return true, nil
+	}
+	if j.f == nil && len(j.seen) >= memJournalCap {
+		return false, nil // memory-only: cap retention, never correctness
+	}
+	// Normalize the cached flag before retention: whether the original
+	// computation was itself memo-served is meaningless to a later recovery.
+	rec.Cached = false
+	j.seen[rec.ID] = rec
+	return false, j.appendLocked(journalLine{Kind: "run", Record: &rec})
+}
+
+// CommitSnapshot records an uploaded warm-start donor's content identity and
+// barrier cycle, so a restarted daemon can report which donors its resumed
+// campaigns expect to be re-uploaded.
+func (j *Journal) CommitSnapshot(id string, cycle uint64) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, ok := j.snaps[id]; ok {
+		return nil
+	}
+	j.snaps[id] = cycle
+	return j.appendLocked(journalLine{Kind: "snapshot", Snapshot: id, Cycle: cycle})
+}
+
+// appendLocked writes one journal line and syncs it. Caller holds j.mu.
+func (j *Journal) appendLocked(l journalLine) error {
+	if j.f == nil {
+		return nil
+	}
+	data, err := json.Marshal(l)
+	if err != nil {
+		return fmt.Errorf("journal %s: %v", j.path, err)
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return fmt.Errorf("journal %s: %v", j.path, err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("journal %s: %v", j.path, err)
+	}
+	return nil
+}
+
+// Runs returns the number of journaled run records.
+func (j *Journal) Runs() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.seen)
+}
+
+// Snapshots returns the number of journaled snapshot identities.
+func (j *Journal) Snapshots() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.snaps)
+}
+
+// Skipped returns the number of unparsable lines ignored at load.
+func (j *Journal) Skipped() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.skipped
+}
+
+// Close releases the journal's file handle (memory-only journals are a
+// no-op). Safe to call once.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	f := j.f
+	j.f = nil
+	return f.Close()
+}

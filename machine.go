@@ -76,6 +76,12 @@ func (m *Machine) RunToCtx(ctx context.Context, cycle uint64) error {
 // Finish). Identical states yield byte-identical snapshots.
 func (m *Machine) Snapshot() ([]byte, error) { return m.sys.Snapshot() }
 
+// Done reports whether the workload has already retired on every core — the
+// run loop's own termination condition, queryable while the machine is
+// paused. A periodic-checkpoint loop uses it to stop slicing once the next
+// RunTo would have nothing left to run.
+func (m *Machine) Done() bool { return m.sys.Finished() }
+
 // Finish runs the simulation to completion and returns its results. The
 // machine is spent afterwards.
 func (m *Machine) Finish() (Results, error) { return m.FinishCtx(context.Background()) }
